@@ -1,0 +1,55 @@
+"""Extension of Table 1: every initiation method the paper discusses.
+
+Adds the prior-work baselines (SHRIMP-1/2, FLASH) and the PAL method plus
+the insecure 3/4-instruction repeated-passing variants, so the whole
+design space from §2-§3 sits in one table.  The baselines' latencies are
+comparable to the paper's methods — their problem is the kernel
+modification, not speed — while SHRIMP-1's single atomic access is the
+cheapest initiation of all (and the least general).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import Table, format_us
+from repro.analysis.trends import measure_initiation_us
+from repro.core.methods import METHODS
+
+ALL = ["kernel", "shrimp1", "shrimp2", "flash", "pal", "keyed",
+       "extshadow", "repeated3", "repeated4", "repeated5"]
+
+
+@pytest.mark.parametrize("method", ALL)
+def test_method_initiation_latency(benchmark, method):
+    latency = benchmark.pedantic(
+        lambda: measure_initiation_us(method, iterations=30),
+        rounds=1, iterations=1)
+    benchmark.extra_info["simulated_us"] = latency
+    assert latency > 0
+
+
+def test_all_methods_table(record, benchmark):
+    def run():
+        return {m: measure_initiation_us(m, iterations=50) for m in ALL}
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "All initiation methods (extension of Table 1)",
+        ["method", "section", "accesses", "kernel-free", "measured (us)"])
+    for method in ALL:
+        info = METHODS[method]
+        table.add_row(info.title, info.section,
+                      info.memory_accesses or "-",
+                      "yes" if info.kernel_free else "NO",
+                      format_us(measured[method], digits=2))
+    record("all_methods", table.render())
+
+    # Every user-level method beats the kernel path by a lot.
+    for method in ALL:
+        if method != "kernel":
+            assert measured[method] * 5 < measured["kernel"]
+    # More uncached accesses -> more time, within the user-level group.
+    assert measured["shrimp1"] < measured["extshadow"]
+    assert measured["extshadow"] < measured["keyed"]
+    assert measured["keyed"] < measured["repeated5"]

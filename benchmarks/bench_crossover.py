@@ -1,0 +1,97 @@
+"""The introduction's trend claim: initiation overhead vs. network speed.
+
+"The operating system overhead keeps getting an ever-increasing
+percentage of the DMA transfer time [...] Soon, the operating system
+overhead will dominate the DMA transfer, making the necessity of
+user-level DMA more important than ever."
+
+Two regenerated series:
+
+* the **crossover size** — the message size below which starting the DMA
+  costs more than wiring it — per (method, link generation);
+* the **overhead fraction** of end-to-end time across message sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table, format_us
+from repro.analysis.trends import (
+    crossover_table,
+    measure_initiation_us,
+    overhead_sweep,
+)
+from repro.net.link import ATM_155, ATM_622, GIGABIT
+
+LINKS = [ATM_155, ATM_622, GIGABIT]
+SIZES = [64, 256, 1024, 4096, 16384, 65536]
+
+
+def measured_initiations():
+    return {
+        "kernel": measure_initiation_us("kernel", iterations=20),
+        "extshadow": measure_initiation_us("extshadow", iterations=20),
+        "keyed": measure_initiation_us("keyed", iterations=20),
+    }
+
+
+def test_crossover_sizes(record, benchmark):
+    def run():
+        init = measured_initiations()
+        return init, crossover_table(list(init), LINKS,
+                                     initiation_us=init)
+
+    init, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "Crossover: message size below which initiation dominates",
+        ["method", "initiation (us)", "ATM-155", "ATM-622", "Gigabit"])
+    for method in init:
+        by_link = {r.link: r.crossover_bytes for r in rows
+                   if r.method == method}
+        table.add_row(method, format_us(init[method], 2),
+                      f"{by_link['atm-155']} B",
+                      f"{by_link['atm-622']} B",
+                      f"{by_link['gigabit']} B")
+    record("crossover", table.render())
+
+    kernel = {r.link: r.crossover_bytes for r in rows
+              if r.method == "kernel"}
+    user = {r.link: r.crossover_bytes for r in rows
+            if r.method == "extshadow"}
+    # Kernel initiation dominates an ever-growing size range as links
+    # get faster; user-level initiation never dominates at all.
+    assert kernel["atm-155"] < kernel["atm-622"] < kernel["gigabit"]
+    assert kernel["gigabit"] > 1000
+    assert all(size == 0 for size in user.values())
+
+
+def test_overhead_fraction_series(record, benchmark):
+    def run():
+        init = measured_initiations()
+        return init, overhead_sweep(["kernel", "extshadow"], LINKS,
+                                    SIZES, initiation_us=init)
+
+    init, points = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "Initiation share of end-to-end message time (%)",
+        ["method", "link"] + [f"{s} B" for s in SIZES])
+    for method in ("kernel", "extshadow"):
+        for link in LINKS:
+            row = [p for p in points
+                   if p.method == method and p.link == link.name]
+            row.sort(key=lambda p: p.size)
+            table.add_row(method, link.name,
+                          *(f"{p.overhead_fraction * 100:.0f}" for p in row))
+    record("overhead_fraction", table.render())
+
+    def fraction(method, link, size):
+        return next(p.overhead_fraction for p in points
+                    if p.method == method and p.link == link
+                    and p.size == size)
+
+    # The motivating regime: small messages on fast links are dominated
+    # by kernel initiation but barely notice user-level initiation.
+    assert fraction("kernel", "gigabit", 64) > 0.7
+    assert fraction("extshadow", "gigabit", 64) < 0.3
+    # The gap *widens* as networks speed up (the paper's trend).
+    assert (fraction("kernel", "gigabit", 4096)
+            > fraction("kernel", "atm-155", 4096))

@@ -1,0 +1,58 @@
+"""The introduction's decade-scale trend, regenerated.
+
+"Operating Systems do not get faster as fast as hardware does [...] At
+the same time, we witness an impressive improvement in network
+throughput [...] Soon, the operating system overhead will dominate the
+DMA transfer."
+
+The historical-generations model scales CPUs, buses, networks and OS
+cycle counts along their early-90s trajectories and evaluates, for each
+generation, kernel-initiation time against the wire time of small
+messages — producing the curve the paper argues from, plus the year the
+kernel path starts to dominate at each message size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.generations import (
+    HISTORICAL_GENERATIONS,
+    domination_year,
+    generation_series,
+)
+from repro.analysis.report import Table, format_us
+
+SIZES = [256, 1024, 4096]
+
+
+def test_generations_trend(record, benchmark):
+    def run():
+        return {size: generation_series(size) for size in SIZES}
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "Kernel initiation as a fraction of wire time, by generation",
+        ["year", "CPU MHz", "LAN Mb/s", "kernel init (us)"]
+        + [f"{s} B" for s in SIZES])
+    for index, gen in enumerate(HISTORICAL_GENERATIONS):
+        point = series[SIZES[0]][index]
+        table.add_row(gen.year, f"{gen.cpu_mhz:.0f}",
+                      f"{gen.network_mbps:.0f}",
+                      format_us(point.kernel_initiation_us, 1),
+                      *(f"{series[s][index].kernel_ratio:.2f}"
+                        for s in SIZES))
+    dominate = {s: domination_year(s) for s in SIZES}
+    table.add_row("dominates from", "", "", "",
+                  *(str(dominate[s]) if dominate[s] > 0 else "never"
+                    for s in SIZES))
+    record("generations", table.render())
+
+    # The curve rises for every size...
+    for size in SIZES:
+        first, last = series[size][0], series[size][-1]
+        assert last.kernel_ratio > first.kernel_ratio
+        # ...while the user-level curve never comes close to dominating
+        # (peak ~0.12 for 256 B messages on the 1997 machine).
+        assert all(p.user_ratio < 0.15 for p in series[size])
+    # Small messages were already dominated in the paper's day.
+    assert dominate[256] <= 1995
+    assert dominate[1024] <= 1999

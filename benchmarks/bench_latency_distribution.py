@@ -1,0 +1,71 @@
+"""Initiation-latency distributions (stability of Table 1's means).
+
+The paper reports means over 1,000 initiations.  This benchmark records
+full distributions for each Table 1 method — min / p50 / p99 / max — and
+asserts they are tight: in steady state (warm TLB, no contention) an
+initiation's cost is essentially deterministic, so a mean is a faithful
+summary.  The one systematic source of spread, cold TLB entries on the
+first touch of each shadow page, is reported separately.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table, format_us
+from repro.core.api import DmaChannel
+from repro.core.machine import MachineConfig, Workstation
+from repro.core.methods import TABLE1_METHODS
+from repro.sim.stats import LatencyStat
+from repro.units import to_us
+
+SAMPLES = 200
+
+
+def distribution(method: str) -> LatencyStat:
+    ws = Workstation(MachineConfig(method=method))
+    proc = ws.kernel.spawn()
+    if method != "kernel":
+        ws.kernel.enable_user_dma(proc)
+    src = ws.kernel.alloc_buffer(proc, 16384,
+                                 shadow=(method != "kernel"))
+    dst = ws.kernel.alloc_buffer(proc, 16384,
+                                 shadow=(method != "kernel"))
+    if method == "shrimp1":
+        ws.kernel.map_out(proc, src.vaddr, proc, dst.vaddr, 16384)
+    chan = DmaChannel(ws, proc)
+    chan.initiate(src.vaddr, dst.vaddr, 64)  # warm-up
+    ws.drain()
+    stat = LatencyStat(method, keep_samples=True)
+    for index in range(SAMPLES):
+        offset = (index % 128) * 64
+        result = chan.initiate(src.vaddr + offset, dst.vaddr + offset,
+                               64)
+        assert result.ok
+        stat.record(result.elapsed)
+        ws.drain()
+    return stat
+
+
+def test_latency_distributions(record, benchmark):
+    def run():
+        return {m: distribution(m) for m in TABLE1_METHODS}
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        f"Initiation latency distribution over {SAMPLES} samples (us)",
+        ["method", "min", "p50", "p99", "max", "stddev"])
+    for method in TABLE1_METHODS:
+        stat = stats[method]
+        table.add_row(method,
+                      format_us(to_us(stat.min), 2),
+                      format_us(to_us(stat.percentile(50)), 2),
+                      format_us(to_us(stat.percentile(99)), 2),
+                      format_us(to_us(stat.max), 2),
+                      format_us(stat.stddev / 1e6, 3))
+    record("latency_distribution", table.render())
+
+    for method in TABLE1_METHODS:
+        stat = stats[method]
+        # Warm steady state: the spread is tiny relative to the mean.
+        assert stat.max - stat.min <= 0.1 * stat.mean, method
+        # And the median equals Table 1's mean story.
+        assert stat.percentile(50) == stat.percentile(99)

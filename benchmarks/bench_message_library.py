@@ -1,0 +1,74 @@
+"""The messaging library — per-message cost, user level vs. kernel.
+
+A system-level composite of everything the paper proposes: each message
+is one payload DMA + one tail DMA (+ one credit DMA on the receive
+side).  With user-level initiation that is ~3 shadow-access sequences;
+with the kernel path it is three full Fig. 1 syscalls.  The benchmark
+measures sustained per-message cost through a small ring and counts
+syscalls to prove the data path is kernel-free.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table, format_us
+from repro.core.machine import MachineConfig
+from repro.msg import MessageChannel, RingLayout
+from repro.net import GIGABIT, Cluster
+from repro.units import to_us
+
+N_MESSAGES = 30
+
+
+def run_traffic(method: str) -> dict:
+    cluster = Cluster(2, link_spec=GIGABIT,
+                      config=MachineConfig(method=method))
+    ws0, ws1 = cluster.nodes
+    sender = ws0.kernel.spawn("sender")
+    receiver = ws1.kernel.spawn("receiver")
+    if method != "kernel":
+        ws0.kernel.enable_user_dma(sender)
+        ws1.kernel.enable_user_dma(receiver)
+    channel = MessageChannel.create(
+        ws0, sender, ws1, receiver,
+        layout=RingLayout(n_slots=8, slot_size=256))
+    channel.send(b"warm")
+    channel.recv()
+    syscalls_before = sum(ws.cpu.stats.counter("syscalls").value
+                          for ws in cluster.nodes)
+    start = cluster.sim.now
+    delivered = 0
+    for index in range(N_MESSAGES):
+        while not channel.send(f"m{index}".encode()):
+            delivered += len(channel.drain())
+            cluster.run_until_quiet()
+    delivered += len(channel.drain())
+    cluster.run_until_quiet()
+    elapsed_us = to_us(cluster.sim.now - start)
+    syscalls = (sum(ws.cpu.stats.counter("syscalls").value
+                    for ws in cluster.nodes) - syscalls_before)
+    assert delivered == N_MESSAGES
+    return {
+        "per_message_us": elapsed_us / N_MESSAGES,
+        "syscalls_per_message": syscalls / N_MESSAGES,
+    }
+
+
+def test_message_library(record, benchmark):
+    def run():
+        return {method: run_traffic(method)
+                for method in ("extshadow", "keyed", "kernel")}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        "Messaging library: sustained per-message cost (64 B ring slots)",
+        ["transport", "us/message", "syscalls/message"])
+    for method, row in results.items():
+        table.add_row(method, format_us(row["per_message_us"], 1),
+                      f"{row['syscalls_per_message']:.1f}")
+    record("message_library", table.render())
+
+    assert results["extshadow"]["syscalls_per_message"] == 0
+    assert results["keyed"]["syscalls_per_message"] == 0
+    assert results["kernel"]["syscalls_per_message"] >= 2
+    assert (results["extshadow"]["per_message_us"] * 2
+            < results["kernel"]["per_message_us"])

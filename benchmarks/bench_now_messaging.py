@@ -1,0 +1,76 @@
+"""End-to-end NOW messaging — kernel vs. user-level initiation.
+
+The system-level payoff of the whole paper: one-way message time between
+two workstations across message sizes, under kernel-level and user-level
+(extended shadow) initiation, on the link generations the paper names.
+Small messages improve by the full initiation gap; large ones converge as
+wire time dominates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import Table, format_us
+from repro.core.api import DmaChannel
+from repro.core.machine import MachineConfig
+from repro.net import ATM_155, GIGABIT, Cluster
+from repro.units import to_us
+
+SIZES = [64, 512, 4096, 32768]
+
+
+def one_way_time(method: str, link, size: int) -> float:
+    cluster = Cluster(2, link_spec=link,
+                      config=MachineConfig(method=method,
+                                           ram_size=1 << 24))
+    sender_ws, receiver_ws = cluster.node(0), cluster.node(1)
+    sender = sender_ws.kernel.spawn()
+    if method != "kernel":
+        sender_ws.kernel.enable_user_dma(sender)
+    src = sender_ws.kernel.alloc_buffer(sender, max(size, 8192))
+    receiver = receiver_ws.kernel.spawn()
+    dst = receiver_ws.kernel.alloc_buffer(receiver, max(size, 8192),
+                                          shadow=False)
+    window = sender_ws.kernel.map_remote_window(
+        sender, receiver_ws.nic.global_address(dst.paddr),
+        max(size, 8192))
+    chan = DmaChannel(sender_ws, sender)
+    chan.initiate(src.vaddr, window, 64)  # warm-up
+    cluster.run_until_quiet()
+    start = cluster.sim.now
+    result = chan.initiate(src.vaddr, window, size)
+    assert result.ok
+    cluster.run_until_quiet()
+    return to_us(cluster.sim.now - start)
+
+
+def test_now_message_latency(record, benchmark):
+    def run():
+        out = {}
+        for link in (ATM_155, GIGABIT):
+            for method in ("kernel", "extshadow"):
+                for size in SIZES:
+                    out[(link.name, method, size)] = one_way_time(
+                        method, link, size)
+        return out
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("One-way NOW message time (us)",
+                  ["link", "method"] + [f"{s} B" for s in SIZES])
+    for link in (ATM_155, GIGABIT):
+        for method in ("kernel", "extshadow"):
+            table.add_row(link.name, method,
+                          *(format_us(measured[(link.name, method, s)],
+                                      1) for s in SIZES))
+    speedups = {
+        (link.name, s): (measured[(link.name, "kernel", s)]
+                         / measured[(link.name, "extshadow", s)])
+        for link in (ATM_155, GIGABIT) for s in SIZES}
+    table.add_row("speedup", "gigabit/64B",
+                  f"{speedups[('gigabit', 64)]:.2f}x", "", "", "")
+    record("now_messaging", table.render())
+
+    # Small messages on the fast link gain the most.
+    assert speedups[("gigabit", 64)] > speedups[("gigabit", 32768)]
+    assert speedups[("gigabit", 64)] > 1.8
+    # Large transfers converge: wire time dominates.
+    assert speedups[("atm-155", 32768)] < 1.05

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artifacts (Table 1, the
+figure attacks, the §3.4/§3.5 observations) and both prints the resulting
+table and writes it under ``benchmarks/results/`` so EXPERIMENTS.md can
+reference stable files.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+(add ``-s`` to watch the tables scroll by).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Print *text* and persist it as ``benchmarks/results/<name>.txt``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture
+def record():
+    """The result recorder as a fixture."""
+    return record_result

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""The paper's adversarial figures, replayed and then searched.
+
+* Fig. 5 — the 3-instruction repeated-passing variant lets a malicious
+  process transfer its own data into a victim's private page.
+* Fig. 6 — the 4-instruction variant lets it steal the start and leave
+  the victim convinced the DMA failed.
+* Fig. 8 — the 5-instruction variant survives *every* interleaving,
+  checked exhaustively.
+
+Run:  python examples/adversary_demo.py
+"""
+
+from repro.verify.adversary import (
+    fig5_scenario,
+    fig6_scenario,
+    fig8_scenario,
+    pair_race_scenario,
+)
+from repro.verify.model_check import (
+    check_scenario,
+    make_harness,
+    replay_interleaving,
+)
+
+
+def show_fig5() -> None:
+    print("=== Fig. 5: attack on the 3-instruction variant ===")
+    scenario, figure_order = fig5_scenario()
+    print("interleaving (V = victim pid 1, M = malicious pid 2):")
+    for access in figure_order:
+        who = "V" if access.pid == 1 else "M"
+        print(f"    {who}: {access.op.upper():5s} shadow({access.paddr:#x})")
+    harness = make_harness(scenario)
+    evidence = harness.replay(figure_order)
+    for record in evidence.records:
+        if record.ok:
+            print(f"  -> engine started {record.psrc:#x} -> "
+                  f"{record.pdst:#x}, issued by pid {record.issuer}")
+            print("     the adversary's data (C) now sits in the "
+                  "victim's private page (B)!")
+    result = check_scenario(scenario)
+    print(f"  exhaustive search: {result.summary()}\n")
+
+
+def show_fig6() -> None:
+    print("=== Fig. 6: attack on the 4-instruction variant ===")
+    scenario, figure_order = fig6_scenario()
+    violations = replay_interleaving(scenario, figure_order)
+    for violation in violations:
+        print(f"  violation [{violation.prop}]: {violation.detail}")
+    result = check_scenario(scenario)
+    print(f"  exhaustive search: {result.summary()}\n")
+
+
+def show_fig8() -> None:
+    print("=== Fig. 8 / §3.3.1: the 5-instruction variant holds ===")
+    for scenario in (fig8_scenario(1), fig8_scenario(2),
+                     fig8_scenario(4, accesses_per_adversary=1)):
+        result = check_scenario(scenario)
+        print(f"  {result.summary()}")
+    print()
+
+
+def show_proof() -> None:
+    print("=== §3.3.1's hand proof, mechanized lemma by lemma ===")
+    from repro.verify.proof import prove_fig8
+
+    print(prove_fig8(fig8_scenario(2)).summary())
+    print()
+
+
+def show_races() -> None:
+    print("=== Honest-race matrix (no kernel hooks) ===")
+    for method in ("shrimp2", "flash", "keyed", "extshadow",
+                   "repeated5"):
+        result = check_scenario(pair_race_scenario(method))
+        verdict = "SAFE" if result.safe else "RACY - needs kernel mod"
+        print(f"  {method:10s}: {verdict:24s} "
+              f"({result.violating_interleavings}/"
+              f"{result.total_interleavings} bad orders)")
+
+
+def main() -> None:
+    show_fig5()
+    show_fig6()
+    show_fig8()
+    show_proof()
+    show_races()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Context exhaustion and the kernel fallback (§3.1-§3.2).
+
+The paper: register contexts are few ("say 4 to 8"); with extended
+shadow addressing, 1-2 address bits give 2-4 contexts, and "if more
+processes would like to start DMA operations, the rest will have to go
+through the kernel."
+
+This example spawns more processes than the engine has contexts, opens
+the best channel available for each (user level while contexts last,
+then the Fig. 1 syscall path), runs a transfer on every channel, and
+shows the two-tier latency the paper's design implies.
+
+Run:  python examples/context_exhaustion.py
+"""
+
+from repro import MachineConfig, Workstation, open_channel
+from repro.analysis.report import Table, format_us
+from repro.core.report import stats_table
+
+
+def main() -> None:
+    ws = Workstation(MachineConfig(method="keyed", n_contexts=2))
+    print(f"engine has {ws.config.n_contexts} register contexts; "
+          f"spawning 5 processes\n")
+
+    table = Table("Per-process channel assignment and cost",
+                  ["process", "channel", "warm initiation (us)",
+                   "data moved"])
+    for index in range(5):
+        proc = ws.kernel.spawn(f"worker{index}")
+        chan = open_channel(ws, proc)
+        shadow = chan.via == "user"
+        src = ws.kernel.alloc_buffer(proc, 8192, shadow=shadow)
+        dst = ws.kernel.alloc_buffer(proc, 8192, shadow=shadow)
+        payload = bytes([index + 1]) * 64
+        ws.ram.write(src.paddr, payload)
+        chan.initiate(src.vaddr, dst.vaddr, 64)       # warm TLB
+        ws.drain()
+        result = chan.dma(src.vaddr, dst.vaddr, 64)
+        moved = ws.ram.read(dst.paddr, 64) == payload
+        table.add_row(proc.name,
+                      f"user ({chan.method.name})" if shadow
+                      else "kernel fallback",
+                      format_us(result.initiation.elapsed_us, 2),
+                      "yes" if moved else "NO")
+    print(table.render())
+
+    print()
+    print(stats_table(ws, "What the machine did").render())
+    print("\nThe first two processes initiate in ~2.3 us; the overflow "
+          "processes still work, at the 18.6 us kernel price -- a "
+          "graceful two-tier degradation rather than a hard limit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Halo exchange: the paper's scientific-computing motivation, running.
+
+The introduction motivates user-level DMA with "high performance
+scientific computing" on Networks of Workstations.  This example runs
+the communication kernel of every distributed stencil code — the halo
+(ghost-cell) exchange — on a 4-node simulated cluster: each node owns a
+strip of a 1-D heat-diffusion domain and swaps boundary cells with its
+neighbours through `repro.msg` channels every step, then relaxes its
+strip locally.
+
+Halo messages are tiny (one boundary cell each way), so per-step time is
+dominated by *initiation* — exactly the regime where kernel-initiated
+DMA hurts.  The example runs the same computation over user-level and
+kernel transports and reports per-step communication time.
+
+Run:  python examples/halo_exchange.py
+"""
+
+import struct
+
+from repro.analysis.report import Table, format_us
+from repro.core.machine import MachineConfig
+from repro.msg import MessageChannel, RingLayout
+from repro.net import GIGABIT, Cluster
+from repro.units import to_us
+
+N_NODES = 4
+CELLS_PER_NODE = 16
+STEPS = 5
+
+
+def pack(values):
+    return struct.pack(f"<{len(values)}d", *values)
+
+
+def unpack(data):
+    return list(struct.unpack(f"<{len(data) // 8}d", data))
+
+
+class StencilNode:
+    """One node's strip of the domain plus its halo channels."""
+
+    def __init__(self, index, ws, proc):
+        self.index = index
+        self.ws = ws
+        self.proc = proc
+        # Interior cells; boundaries exchanged each step.
+        self.cells = [0.0] * CELLS_PER_NODE
+        if index == 0:
+            self.cells[0] = 100.0  # heat source at the left edge
+        self.left_halo = 0.0
+        self.right_halo = 0.0
+        self.to_left = None     # MessageChannel towards node index-1
+        self.to_right = None    # MessageChannel towards node index+1
+        self.from_left = None
+        self.from_right = None
+
+    def send_halos(self):
+        if self.to_left is not None:
+            assert self.to_left.send(pack([self.cells[0]]))
+        if self.to_right is not None:
+            assert self.to_right.send(pack([self.cells[-1]]))
+
+    def receive_halos(self):
+        if self.from_left is not None:
+            message = self.from_left.recv()
+            self.left_halo = unpack(message)[0]
+        if self.from_right is not None:
+            message = self.from_right.recv()
+            self.right_halo = unpack(message)[0]
+
+    def relax(self):
+        """One Jacobi sweep over the strip (the local compute phase)."""
+        left = [self.left_halo] + self.cells[:-1]
+        right = self.cells[1:] + [self.right_halo]
+        self.cells = [
+            (l + c + r) / 3.0
+            for l, c, r in zip(left, self.cells, right)]
+        if self.index == 0:
+            self.cells[0] = 100.0  # boundary condition
+
+
+def build_ring_of_nodes(method):
+    cluster = Cluster(N_NODES, link_spec=GIGABIT,
+                      config=MachineConfig(method=method))
+    nodes = []
+    for index, ws in enumerate(cluster.nodes):
+        proc = ws.kernel.spawn(f"rank{index}")
+        if method != "kernel":
+            ws.kernel.enable_user_dma(proc)
+        nodes.append(StencilNode(index, ws, proc))
+    layout = RingLayout(n_slots=4, slot_size=64)
+    for left, right in zip(nodes, nodes[1:]):
+        # left -> right channel and right -> left channel.
+        rightward = MessageChannel.create(left.ws, left.proc,
+                                          right.ws, right.proc, layout)
+        leftward = MessageChannel.create(right.ws, right.proc,
+                                         left.ws, left.proc, layout)
+        left.to_right = rightward
+        right.from_left = rightward
+        right.to_left = leftward
+        left.from_right = leftward
+    return cluster, nodes
+
+
+def run_simulation(method):
+    cluster, nodes = build_ring_of_nodes(method)
+    comm_time = 0
+    for _step in range(STEPS):
+        start = cluster.sim.now
+        for node in nodes:
+            node.send_halos()
+        for node in nodes:
+            node.receive_halos()
+        comm_time += cluster.sim.now - start
+        for node in nodes:
+            node.relax()
+    return nodes, to_us(comm_time) / STEPS
+
+
+def main() -> None:
+    table = Table(
+        f"Halo exchange on {N_NODES} nodes, {STEPS} steps "
+        f"(2 boundary cells per node per step)",
+        ["transport", "comm time per step (us)"])
+    results = {}
+    for method in ("extshadow", "kernel"):
+        nodes, per_step = run_simulation(method)
+        results[method] = (nodes, per_step)
+        table.add_row("user-level DMA" if method != "kernel"
+                      else "kernel syscalls", format_us(per_step, 1))
+    print(table.render())
+
+    nodes, _ = results["extshadow"]
+    front = [round(c, 2) for c in nodes[0].cells[:8]]
+    print(f"\nheat front after {STEPS} steps "
+          f"(first cells of rank 0): {front}")
+    user = results["extshadow"][1]
+    kernel = results["kernel"][1]
+    print(f"user-level halo exchange is {kernel / user:.1f}x faster "
+          f"per step; in a real stencil run this is the whole "
+          f"communication budget.")
+    # Both transports compute the same physics.
+    assert [round(c, 6) for n in results['extshadow'][0]
+            for c in n.cells] == [round(c, 6)
+                                  for n in results['kernel'][0]
+                                  for c in n.cells]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""The kernel-modification ablation, narrated.
+
+Four processes fire DMAs while a seeded scheduler preempts them between
+arbitrary instructions.  SHRIMP-2 on a *stock* kernel mixes arguments
+across processes; install its context-switch hook (the kernel
+modification the paper objects to) and it behaves — while the paper's
+key-based method is clean on the stock kernel from the start.
+
+Run:  python examples/multiprogramming_stress.py
+"""
+
+from repro.analysis.report import Table
+from repro.verify.stress import run_stress
+
+
+def row_for(method, hooks, preempt_p=0.5):
+    report = run_stress(method, n_processes=4, dmas_each=20,
+                        preempt_p=preempt_p, with_hooks=hooks,
+                        with_retry=(method == "repeated5"))
+    return report
+
+
+def main() -> None:
+    table = Table(
+        "Multiprogrammed stress: 4 processes x 20 DMAs, preempt p=0.5",
+        ["method", "kernel modified?", "started", "corrupted",
+         "misreported", "verdict"])
+    cases = [
+        ("shrimp2", False),
+        ("shrimp2", True),
+        ("flash", False),
+        ("flash", True),
+        ("keyed", False),
+        ("extshadow", False),
+        ("repeated5", False),
+    ]
+    for method, hooks in cases:
+        report = row_for(method, hooks)
+        needs_hook = method in ("shrimp2", "flash")
+        modified = "yes (patched)" if hooks else "no (stock)"
+        if not needs_hook:
+            modified = "no (stock)"
+        verdict = "CLEAN" if report.clean else "CORRUPTED"
+        table.add_row(method, modified,
+                      f"{report.started}/{report.attempts}",
+                      report.corrupted, report.misreported, verdict)
+    print(table.render())
+    print(
+        "\nThe baselines corrupt transfers exactly when their kernel "
+        "patch is absent; the paper's methods never need one -- the "
+        "headline claim, reproduced.")
+
+
+if __name__ == "__main__":
+    main()

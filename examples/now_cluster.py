@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A Network of Workstations: remote DMA with user-level initiation.
+
+Two simulated workstations on an ATM link exchange messages through the
+global physical address space (the authors' Telegraphos model): the
+sender's NIC deposits bytes directly into the receiver's memory.  The
+example compares kernel-level and user-level initiation across message
+sizes — the paper's motivating trend in action.
+
+Run:  python examples/now_cluster.py
+"""
+
+from repro.analysis.report import Table, format_us
+from repro.core.api import DmaChannel
+from repro.core.machine import MachineConfig
+from repro.net import ATM_155, GIGABIT, Cluster
+from repro.units import to_us
+
+SIZES = [64, 512, 4096, 32768]
+
+
+def build_sender(cluster, method):
+    sender_ws, receiver_ws = cluster.node(0), cluster.node(1)
+    sender = sender_ws.kernel.spawn("sender")
+    if method != "kernel":
+        sender_ws.kernel.enable_user_dma(sender)
+    src = sender_ws.kernel.alloc_buffer(sender, 65536)
+    receiver = receiver_ws.kernel.spawn("receiver")
+    dst = receiver_ws.kernel.alloc_buffer(receiver, 65536, shadow=False)
+    window = sender_ws.kernel.map_remote_window(
+        sender, receiver_ws.nic.global_address(dst.paddr), 65536)
+    return sender_ws, receiver_ws, sender, src, dst, window
+
+
+def one_way_us(method, link, size):
+    cluster = Cluster(2, link_spec=link,
+                      config=MachineConfig(method=method,
+                                           ram_size=1 << 24))
+    sender_ws, receiver_ws, sender, src, dst, window = build_sender(
+        cluster, method)
+    sender_ws.ram.write(src.paddr, bytes(size))
+    chan = DmaChannel(sender_ws, sender)
+    chan.initiate(src.vaddr, window, 64)  # warm-up
+    cluster.run_until_quiet()
+    start = cluster.sim.now
+    result = chan.initiate(src.vaddr, window, size)
+    assert result.ok
+    cluster.run_until_quiet()
+    return to_us(cluster.sim.now - start)
+
+
+def demo_data_movement() -> None:
+    print("=== Remote write demo (extended shadow, ATM-155) ===")
+    cluster = Cluster(2, link_spec=ATM_155,
+                      config=MachineConfig(method="extshadow"))
+    sender_ws, receiver_ws, sender, src, dst, window = build_sender(
+        cluster, "extshadow")
+    payload = b"deposited straight into remote memory"
+    sender_ws.ram.write(src.paddr, payload)
+    chan = DmaChannel(sender_ws, sender)
+    result = chan.initiate(src.vaddr, window, len(payload))
+    print(f"  initiation: {result.elapsed_us:.2f} us, "
+          f"status ok={result.ok}")
+    cluster.run_until_quiet()
+    print(f"  receiver memory: "
+          f"{receiver_ws.ram.read(dst.paddr, len(payload)).decode()!r}\n")
+
+
+def latency_tables() -> None:
+    for link in (ATM_155, GIGABIT):
+        table = Table(f"One-way message time on {link.name} (us)",
+                      ["method"] + [f"{s} B" for s in SIZES])
+        rows = {}
+        for method in ("kernel", "extshadow"):
+            rows[method] = [one_way_us(method, link, s) for s in SIZES]
+            table.add_row(method,
+                          *(format_us(v, 1) for v in rows[method]))
+        table.add_row("speedup",
+                      *(f"{k / u:.2f}x" for k, u in
+                        zip(rows["kernel"], rows["extshadow"])))
+        print(table.render())
+        print()
+
+
+def main() -> None:
+    demo_data_movement()
+    latency_tables()
+    print("Small messages gain the full initiation gap; large ones "
+          "converge as wire time dominates -- and the faster the link, "
+          "the larger the size range where the kernel path hurts "
+          "(the paper's introduction, quantified).")
+
+
+if __name__ == "__main__":
+    main()

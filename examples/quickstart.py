@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: one user-level DMA, end to end.
+
+Builds the paper's machine (Alpha 3000/300 + 12.5 MHz TurboChannel +
+DMA engine running the key-based protocol of §3.1), asks the OS for a
+DMA binding and two buffers, and performs one transfer entirely from
+user level — four uncached instructions, no syscall.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DmaChannel, MachineConfig, Workstation
+
+
+def main() -> None:
+    # A workstation wired for the key-based method (Fig. 3).
+    ws = Workstation(MachineConfig(method="keyed"))
+
+    # The OS side: spawn a process, grant it user-level DMA (a register
+    # context + a 60-bit secret key), allocate shadow-mapped buffers.
+    proc = ws.kernel.spawn("app")
+    binding = ws.kernel.enable_user_dma(proc)
+    src = ws.kernel.alloc_buffer(proc, 8192)
+    dst = ws.kernel.alloc_buffer(proc, 8192)
+    print(f"process {proc.pid} got context {binding.ctx_id} "
+          f"and key {binding.key:#x}")
+
+    # Put something recognizable in the source buffer.
+    message = b"user-level DMA without kernel modification"
+    ws.ram.write(src.paddr, message)
+
+    # The user side: build and run Fig. 3's four-instruction sequence.
+    from repro.hw.isa import format_program
+
+    chan = DmaChannel(ws, proc)
+    program = chan.program(src.vaddr, dst.vaddr, len(message))
+    print("initiation sequence (Fig. 3):")
+    print(format_program(program))
+
+    result = chan.dma(src.vaddr, dst.vaddr, len(message))
+    print(f"initiated in {result.initiation.elapsed_us:.2f} us "
+          f"(paper's Table 1: 2.3 us for this method)")
+    assert result.ok
+
+    moved = ws.ram.read(dst.paddr, len(message))
+    print(f"destination now holds: {moved.decode()!r}")
+    assert moved == message
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so that legacy editable installs
+(``pip install -e . --no-use-pep517``) work in offline environments that
+lack the ``wheel`` package needed by the PEP-517 editable path.
+"""
+
+from setuptools import setup
+
+setup()

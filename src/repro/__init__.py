@@ -1,0 +1,77 @@
+"""repro — a reproduction of Markatos & Katevenis, "User-Level DMA without
+Operating System Kernel Modification" (HPCA-3, 1997).
+
+The package simulates the paper's whole world — an Alpha-class CPU with
+MMU/TLB and a write buffer, a TurboChannel/PCI I/O bus, a DMA/network-
+interface engine with shadow addressing and register contexts, an OS
+kernel with a costly syscall path and a preemptive scheduler — and
+implements every DMA-initiation method the paper discusses, the four it
+proposes and the four prior-work baselines, plus the §3.5 user-level
+atomic operations.
+
+Quickstart::
+
+    from repro import DmaChannel, MachineConfig, Workstation
+
+    ws = Workstation(MachineConfig(method="keyed"))
+    proc = ws.kernel.spawn("app")
+    ws.kernel.enable_user_dma(proc)
+    src = ws.kernel.alloc_buffer(proc, 8192)
+    dst = ws.kernel.alloc_buffer(proc, 8192)
+    ws.ram.write(src.paddr, b"hello, user-level DMA")
+
+    chan = DmaChannel(ws, proc)
+    result = chan.dma(src.vaddr, dst.vaddr, 4096)
+    assert result.ok
+    print(f"initiated in {result.initiation.elapsed_us:.2f} us")
+"""
+
+from .core.api import DmaChannel, DmaResult, InitiationResult, open_channel
+from .core.atomics import AtomicChannel, AtomicResult
+from .core.machine import MachineConfig, Workstation
+from .core.methods import (
+    BASELINE_METHODS,
+    METHODS,
+    MethodInfo,
+    PAPER_METHODS,
+    TABLE1_METHODS,
+    get_method,
+    make_protocol,
+)
+from .core.timing import (
+    ALPHA3000_TURBOCHANNEL,
+    ALPHA_PCI_33,
+    ALPHA_PCI_66,
+    FAST_HOST_PCI_66,
+    MachineTiming,
+    TIMING_PRESETS,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALPHA3000_TURBOCHANNEL",
+    "ALPHA_PCI_33",
+    "ALPHA_PCI_66",
+    "AtomicChannel",
+    "AtomicResult",
+    "BASELINE_METHODS",
+    "DmaChannel",
+    "DmaResult",
+    "FAST_HOST_PCI_66",
+    "InitiationResult",
+    "METHODS",
+    "MachineConfig",
+    "MachineTiming",
+    "MethodInfo",
+    "PAPER_METHODS",
+    "ReproError",
+    "TABLE1_METHODS",
+    "TIMING_PRESETS",
+    "Workstation",
+    "get_method",
+    "open_channel",
+    "make_protocol",
+    "__version__",
+]

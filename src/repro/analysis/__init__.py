@@ -1,0 +1,36 @@
+"""Analysis: the introduction's trend argument, made quantitative.
+
+* :mod:`repro.analysis.trends` — initiation overhead vs. network transfer
+  time across message sizes and link generations; crossover sizes.
+* :mod:`repro.analysis.report` — plain-text table rendering shared by the
+  benchmarks and examples.
+"""
+
+from .generations import (
+    Generation,
+    HISTORICAL_GENERATIONS,
+    domination_year,
+    generation_series,
+)
+from .report import Table, format_us
+from .trends import (
+    CrossoverPoint,
+    TrendPoint,
+    crossover_size,
+    measure_initiation_us,
+    overhead_sweep,
+)
+
+__all__ = [
+    "CrossoverPoint",
+    "Generation",
+    "HISTORICAL_GENERATIONS",
+    "Table",
+    "TrendPoint",
+    "crossover_size",
+    "domination_year",
+    "generation_series",
+    "format_us",
+    "measure_initiation_us",
+    "overhead_sweep",
+]

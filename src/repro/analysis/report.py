@@ -1,0 +1,64 @@
+"""Plain-text table rendering.
+
+The benchmarks and examples print fixed-width tables shaped like the
+paper's Table 1 so results can be eyeballed against the original.  No
+external dependencies, no colour — output is meant for logs and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_us(value: float, digits: int = 1) -> str:
+    """Render a microsecond value the way the paper prints them."""
+    return f"{value:.{digits}f}"
+
+
+class Table:
+    """A fixed-width text table with a title and column headers."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are str()-ed.
+
+        Raises:
+            ValueError: on a cell-count mismatch.
+        """
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns")
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """The formatted table as a multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Iterable[str]) -> str:
+            return " | ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths))
+
+        separator = "-+-".join("-" * width for width in widths)
+        out = [self.title, "=" * len(self.title), line(self.headers),
+               separator]
+        out.extend(line(row) for row in self.rows)
+        return "\n".join(out)
+
+    def markdown(self) -> str:
+        """The same table as GitHub-flavoured markdown."""
+        header = "| " + " | ".join(self.headers) + " |"
+        rule = "|" + "|".join("---" for _ in self.headers) + "|"
+        body = ["| " + " | ".join(row) + " |" for row in self.rows]
+        return "\n".join([f"**{self.title}**", "", header, rule] + body)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,163 @@
+"""The introduction's trend argument, made quantitative.
+
+The paper's motivation: "the operating system overhead keeps getting an
+ever-increasing percentage of the DMA transfer time, while the time for
+the data transfer per se continues to decrease.  Soon, the operating
+system overhead will dominate the DMA transfer."
+
+This module measures initiation cost on the *simulated machine* (not an
+analytic guess — it runs the real instruction sequences) and combines it
+with link serialization times to produce, for every (method, link
+generation) pair:
+
+* the end-to-end time of a message as a function of its size,
+* the fraction of that time spent on initiation,
+* the **crossover size** below which initiation costs more than moving
+  the data — the quantity the paper's argument turns on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.api import DmaChannel
+from ..core.machine import MachineConfig, Workstation
+from ..core.timing import MachineTiming
+from ..net.link import LinkSpec
+from ..units import Time, to_us, us
+
+
+def measure_initiation_us(method: str,
+                          timing: Optional[MachineTiming] = None,
+                          iterations: int = 20,
+                          seed: int = 42) -> float:
+    """Measure the warm mean initiation latency of *method*, in us.
+
+    Builds a fresh workstation, performs one warm-up initiation (TLB
+    fill), then averages *iterations* initiations to distinct offsets —
+    the paper's §3.4 methodology in miniature.
+    """
+    config = MachineConfig(method=method, seed=seed)
+    if timing is not None:
+        config.timing = timing
+    ws = Workstation(config)
+    proc = ws.kernel.spawn("trend")
+    if method != "kernel":
+        ws.kernel.enable_user_dma(proc)
+    src = ws.kernel.alloc_buffer(proc, 8192, shadow=(method != "kernel"))
+    dst = ws.kernel.alloc_buffer(proc, 8192, shadow=(method != "kernel"))
+    if method == "shrimp1":
+        ws.kernel.map_out(proc, src.vaddr, proc, dst.vaddr, 8192)
+    chan = DmaChannel(ws, proc)
+    chan.initiate(src.vaddr, dst.vaddr, 64)  # warm-up
+    total: Time = 0
+    for index in range(iterations):
+        offset = (index % 64) * 64
+        result = chan.initiate(src.vaddr + offset, dst.vaddr + offset, 64)
+        total += result.elapsed
+        ws.drain()
+    return to_us(total) / iterations
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One (method, link, size) sample.
+
+    Attributes:
+        method: initiation method.
+        link: link preset name.
+        size: message size in bytes.
+        initiation_us: initiation latency.
+        wire_us: link serialization + latency for the payload.
+        total_us: end-to-end time.
+        overhead_fraction: initiation / total.
+    """
+
+    method: str
+    link: str
+    size: int
+    initiation_us: float
+    wire_us: float
+    total_us: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of end-to-end time spent initiating."""
+        return self.initiation_us / self.total_us if self.total_us else 0.0
+
+
+def overhead_sweep(methods: Sequence[str], links: Sequence[LinkSpec],
+                   sizes: Sequence[int],
+                   timing: Optional[MachineTiming] = None,
+                   initiation_us: Optional[Dict[str, float]] = None,
+                   ) -> List[TrendPoint]:
+    """Sample the overhead surface over methods x links x sizes.
+
+    Args:
+        initiation_us: pre-measured initiation latencies (else measured
+            here, once per method).
+    """
+    measured = dict(initiation_us) if initiation_us else {}
+    points: List[TrendPoint] = []
+    for method in methods:
+        if method not in measured:
+            measured[method] = measure_initiation_us(method, timing)
+        for link in links:
+            for size in sizes:
+                wire_us = to_us(link.delivery_time(size))
+                init = measured[method]
+                points.append(TrendPoint(
+                    method=method, link=link.name, size=size,
+                    initiation_us=init, wire_us=wire_us,
+                    total_us=init + wire_us))
+    return points
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """The message size where initiation equals wire time.
+
+    Below this size the sender spends more time *starting* the DMA than
+    the network spends *moving* it — the regime the paper says kernel
+    initiation has already entered on fast LANs.
+    """
+
+    method: str
+    link: str
+    initiation_us: float
+    crossover_bytes: int
+
+
+def crossover_size(initiation_us_value: float,
+                   link: LinkSpec) -> int:
+    """Bytes whose wire time equals the given initiation latency.
+
+    Solves ``latency + (size + overhead)/bandwidth == initiation``; a
+    non-positive solution (initiation below the bare link latency) maps
+    to 0 — initiation never dominates on that link.
+    """
+    budget_ps = us(initiation_us_value) - link.latency
+    if budget_ps <= 0:
+        return 0
+    size = budget_ps * link.bandwidth_bps / 8 / 1_000_000_000_000
+    size -= link.per_message_overhead
+    return max(0, int(size))
+
+
+def crossover_table(methods: Sequence[str], links: Sequence[LinkSpec],
+                    timing: Optional[MachineTiming] = None,
+                    initiation_us: Optional[Dict[str, float]] = None,
+                    ) -> List[CrossoverPoint]:
+    """Crossover sizes for every (method, link) pair."""
+    measured = dict(initiation_us) if initiation_us else {}
+    out: List[CrossoverPoint] = []
+    for method in methods:
+        if method not in measured:
+            measured[method] = measure_initiation_us(method, timing)
+        for link in links:
+            out.append(CrossoverPoint(
+                method=method, link=link.name,
+                initiation_us=measured[method],
+                crossover_bytes=crossover_size(measured[method], link)))
+    return out

@@ -1,0 +1,287 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+::
+
+    python -m repro table1            # Table 1, paper vs measured
+    python -m repro methods           # all ten methods
+    python -m repro attacks           # Figs. 5 & 6, exact + exhaustive
+    python -m repro races             # the honest-race matrix
+    python -m repro fig8              # §3.3.1 exhaustive verification
+    python -m repro crossover         # the intro's trend & crossovers
+    python -m repro bus               # §3.4 PCI sweep
+    python -m repro atomics           # §3.5 atomic operations
+    python -m repro stress            # kernel-modification ablation
+    python -m repro all               # everything above, in order
+
+Each command prints the same tables the benchmark suite persists under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis.report import Table, format_us
+from .analysis.trends import (
+    crossover_table,
+    measure_initiation_us,
+    overhead_sweep,
+)
+from .core.methods import METHODS, TABLE1_METHODS
+from .core.timing import ALPHA3000_TURBOCHANNEL, ALPHA_PCI_33, ALPHA_PCI_66
+from .net.link import ATM_155, ATM_622, GIGABIT
+
+PAPER_TABLE1_US = {"kernel": 18.6, "extshadow": 1.1, "repeated5": 2.6,
+                   "keyed": 2.3}
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    """Reproduce Table 1."""
+    table = Table("Table 1: Comparison of DMA initiation algorithms",
+                  ["DMA algorithm", "paper (us)", "measured (us)",
+                   "ratio"])
+    for method in TABLE1_METHODS:
+        measured = measure_initiation_us(method,
+                                         iterations=args.iterations)
+        paper = PAPER_TABLE1_US[method]
+        table.add_row(METHODS[method].title, format_us(paper),
+                      format_us(measured, 2),
+                      f"{measured / paper:.2f}x")
+    print(table.render())
+
+
+def cmd_methods(args: argparse.Namespace) -> None:
+    """Measure every initiation method."""
+    table = Table("All initiation methods",
+                  ["method", "section", "accesses", "kernel-free",
+                   "measured (us)"])
+    for name, info in METHODS.items():
+        measured = measure_initiation_us(name,
+                                         iterations=args.iterations)
+        table.add_row(info.title, info.section,
+                      info.memory_accesses or "-",
+                      "yes" if info.kernel_free else "NO",
+                      format_us(measured, 2))
+    print(table.render())
+
+
+def cmd_attacks(args: argparse.Namespace) -> None:
+    """Replay and search the Fig. 5 / Fig. 6 attacks."""
+    from .verify.adversary import fig5_scenario, fig6_scenario
+    from .verify.model_check import check_scenario, replay_interleaving
+
+    for build in (fig5_scenario, fig6_scenario):
+        scenario, figure_order = build()
+        violations = replay_interleaving(scenario, figure_order)
+        result = check_scenario(scenario)
+        print(f"{scenario.name}:")
+        print(f"  figure's interleaving violates: "
+              f"{sorted({v.prop for v in violations})}")
+        print(f"  exhaustive: {result.summary()}")
+
+
+def cmd_races(args: argparse.Namespace) -> None:
+    """The honest-race matrix (no kernel hooks)."""
+    from .verify.adversary import pair_race_scenario
+    from .verify.model_check import check_scenario
+
+    table = Table("Two honest processes racing (no kernel hooks)",
+                  ["method", "interleavings", "violating", "race-free"])
+    for method in ("shrimp2", "flash", "keyed", "extshadow",
+                   "repeated5"):
+        result = check_scenario(pair_race_scenario(method))
+        table.add_row(method, result.total_interleavings,
+                      result.violating_interleavings,
+                      "yes" if result.safe else "NO")
+    print(table.render())
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    """Exhaustively verify the 5-instruction variant (§3.3.1)."""
+    from .verify.adversary import fig8_scenario
+    from .verify.model_check import check_scenario
+
+    for scenario in (fig8_scenario(1), fig8_scenario(2),
+                     fig8_scenario(1, adversary_reads_source=False),
+                     fig8_scenario(4, accesses_per_adversary=1)):
+        print(check_scenario(scenario).summary())
+
+
+def cmd_prove(args: argparse.Namespace) -> None:
+    """The mechanized §3.3.1 lemma-by-lemma proof."""
+    from .verify.adversary import fig8_scenario
+    from .verify.proof import prove_fig8
+
+    for scenario in (fig8_scenario(1), fig8_scenario(2),
+                     fig8_scenario(4, accesses_per_adversary=1)):
+        print(prove_fig8(scenario).summary())
+        print()
+
+
+def cmd_crossover(args: argparse.Namespace) -> None:
+    """The intro's overhead trend and crossover sizes."""
+    init = {m: measure_initiation_us(m, iterations=args.iterations)
+            for m in ("kernel", "extshadow", "keyed")}
+    links = [ATM_155, ATM_622, GIGABIT]
+    table = Table("Crossover sizes (initiation == wire time)",
+                  ["method", "init (us)"] + [link.name for link in links])
+    for method, rows in (
+            (m, [r for r in crossover_table([m], links,
+                                            initiation_us=init)])
+            for m in init):
+        table.add_row(method, format_us(init[method], 2),
+                      *(f"{r.crossover_bytes} B" for r in rows))
+    print(table.render())
+    print()
+    sizes = [64, 1024, 16384]
+    points = overhead_sweep(["kernel", "extshadow"], links, sizes,
+                            initiation_us=init)
+    table2 = Table("Initiation share of message time (%)",
+                   ["method", "link"] + [f"{s} B" for s in sizes])
+    for method in ("kernel", "extshadow"):
+        for link in links:
+            row = sorted((p for p in points if p.method == method
+                          and p.link == link.name),
+                         key=lambda p: p.size)
+            table2.add_row(method, link.name,
+                           *(f"{p.overhead_fraction * 100:.0f}"
+                             for p in row))
+    print(table2.render())
+
+
+def cmd_bus(args: argparse.Namespace) -> None:
+    """§3.4: Table 1 across bus generations."""
+    presets = [("TC 12.5", ALPHA3000_TURBOCHANNEL),
+               ("PCI 33", ALPHA_PCI_33), ("PCI 66", ALPHA_PCI_66)]
+    table = Table("Initiation latency vs. bus generation (us)",
+                  ["method"] + [name for name, _ in presets])
+    for method in TABLE1_METHODS:
+        table.add_row(method, *(format_us(
+            measure_initiation_us(method, timing,
+                                  iterations=args.iterations), 2)
+            for _name, timing in presets))
+    print(table.render())
+
+
+def cmd_atomics(args: argparse.Namespace) -> None:
+    """§3.5: atomic-operation latencies."""
+    from .core.atomics import AtomicChannel
+    from .core.machine import MachineConfig, Workstation
+
+    table = Table("Atomic-operation initiation (us)",
+                  ["mode", "atomic_add", "compare_and_swap"])
+    for mode in ("keyed", "extshadow"):
+        ws = Workstation(MachineConfig(method="keyed",
+                                       atomic_mode=mode))
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_atomics(proc)
+        buf = ws.kernel.alloc_buffer(proc, 8192, shadow=False)
+        chan = AtomicChannel(ws, proc)
+        chan.atomic_add(buf.vaddr, 0)  # warm
+        add = chan.atomic_add(buf.vaddr, 1).elapsed_us
+        cas = chan.compare_and_swap(buf.vaddr, 0, 1).elapsed_us
+        table.add_row(mode, format_us(add, 2), format_us(cas, 2))
+        if mode == "keyed":
+            kernel_add = chan.atomic_add(buf.vaddr, 1,
+                                         via_kernel=True).elapsed_us
+            table.add_row("kernel", format_us(kernel_add, 2), "-")
+    print(table.render())
+
+
+def cmd_generations(args: argparse.Namespace) -> None:
+    """The decade-scale OS-vs-network trend (intro's motivation)."""
+    from .analysis.generations import (
+        HISTORICAL_GENERATIONS,
+        domination_year,
+        generation_series,
+    )
+
+    sizes = [256, 1024, 4096]
+    series = {size: generation_series(size) for size in sizes}
+    table = Table("Kernel initiation / wire time, by generation",
+                  ["year", "CPU MHz", "LAN Mb/s"]
+                  + [f"{s} B" for s in sizes])
+    for index, gen in enumerate(HISTORICAL_GENERATIONS):
+        table.add_row(gen.year, f"{gen.cpu_mhz:.0f}",
+                      f"{gen.network_mbps:.0f}",
+                      *(f"{series[s][index].kernel_ratio:.2f}"
+                        for s in sizes))
+    print(table.render())
+    for size in sizes:
+        year = domination_year(size)
+        print(f"  {size} B messages: kernel initiation dominates from "
+              f"{year if year > 0 else 'never'}")
+
+
+def cmd_stress(args: argparse.Namespace) -> None:
+    """The kernel-modification ablation."""
+    from .verify.stress import run_stress
+
+    table = Table("Stress audit (4 procs x 20 DMAs, p=0.5)",
+                  ["method", "hook", "started", "corrupted",
+                   "misreported"])
+    for method, hooks in (("shrimp2", True), ("shrimp2", False),
+                          ("flash", True), ("flash", False),
+                          ("keyed", True), ("extshadow", True),
+                          ("repeated5", True)):
+        report = run_stress(method, n_processes=4, dmas_each=20,
+                            preempt_p=0.5, with_hooks=hooks,
+                            with_retry=(method == "repeated5"),
+                            seed=args.seed)
+        table.add_row(method,
+                      "yes" if hooks and method in ("shrimp2", "flash")
+                      else "-",
+                      f"{report.started}/{report.attempts}",
+                      report.corrupted, report.misreported)
+    print(table.render())
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "table1": cmd_table1,
+    "methods": cmd_methods,
+    "attacks": cmd_attacks,
+    "races": cmd_races,
+    "fig8": cmd_fig8,
+    "prove": cmd_prove,
+    "crossover": cmd_crossover,
+    "bus": cmd_bus,
+    "atomics": cmd_atomics,
+    "generations": cmd_generations,
+    "stress": cmd_stress,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of Markatos & Katevenis, "
+                    "'User-Level DMA without OS Kernel Modification' "
+                    "(HPCA-3, 1997).")
+    parser.add_argument("command", choices=sorted(COMMANDS) + ["all"],
+                        help="which experiment to regenerate")
+    parser.add_argument("--iterations", type=int, default=50,
+                        help="initiations per latency measurement")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="seed for stochastic experiments")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "all":
+        for name in ("table1", "methods", "attacks", "races", "fig8",
+                     "prove", "crossover", "bus", "atomics", "generations",
+                     "stress"):
+            print(f"\n===== {name} =====")
+            COMMANDS[name](args)
+    else:
+        COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

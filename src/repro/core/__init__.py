@@ -1,0 +1,39 @@
+"""The paper's contribution, packaged: machines, methods, and channels.
+
+* :mod:`repro.core.timing` — calibrated machine timing presets.
+* :mod:`repro.core.methods` — the registry of every initiation method.
+* :mod:`repro.core.machine` — :class:`Workstation`, which wires the whole
+  hardware and OS substrate together from one config.
+* :mod:`repro.core.api` — :class:`DmaChannel`, the user-facing handle that
+  builds and runs initiation sequences.
+* :mod:`repro.core.atomics` — :class:`AtomicChannel` for §3.5.
+"""
+
+from .api import DmaChannel, InitiationResult, open_channel
+from .atomics import AtomicChannel
+from .machine import MachineConfig, Workstation
+from .methods import METHODS, MethodInfo, make_protocol
+from .timing import (
+    ALPHA3000_TURBOCHANNEL,
+    ALPHA_PCI_33,
+    ALPHA_PCI_66,
+    MachineTiming,
+    TIMING_PRESETS,
+)
+
+__all__ = [
+    "ALPHA3000_TURBOCHANNEL",
+    "ALPHA_PCI_33",
+    "ALPHA_PCI_66",
+    "AtomicChannel",
+    "DmaChannel",
+    "InitiationResult",
+    "METHODS",
+    "MachineConfig",
+    "MachineTiming",
+    "MethodInfo",
+    "open_channel",
+    "TIMING_PRESETS",
+    "Workstation",
+    "make_protocol",
+]

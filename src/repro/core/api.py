@@ -1,0 +1,339 @@
+"""The user-facing DMA API.
+
+A :class:`DmaChannel` is what an application links against: given a
+process with a DMA binding, it builds the *exact* user-level instruction
+sequence of the bound method (Figs. 1-4 and 7, verbatim), runs it, and
+reports the outcome and its simulated latency.  The sequences are plain
+:mod:`repro.hw.isa` programs, so tests and benchmarks can also inspect,
+count, or schedule them adversarially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..errors import ConfigError, KernelError
+from ..hw.cpu import StepStatus, Thread
+from ..hw.dma.status import STATUS_FAILURE, STATUS_PENDING, is_rejection
+from ..hw.dma.transfer import Transfer
+from ..hw.isa import (
+    Addr,
+    Beq,
+    Bne,
+    CallPal,
+    CompareExchange,
+    Halt,
+    Instruction,
+    Label,
+    Load,
+    Mb,
+    Mov,
+    Program,
+    Store,
+    Syscall,
+    assemble,
+)
+from ..hw.dma.protocols.keyed import (
+    ARG_DESTINATION,
+    ARG_SOURCE,
+    pack_key_word,
+)
+from ..os.process import Process, shadow_vaddr
+from ..units import Time, to_us
+from .machine import PAL_DMA_FUNCTION, Workstation
+
+
+@dataclass(frozen=True)
+class InitiationResult:
+    """Outcome of one initiation run.
+
+    Attributes:
+        status: the status word the final load/syscall returned.
+        elapsed: simulated time from first instruction to program end.
+        thread: the thread that ran (for register inspection).
+    """
+
+    status: int
+    elapsed: Time
+    thread: Thread
+
+    @property
+    def ok(self) -> bool:
+        """Whether the initiation was accepted (a transfer started)."""
+        return not is_rejection(self.status)
+
+    @property
+    def elapsed_us(self) -> float:
+        """Elapsed time in microseconds."""
+        return to_us(self.elapsed)
+
+
+@dataclass(frozen=True)
+class DmaResult:
+    """Outcome of a full dma() call (initiation + data movement)."""
+
+    initiation: InitiationResult
+    transfer: Optional[Transfer]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the data actually moved."""
+        return (self.initiation.ok and self.transfer is not None
+                and self.transfer.completed)
+
+
+class DmaChannel:
+    """A process's handle for issuing DMA operations.
+
+    Args:
+        ws: the workstation.
+        proc: the issuing process.
+        via: ``"user"`` (default) issues through the machine's user-level
+            method and requires a matching DMA binding; ``"kernel"``
+            forces the Fig. 1 syscall path, which works on *any* machine
+            — this is the §3.2 fallback for processes that could not get
+            a register context ("the rest will have to go through the
+            kernel").
+    """
+
+    def __init__(self, ws: Workstation, proc: Process,
+                 via: str = "user") -> None:
+        if via not in ("user", "kernel"):
+            raise ConfigError(f"via must be 'user' or 'kernel', not {via!r}")
+        self.ws = ws
+        self.proc = proc
+        self.via = via
+        if via == "kernel":
+            from .methods import get_method
+
+            self.method = get_method("kernel")
+        else:
+            self.method = ws.method
+            if self.method.name != "kernel":
+                binding = proc.dma_binding
+                if binding.method != self.method.name:
+                    raise ConfigError(
+                        f"{proc.name} is bound to {binding.method!r} but "
+                        f"the machine runs {self.method.name!r}")
+
+    # ------------------------------------------------------------------
+    # sequence construction (the code from the paper's figures)
+    # ------------------------------------------------------------------
+
+    def sequence(self, vsrc: int, vdst: int, size: int,
+                 with_retry: bool = True,
+                 with_mb: bool = True) -> List[Instruction]:
+        """Build the initiation instruction sequence (no Halt).
+
+        Args:
+            with_retry: include Fig. 7's DMA_FAILURE retry loop where the
+                method has one.
+            with_mb: include the memory barriers footnote 6 calls for in
+                the repeated-passing method.  Disabling them on a machine
+                with a relaxed write buffer reproduces the failure the
+                footnote warns about.
+        """
+        name = self.method.name
+        if name == "kernel":
+            return [Mov("a0", vsrc), Mov("a1", vdst), Mov("a2", size),
+                    Syscall("dma")]
+        if name == "shrimp1":
+            return [CompareExchange("v0", self._shadow(vsrc), size)]
+        if name in ("shrimp2", "flash", "extshadow"):
+            return [Store(self._shadow(vdst), size),
+                    Load("v0", self._shadow(vsrc))]
+        if name == "pal":
+            return [Mov("a0", vsrc), Mov("a1", vdst), Mov("a2", size),
+                    CallPal(PAL_DMA_FUNCTION)]
+        if name == "keyed":
+            return self._keyed_sequence(vsrc, vdst, size)
+        if name in ("repeated3", "repeated4", "repeated5"):
+            return self._repeated_sequence(vsrc, vdst, size,
+                                           with_retry=with_retry,
+                                           with_mb=with_mb)
+        raise ConfigError(f"no sequence builder for method {name!r}")
+
+    def program(self, vsrc: int, vdst: int, size: int,
+                with_retry: bool = True, with_mb: bool = True,
+                name: str = "") -> Program:
+        """The sequence assembled into a runnable program (ends in Halt)."""
+        instructions = self.sequence(vsrc, vdst, size,
+                                     with_retry=with_retry, with_mb=with_mb)
+        instructions.append(Halt())
+        return assemble(instructions,
+                        name=name or f"dma-{self.method.name}")
+
+    def _keyed_sequence(self, vsrc: int, vdst: int,
+                        size: int) -> List[Instruction]:
+        """Fig. 3: two keyed shadow stores, a size store, a status load."""
+        binding = self.proc.dma_binding
+        if binding.key is None or binding.ctx_id is None:
+            raise KernelError(
+                f"{self.proc.name} has no key/context for keyed DMA")
+        ctx_page = Addr(None, binding.ctx_page_vaddr)
+        return [
+            Store(self._shadow(vdst),
+                  pack_key_word(binding.key, binding.ctx_id,
+                                ARG_DESTINATION)),
+            Store(self._shadow(vsrc),
+                  pack_key_word(binding.key, binding.ctx_id, ARG_SOURCE)),
+            Store(ctx_page, size),
+            Load("v0", ctx_page),
+        ]
+
+    def _repeated_sequence(self, vsrc: int, vdst: int, size: int,
+                           with_retry: bool,
+                           with_mb: bool) -> List[Instruction]:
+        """Figs. 5-7: the 3-, 4-, and 5-access repeated-passing code."""
+        length = int(self.method.name[-1])
+        shadow_src = self._shadow(vsrc)
+        shadow_dst = self._shadow(vdst)
+        seq: List[Instruction] = []
+
+        def store_dst() -> None:
+            seq.append(Store(shadow_dst, size))
+            if with_mb:
+                seq.append(Mb())
+
+        def load_src(reg: str) -> None:
+            seq.append(Load(reg, shadow_src))
+            if with_retry:
+                seq.append(Beq(reg, STATUS_FAILURE, "retry"))
+
+        if with_retry:
+            seq.append(Label("retry"))
+        if length == 3:
+            load_src("t0")
+            store_dst()
+            seq.append(Load("v0", shadow_src))
+        elif length == 4:
+            store_dst()
+            load_src("t0")
+            store_dst()
+            seq.append(Load("v0", shadow_src))
+        else:
+            store_dst()
+            load_src("t0")
+            store_dst()
+            load_src("t1")
+            seq.append(Load("v0", shadow_dst))
+        if with_retry:
+            seq.append(Beq("v0", STATUS_FAILURE, "retry"))
+            # The final load must also distinguish the mid-sequence
+            # PENDING word, or an adversary could fabricate a phantom
+            # success (see repro.hw.dma.status).
+            seq.append(Beq("v0", STATUS_PENDING, "retry"))
+        return seq
+
+    def _shadow(self, vaddr: int) -> Addr:
+        """The shadow virtual address of *vaddr*, as an absolute operand."""
+        return Addr(None, shadow_vaddr(vaddr))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def initiate(self, vsrc: int, vdst: int, size: int,
+                 with_retry: bool = False,
+                 with_mb: bool = True) -> InitiationResult:
+        """Run one initiation to completion (unpreempted) and time it.
+
+        ``with_retry`` defaults to False here: an uncontended initiation
+        never needs Fig. 7's loop, and Table 1 measures the straight-line
+        path.
+        """
+        program = self.program(vsrc, vdst, size, with_retry=with_retry,
+                               with_mb=with_mb)
+        thread = self.proc.new_thread(program)
+        start = self.ws.sim.now
+        status = self.ws.run_thread(thread)
+        elapsed = self.ws.sim.now - start
+        if status is StepStatus.FAULTED:
+            return InitiationResult(STATUS_FAILURE, elapsed, thread)
+        return InitiationResult(int(thread.reg("v0")), elapsed, thread)
+
+    def polling_program(self, vsrc: int, vdst: int, size: int) -> Program:
+        """Initiation followed by a §3.1 completion-polling loop.
+
+        "A read operation from a register context returns the number of
+        bytes that need to be transferred yet (-1 means failure, 0 means
+        completed DMA operation)" — the returned program starts the DMA
+        and then spins on the context page until the readout reaches 0,
+        leaving the final status in ``v0``.  Only available for methods
+        with a mapped register context (keyed, extshadow).
+
+        Raises:
+            ConfigError: for methods without a context page.
+        """
+        binding = self.proc.dma_binding
+        if binding.ctx_page_vaddr is None:
+            raise ConfigError(
+                f"method {self.method.name!r} has no register-context "
+                f"page to poll")
+        ctx_page = Addr(None, binding.ctx_page_vaddr)
+        instructions = self.sequence(vsrc, vdst, size)
+        instructions += [
+            Label("poll"),
+            Load("v0", ctx_page),
+            Beq("v0", STATUS_FAILURE, "done"),
+            Bne("v0", 0, "poll"),
+            Label("done"),
+            Halt(),
+        ]
+        return assemble(instructions,
+                        name=f"dma-poll-{self.method.name}")
+
+    def dma_and_poll(self, vsrc: int, vdst: int, size: int) -> InitiationResult:
+        """Run an initiation plus the polling loop to completion.
+
+        The CPU spends the whole transfer duration spinning on the
+        status register (as a simple application would); the result's
+        elapsed time therefore covers initiation *and* data movement.
+        """
+        program = self.polling_program(vsrc, vdst, size)
+        thread = self.proc.new_thread(program)
+        start = self.ws.sim.now
+        status = self.ws.run_thread(thread,
+                                    max_instructions=5_000_000)
+        elapsed = self.ws.sim.now - start
+        if status is StepStatus.FAULTED:
+            return InitiationResult(STATUS_FAILURE, elapsed, thread)
+        return InitiationResult(int(thread.reg("v0")), elapsed, thread)
+
+    def dma(self, vsrc: int, vdst: int, size: int,
+            wait: bool = True) -> DmaResult:
+        """Initiate a transfer and (by default) wait for the data to land."""
+        before = len(self.ws.engine.transfer_engine.history)
+        initiation = self.initiate(vsrc, vdst, size)
+        transfer: Optional[Transfer] = None
+        history = self.ws.engine.transfer_engine.history
+        if initiation.ok and len(history) > before:
+            transfer = history[-1]
+            if wait:
+                self.ws.sim.wait_for(lambda: transfer.completed)
+        return DmaResult(initiation=initiation, transfer=transfer)
+
+
+def open_channel(ws: Workstation, proc: Process) -> DmaChannel:
+    """Open the best available DMA channel for *proc*.
+
+    Tries to grant a user-level binding (if the process lacks one) and
+    falls back to the kernel syscall path when the machine's method
+    cannot serve this process — typically because every register context
+    is taken (§3.2: "If more processes would like to start DMA
+    operations, the rest will have to go through the kernel").
+
+    Returns:
+        A user-level channel when possible, else a kernel channel.
+    """
+    from ..errors import KernelError
+
+    if ws.method.name == "kernel":
+        return DmaChannel(ws, proc, via="kernel")
+    if proc.dma is None:
+        try:
+            ws.kernel.enable_user_dma(proc)
+        except KernelError:
+            return DmaChannel(ws, proc, via="kernel")
+    return DmaChannel(ws, proc, via="user")

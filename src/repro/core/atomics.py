@@ -1,0 +1,151 @@
+"""User-level atomic operations (§3.5).
+
+An :class:`AtomicChannel` issues ``atomic_add``, ``fetch_and_store``, and
+``compare_and_swap`` either through the kernel (the costly baseline) or
+from user level via the keyed / extended-shadow adaptations of the DMA
+methods — "a similar problem to user-level DMA, albeit somewhat simpler,
+since only one physical address is needed" (§3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigError, KernelError
+from ..hw.atomic_unit import OP_ADD, OP_CAS, OP_CAS_SWAP, OP_FETCH_STORE
+from ..hw.cpu import StepStatus, Thread
+from ..hw.dma.status import STATUS_FAILURE, is_failure
+from ..hw.dma.protocols.keyed import pack_key_word
+from ..hw.isa import (
+    Addr,
+    Halt,
+    Instruction,
+    Load,
+    Mov,
+    Program,
+    Store,
+    Syscall,
+    assemble,
+)
+from ..hw.atomic_unit import CTX_OPERAND, CTX_OPERAND2
+from ..os.process import Process, atomic_shadow_vaddr
+from ..units import Time, to_us
+from .machine import Workstation
+
+_SYSCALL_OF_OP = {OP_ADD: "atomic_add", OP_FETCH_STORE: "atomic_fas",
+                  OP_CAS: "atomic_cas"}
+
+
+@dataclass(frozen=True)
+class AtomicResult:
+    """Outcome of one atomic operation.
+
+    Attributes:
+        old_value: the value the target word held before the operation
+            (STATUS_FAILURE when the operation was rejected).
+        elapsed: simulated time for the whole user sequence.
+    """
+
+    old_value: int
+    elapsed: Time
+    thread: Thread
+
+    @property
+    def ok(self) -> bool:
+        """Whether the unit executed the operation."""
+        return not is_failure(self.old_value)
+
+    @property
+    def elapsed_us(self) -> float:
+        """Elapsed time in microseconds."""
+        return to_us(self.elapsed)
+
+
+class AtomicChannel:
+    """A process's handle for issuing atomic operations."""
+
+    def __init__(self, ws: Workstation, proc: Process) -> None:
+        if ws.atomic_unit is None:
+            raise ConfigError(
+                "this workstation was built without an atomic unit; set "
+                "MachineConfig.atomic_mode")
+        self.ws = ws
+        self.proc = proc
+        self.unit = ws.atomic_unit
+
+    # ------------------------------------------------------------------
+    # sequence construction
+    # ------------------------------------------------------------------
+
+    def sequence(self, op: int, vtarget: int, operand: int,
+                 operand2: int = 0,
+                 via_kernel: bool = False) -> List[Instruction]:
+        """Build the instruction sequence for one atomic operation."""
+        if via_kernel:
+            return [Mov("a0", vtarget), Mov("a1", operand),
+                    Mov("a2", operand2), Syscall(_SYSCALL_OF_OP[op])]
+        binding = self.proc.atomic_binding
+        if binding.mode == "keyed":
+            if binding.key is None or binding.ctx_id is None:
+                raise KernelError(
+                    f"{self.proc.name} lacks an atomic key/context")
+            ctx_base = binding.ctx_page_vaddr
+            seq: List[Instruction] = [
+                Store(Addr(None, atomic_shadow_vaddr(op, vtarget)),
+                      pack_key_word(binding.key, binding.ctx_id, 0)),
+                Store(Addr(None, ctx_base + CTX_OPERAND), operand),
+            ]
+            if op == OP_CAS:
+                seq.append(Store(Addr(None, ctx_base + CTX_OPERAND2),
+                                 operand2))
+            seq.append(Load("v0", Addr(None, ctx_base)))
+            return seq
+        # Extended-shadow flavour: ctx rides in the address bits.
+        shadow = Addr(None, atomic_shadow_vaddr(op, vtarget))
+        seq = [Store(shadow, operand)]
+        if op == OP_CAS:
+            seq.append(Store(
+                Addr(None, atomic_shadow_vaddr(OP_CAS_SWAP, vtarget)),
+                operand2))
+        seq.append(Load("v0", shadow))
+        return seq
+
+    def program(self, op: int, vtarget: int, operand: int,
+                operand2: int = 0, via_kernel: bool = False) -> Program:
+        """The sequence assembled into a runnable program."""
+        instructions = self.sequence(op, vtarget, operand, operand2,
+                                     via_kernel=via_kernel)
+        instructions.append(Halt())
+        return assemble(instructions, name=f"atomic-{op}")
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _run(self, op: int, vtarget: int, operand: int, operand2: int,
+             via_kernel: bool) -> AtomicResult:
+        program = self.program(op, vtarget, operand, operand2,
+                               via_kernel=via_kernel)
+        thread = self.proc.new_thread(program)
+        start = self.ws.sim.now
+        status = self.ws.run_thread(thread)
+        elapsed = self.ws.sim.now - start
+        if status is StepStatus.FAULTED:
+            return AtomicResult(STATUS_FAILURE, elapsed, thread)
+        return AtomicResult(int(thread.reg("v0")), elapsed, thread)
+
+    def atomic_add(self, vtarget: int, value: int,
+                   via_kernel: bool = False) -> AtomicResult:
+        """``old = mem[vtarget]; mem[vtarget] += value; return old``."""
+        return self._run(OP_ADD, vtarget, value, 0, via_kernel)
+
+    def fetch_and_store(self, vtarget: int, value: int,
+                        via_kernel: bool = False) -> AtomicResult:
+        """``old = mem[vtarget]; mem[vtarget] = value; return old``."""
+        return self._run(OP_FETCH_STORE, vtarget, value, 0, via_kernel)
+
+    def compare_and_swap(self, vtarget: int, compare: int, swap: int,
+                         via_kernel: bool = False) -> AtomicResult:
+        """CAS: write *swap* iff the word equals *compare*; returns old."""
+        return self._run(OP_CAS, vtarget, compare, swap, via_kernel)

@@ -1,0 +1,176 @@
+"""The registry of DMA-initiation methods.
+
+One :class:`MethodInfo` per method the paper discusses, carrying the
+protocol factory for the engine side plus the metadata the OS and the
+user-side sequence builder need: does the method consume a register
+context?  a key?  CONTEXT_ID address bits?  a PAL call?  — and, crucially
+for the paper's thesis, *which kernel modification it requires* (only the
+prior-work baselines require any).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConfigError
+from ..hw.dma.recognizer import InitiationProtocol
+from ..hw.dma.protocols import (
+    ExtendedShadowProtocol,
+    FlashProtocol,
+    KernelOnlyProtocol,
+    KeyedProtocol,
+    MappedOutProtocol,
+    PalProtocol,
+    PendingPairProtocol,
+    RepeatedPassingProtocol,
+)
+
+
+@dataclass(frozen=True)
+class MethodInfo:
+    """Metadata for one initiation method.
+
+    Attributes:
+        name: registry key ("keyed", "repeated5", ...).
+        title: display name.
+        section: where the paper defines it.
+        protocol_factory: builds the engine-side FSM.
+        uses_context: consumes a register context (and a mapped page).
+        uses_key: consumes a secret key.
+        uses_ext_bits: shadow mappings embed the CONTEXT_ID.
+        uses_pal: the user sequence is a PAL call.
+        kernel_hook: which context-switch hook the method *requires* to be
+            race-free — None for the paper's contributions, "shrimp_abort"
+            or "flash_pid" for the prior-work baselines.
+        memory_accesses: uncached accesses per initiation (the paper's
+            "2 to 5 assembly instructions"; kernel-level reported as 0
+            user-level accesses).
+        kernel_free: True when the method needs no kernel modification —
+            the paper's headline property.
+    """
+
+    name: str
+    title: str
+    section: str
+    protocol_factory: Callable[[], InitiationProtocol]
+    uses_context: bool = False
+    uses_key: bool = False
+    uses_ext_bits: bool = False
+    uses_pal: bool = False
+    kernel_hook: Optional[str] = None
+    memory_accesses: int = 0
+
+    @property
+    def kernel_free(self) -> bool:
+        """Whether the method works on an unmodified kernel."""
+        return self.kernel_hook is None and self.name != "kernel"
+
+
+METHODS: Dict[str, MethodInfo] = {
+    info.name: info for info in (
+        MethodInfo(
+            name="kernel",
+            title="Kernel-level DMA",
+            section="2.2 / Fig. 1",
+            protocol_factory=KernelOnlyProtocol,
+            memory_accesses=0,
+        ),
+        MethodInfo(
+            name="shrimp1",
+            title="SHRIMP-1 (mapped-out pages)",
+            section="2.4",
+            protocol_factory=MappedOutProtocol,
+            memory_accesses=1,
+        ),
+        MethodInfo(
+            name="shrimp2",
+            title="SHRIMP-2 (store+load pair)",
+            section="2.5 / Fig. 2",
+            protocol_factory=PendingPairProtocol,
+            kernel_hook="shrimp_abort",
+            memory_accesses=2,
+        ),
+        MethodInfo(
+            name="flash",
+            title="FLASH (current-process register)",
+            section="2.6",
+            protocol_factory=FlashProtocol,
+            kernel_hook="flash_pid",
+            memory_accesses=2,
+        ),
+        MethodInfo(
+            name="pal",
+            title="PAL code",
+            section="2.7",
+            protocol_factory=PalProtocol,
+            uses_pal=True,
+            memory_accesses=2,
+        ),
+        MethodInfo(
+            name="keyed",
+            title="Key-based DMA",
+            section="3.1 / Fig. 3",
+            protocol_factory=KeyedProtocol,
+            uses_context=True,
+            uses_key=True,
+            memory_accesses=4,
+        ),
+        MethodInfo(
+            name="extshadow",
+            title="Extended shadow addressing",
+            section="3.2 / Fig. 4",
+            protocol_factory=ExtendedShadowProtocol,
+            uses_context=True,
+            uses_ext_bits=True,
+            memory_accesses=2,
+        ),
+        MethodInfo(
+            name="repeated3",
+            title="Repeated passing (3 instructions, insecure)",
+            section="3.3 / Fig. 5",
+            protocol_factory=lambda: RepeatedPassingProtocol(3),
+            memory_accesses=3,
+        ),
+        MethodInfo(
+            name="repeated4",
+            title="Repeated passing (4 instructions, insecure)",
+            section="3.3 / Fig. 6",
+            protocol_factory=lambda: RepeatedPassingProtocol(4),
+            memory_accesses=4,
+        ),
+        MethodInfo(
+            name="repeated5",
+            title="Repeated passing of arguments (5 instructions)",
+            section="3.3 / Fig. 7",
+            protocol_factory=lambda: RepeatedPassingProtocol(5),
+            memory_accesses=5,
+        ),
+    )
+}
+
+#: The four rows of Table 1, in the paper's order.
+TABLE1_METHODS: List[str] = ["kernel", "extshadow", "repeated5", "keyed"]
+
+#: The methods the paper proposes (its contribution).
+PAPER_METHODS: List[str] = ["pal", "keyed", "extshadow", "repeated5"]
+
+#: The prior-work user-level baselines.
+BASELINE_METHODS: List[str] = ["shrimp1", "shrimp2", "flash"]
+
+
+def get_method(name: str) -> MethodInfo:
+    """Look up a method by name.
+
+    Raises:
+        ConfigError: for an unknown name.
+    """
+    if name not in METHODS:
+        known = ", ".join(sorted(METHODS))
+        raise ConfigError(f"unknown DMA method {name!r}; known: {known}")
+    return METHODS[name]
+
+
+def make_protocol(name: str) -> InitiationProtocol:
+    """Build a fresh engine-side protocol FSM for method *name*."""
+    return get_method(name).protocol_factory()

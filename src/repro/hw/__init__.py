@@ -1,0 +1,27 @@
+"""Hardware substrate: memory, MMU, CPU, buses, and the DMA engine.
+
+Everything here models the machine the paper's prototype ran on — a DEC
+Alpha workstation with a TurboChannel I/O bus carrying an FPGA DMA/network
+interface board — at the level of fidelity the paper's claims need:
+instruction sequences, uncached MMIO accesses, write-buffer effects, page
+protection, and per-access bus timing.
+"""
+
+from .memory import FrameAllocator, PhysicalMemory
+from .pagetable import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, PageTable, Perm, Pte
+from .tlb import Tlb
+from .mmu import Mmu, Translation
+
+__all__ = [
+    "FrameAllocator",
+    "Mmu",
+    "PAGE_MASK",
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PageTable",
+    "Perm",
+    "PhysicalMemory",
+    "Pte",
+    "Tlb",
+    "Translation",
+]

@@ -1,0 +1,110 @@
+"""An optional direct-mapped data cache.
+
+The paper's OS-slowness argument leans on Ousterhout's and Rosenblum's
+observations that kernel code suffers poor locality — context switches
+and syscalls run with cold caches.  The default timing model folds that
+into the flat syscall cycle cost (which is what it calibrates against
+Table 1), so the cache is **off by default**; enabling it
+(``MachineConfig.data_cache=True``) lets experiments study the locality
+effect explicitly: cached RAM accesses hit after the first touch, and a
+context switch or a cache flush makes the next pass expensive again.
+
+The model is a classic direct-mapped write-through cache over physical
+addresses: tag per line, no dirty state (write-through keeps RAM
+authoritative so DMA always sees current data without a coherence
+protocol — the same simplification early NOW interfaces made by placing
+communication buffers in uncached or write-through space).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+
+
+class DataCache:
+    """Direct-mapped, write-through, physically indexed cache.
+
+    Args:
+        n_lines: number of lines (power of two).
+        line_bytes: bytes per line (power of two).
+        hit_cycles: CPU cycles charged on a hit.
+        miss_cycles: CPU cycles charged on a miss (the line fill).
+    """
+
+    def __init__(self, n_lines: int = 256, line_bytes: int = 32,
+                 hit_cycles: float = 2.0,
+                 miss_cycles: float = 20.0) -> None:
+        if n_lines <= 0 or n_lines & (n_lines - 1):
+            raise ConfigError(
+                f"n_lines must be a power of two, got {n_lines}")
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ConfigError(
+                f"line_bytes must be a power of two, got {line_bytes}")
+        self.n_lines = n_lines
+        self.line_bytes = line_bytes
+        self.hit_cycles = hit_cycles
+        self.miss_cycles = miss_cycles
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self._tags: List[Optional[int]] = [None] * n_lines
+
+    def _split(self, paddr: int) -> "tuple[int, int]":
+        line_addr = paddr // self.line_bytes
+        return line_addr % self.n_lines, line_addr // self.n_lines
+
+    def access(self, paddr: int) -> float:
+        """Perform one access; returns the CPU cycles it costs.
+
+        Write-through with write-allocate: reads and writes behave
+        identically for tag purposes.
+        """
+        index, tag = self._split(paddr)
+        if self._tags[index] == tag:
+            self.hits += 1
+            return self.hit_cycles
+        self.misses += 1
+        self._tags[index] = tag
+        return self.miss_cycles
+
+    def contains(self, paddr: int) -> bool:
+        """Whether *paddr*'s line is currently cached."""
+        index, tag = self._split(paddr)
+        return self._tags[index] == tag
+
+    def invalidate_range(self, paddr: int, nbytes: int) -> int:
+        """Invalidate every line overlapping [paddr, paddr+nbytes).
+
+        The DMA engine calls this for transfer destinations so the CPU
+        never reads stale lines after a transfer lands (the simple
+        software-coherence discipline real non-coherent-I/O systems
+        used).
+
+        Returns:
+            The number of lines invalidated.
+        """
+        if nbytes <= 0:
+            return 0
+        first = paddr // self.line_bytes
+        last = (paddr + nbytes - 1) // self.line_bytes
+        dropped = 0
+        for line_addr in range(first, last + 1):
+            index = line_addr % self.n_lines
+            tag = line_addr // self.n_lines
+            if self._tags[index] == tag:
+                self._tags[index] = None
+                dropped += 1
+        return dropped
+
+    def flush(self) -> None:
+        """Drop every line (context switch on a cold-cache model)."""
+        self.flushes += 1
+        self._tags = [None] * self.n_lines
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 before any access)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,39 @@
+"""The DMA engine and the paper's initiation protocols.
+
+The engine (:mod:`repro.hw.dma.engine`) is an MMIO device whose physical
+window contains three kinds of addresses:
+
+* **register-context pages** (§3.1) — one page per context, mappable into
+  exactly one process's address space;
+* **privileged pages** — the key table and the kernel's classic DMA
+  registers (Fig. 1), mapped only in kernel space;
+* the **shadow region** (§2.3) — where a load or store is interpreted as
+  *argument passing*: the decoded physical address is the argument, never a
+  real memory access.
+
+Each initiation method from the paper is a pluggable
+:class:`~repro.hw.dma.recognizer.InitiationProtocol` implementing the exact
+sequence semantics of Figs. 1–4 and 7.
+"""
+
+from .contexts import RegisterContext
+from .engine import DmaEngine, InitiationRecord
+from .recognizer import InitiationProtocol, ShadowAccess
+from .shadow import ShadowLayout, ShadowRef
+from .status import STATUS_ACK, STATUS_FAILURE, is_failure
+from .transfer import DmaTransferEngine, Transfer
+
+__all__ = [
+    "DmaEngine",
+    "DmaTransferEngine",
+    "InitiationProtocol",
+    "InitiationRecord",
+    "RegisterContext",
+    "STATUS_ACK",
+    "STATUS_FAILURE",
+    "ShadowAccess",
+    "ShadowLayout",
+    "ShadowRef",
+    "Transfer",
+    "is_failure",
+]

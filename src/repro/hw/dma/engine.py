@@ -1,0 +1,400 @@
+"""The DMA engine device.
+
+One MMIO device implements everything the paper's prototype board did:
+
+* decodes **shadow accesses** and feeds them to the active initiation
+  protocol (§2.3);
+* exposes **register-context pages**, one per context, that the OS maps
+  into at most one process each (§3.1);
+* exposes a **kernel-only key table** ("memory locations un-readable by
+  user processes", §3.1);
+* exposes a **kernel-only control page** with the classic Fig. 1 DMA
+  registers (SOURCE / DESTINATION / SIZE / STATUS), the mapped-out table
+  programming registers for SHRIMP-1, and the two hook registers that
+  model the SHRIMP-2 / FLASH kernel modifications (CURRENT_PID, ABORT);
+* owns the **data mover** that performs accepted transfers in background
+  simulated time.
+
+Every accepted or rejected initiation is recorded in
+:attr:`DmaEngine.initiations` with the issuing process id — bookkeeping
+the verification layer uses to check the paper's safety properties.  The
+protocols themselves never see it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ...errors import ConfigError, DeviceError
+from ...sim.engine import Simulator
+from ...sim.trace import TraceLog
+from ...units import Time, mbps, ns
+from ..device import AccessContext, MmioDevice
+from ..memory import PhysicalMemory
+from ..pagetable import PAGE_MASK, PAGE_SHIFT, page_base, page_offset
+from .contexts import RegisterContext
+from .recognizer import InitiationProtocol, ShadowAccess
+from .shadow import ShadowLayout
+from .status import STATUS_FAILURE
+from .transfer import DmaTransferEngine, Transfer
+
+# Control-page register offsets (Fig. 1 names).
+REG_SOURCE = 0x00
+REG_DESTINATION = 0x08
+REG_SIZE = 0x10
+REG_STATUS = 0x18
+REG_CURRENT_PID = 0x20
+REG_ABORT = 0x28
+REG_MAPOUT_SRC = 0x30
+REG_MAPOUT_DST = 0x38
+
+
+@dataclass(frozen=True)
+class InitiationRecord:
+    """One initiation attempt that reached the start logic.
+
+    Attributes:
+        when: simulation time of the attempt.
+        psrc / pdst / size: the argument triple presented.
+        issuer: pid of the access that triggered the start attempt
+            (verification bookkeeping only).
+        via: "kernel" or the user-level protocol name.
+        ctx_id: register context involved, or None.
+        ok: whether a transfer actually started.
+    """
+
+    when: Time
+    psrc: int
+    pdst: int
+    size: int
+    issuer: Optional[int]
+    via: str
+    ctx_id: Optional[int]
+    ok: bool
+
+
+class DmaEngine(MmioDevice):
+    """The paper's DMA/network-interface engine as a bus device.
+
+    Args:
+        sim: event engine.
+        ram: host physical memory (transfer endpoints live here).
+        protocol: the active user-level initiation protocol.
+        layout: window geometry.
+        bandwidth_bps: data-mover bandwidth.
+        startup: fixed per-transfer latency.
+        trace: optional shared trace log.
+        name: device name.
+    """
+
+    def __init__(self, sim: Simulator, ram: PhysicalMemory,
+                 protocol: InitiationProtocol,
+                 layout: Optional[ShadowLayout] = None,
+                 bandwidth_bps: float = mbps(400.0),
+                 startup: Time = ns(200),
+                 trace: Optional[TraceLog] = None,
+                 name: str = "dma") -> None:
+        super().__init__(name)
+        self.sim = sim
+        self.ram = ram
+        self.layout = layout if layout is not None else ShadowLayout()
+        if ram.size > self.layout.max_argument_paddr:
+            raise ConfigError(
+                "RAM does not fit in the shadow argument field; "
+                "enlarge ctx_shift or shrink RAM")
+        self.trace = trace if trace is not None else TraceLog()
+        self.contexts = [RegisterContext(i)
+                         for i in range(self.layout.n_contexts)]
+        self.key_table: Dict[int, int] = {}
+        self.mapout_table: Dict[int, int] = {}
+        self.current_pid: int = -1
+        self.initiations: List[InitiationRecord] = []
+        self.protocol_violations = 0
+        #: Optional software-coherence callback: (pdst, size) invoked
+        #: after the mover writes local memory, so a CPU-side cache can
+        #: invalidate the destination lines (non-coherent I/O model).
+        self.coherence_hook = None
+        self.transfer_engine = DmaTransferEngine(
+            sim, bandwidth_bps, startup, self._move_bytes)
+        self._control_src = 0
+        self._control_dst = 0
+        self._control_status = 0
+        self._control_transfer: Optional[Transfer] = None
+        self._mapout_src_latch: Optional[int] = None
+        self.protocol = protocol
+        protocol.attach(self)
+
+    # ------------------------------------------------------------------
+    # MMIO entry points
+    # ------------------------------------------------------------------
+
+    def mmio_write(self, offset: int, value: int, ctx: AccessContext) -> None:
+        shadow = self.layout.decode_offset(offset)
+        if shadow is not None:
+            access = self._shadow_access("store", shadow.ctx_id,
+                                         shadow.paddr, value, ctx)
+            self.trace.emit(ctx.when, self.name, "shadow-store",
+                            ctx_id=access.ctx_id, paddr=access.paddr,
+                            data=value, issuer=ctx.issuer)
+            self.protocol.on_shadow_store(access)
+            return
+        ctx_index = self.layout.context_of_offset(offset)
+        if ctx_index is not None:
+            access = self._shadow_access("store", ctx_index, 0, value, ctx)
+            self.trace.emit(ctx.when, self.name, "context-store",
+                            ctx_id=ctx_index, data=value, issuer=ctx.issuer)
+            self.protocol.on_context_store(
+                self.contexts[ctx_index], offset & PAGE_MASK, value, access)
+            return
+        page = offset >> PAGE_SHIFT
+        reg = offset & PAGE_MASK
+        if page == self.layout.key_page_offset >> PAGE_SHIFT:
+            self._key_write(reg, value, ctx)
+            return
+        if page == self.layout.control_page_offset >> PAGE_SHIFT:
+            self._control_write(reg, value, ctx)
+            return
+        raise DeviceError(f"{self.name}: write to unmapped offset {offset:#x}")
+
+    def mmio_read(self, offset: int, ctx: AccessContext) -> int:
+        shadow = self.layout.decode_offset(offset)
+        if shadow is not None:
+            access = self._shadow_access("load", shadow.ctx_id,
+                                         shadow.paddr, 0, ctx)
+            status = self.protocol.on_shadow_load(access)
+            self.trace.emit(ctx.when, self.name, "shadow-load",
+                            ctx_id=access.ctx_id, paddr=access.paddr,
+                            status=status, issuer=ctx.issuer)
+            return status
+        ctx_index = self.layout.context_of_offset(offset)
+        if ctx_index is not None:
+            access = self._shadow_access("load", ctx_index, 0, 0, ctx)
+            status = self.protocol.on_context_load(
+                self.contexts[ctx_index], offset & PAGE_MASK, access)
+            self.trace.emit(ctx.when, self.name, "context-load",
+                            ctx_id=ctx_index, status=status,
+                            issuer=ctx.issuer)
+            return status
+        page = offset >> PAGE_SHIFT
+        reg = offset & PAGE_MASK
+        if page == self.layout.key_page_offset >> PAGE_SHIFT:
+            return self._key_read(reg, ctx)
+        if page == self.layout.control_page_offset >> PAGE_SHIFT:
+            return self._control_read(reg, ctx)
+        raise DeviceError(f"{self.name}: read of unmapped offset {offset:#x}")
+
+    def mmio_exchange(self, offset: int, value: int,
+                      ctx: AccessContext) -> int:
+        """Atomic read-modify-write access (SHRIMP-1's initiation, §2.4)."""
+        shadow = self.layout.decode_offset(offset)
+        if shadow is None:
+            raise DeviceError(
+                f"{self.name}: atomic exchange outside shadow region "
+                f"at offset {offset:#x}")
+        access = self._shadow_access("exchange", shadow.ctx_id,
+                                     shadow.paddr, value, ctx)
+        status = self.protocol.on_shadow_exchange(access)
+        self.trace.emit(ctx.when, self.name, "shadow-exchange",
+                        ctx_id=access.ctx_id, paddr=access.paddr,
+                        data=value, status=status, issuer=ctx.issuer)
+        return status
+
+    # ------------------------------------------------------------------
+    # Start logic (shared by every protocol and the kernel path)
+    # ------------------------------------------------------------------
+
+    def try_start(self, psrc: int, pdst: int, size: int,
+                  ctx: Optional[RegisterContext] = None,
+                  issuer: Optional[int] = None,
+                  via: Optional[str] = None) -> int:
+        """Validate and, if legal, start a transfer.
+
+        Returns the status word software sees: bytes remaining (== size at
+        start time) on success, ``STATUS_FAILURE`` otherwise.
+        """
+        via_name = via if via is not None else self.protocol.name
+        ok = (size > 0
+              and self._valid_source(psrc, size)
+              and self._valid_endpoint(pdst, size))
+        self.initiations.append(InitiationRecord(
+            when=self.sim.now, psrc=psrc, pdst=pdst, size=size,
+            issuer=issuer, via=via_name,
+            ctx_id=ctx.ctx_id if ctx is not None else None, ok=ok))
+        if not ok:
+            if ctx is not None:
+                ctx.failed = True
+            self.trace.emit(self.sim.now, self.name, "start-rejected",
+                            psrc=psrc, pdst=pdst, size=size, via=via_name)
+            return STATUS_FAILURE
+        transfer = self.transfer_engine.start(psrc, pdst, size)
+        if ctx is not None:
+            ctx.transfer = transfer
+            ctx.failed = False
+            ctx.initiations += 1
+        self.trace.emit(self.sim.now, self.name, "start",
+                        psrc=psrc, pdst=pdst, size=size, via=via_name,
+                        issuer=issuer)
+        return transfer.remaining(self.sim.now)
+
+    def started_transfers(self) -> List[InitiationRecord]:
+        """All successful initiations, in order."""
+        return [r for r in self.initiations if r.ok]
+
+    def _valid_endpoint(self, paddr: int, size: int) -> bool:
+        """Whether [paddr, paddr+size) is a legal transfer destination.
+
+        The base engine accepts only local RAM; the NIC subclass also
+        accepts remote global addresses.
+        """
+        return self.ram.contains(paddr, size)
+
+    def _valid_source(self, paddr: int, size: int) -> bool:
+        """Whether [paddr, paddr+size) is a legal transfer source.
+
+        Sources must always be memory this engine can read — local RAM
+        (the NIC subclass additionally requires the node bits to name
+        *this* node).
+        """
+        return self._valid_endpoint(paddr, size)
+
+    def _move_bytes(self, psrc: int, pdst: int, size: int) -> None:
+        """Default mover: a local RAM copy."""
+        self.ram.copy(psrc, pdst, size)
+        if self.coherence_hook is not None:
+            self.coherence_hook(pdst, size)
+
+    # ------------------------------------------------------------------
+    # Privileged pages
+    # ------------------------------------------------------------------
+
+    def _key_write(self, reg: int, value: int, ctx: AccessContext) -> None:
+        if not ctx.kernel:
+            self.protocol_violations += 1
+            return
+        ctx_id = reg // 8
+        if 0 <= ctx_id < len(self.contexts):
+            self.key_table[ctx_id] = value
+
+    def _key_read(self, reg: int, ctx: AccessContext) -> int:
+        if not ctx.kernel:
+            self.protocol_violations += 1
+            return STATUS_FAILURE
+        return self.key_table.get(reg // 8, 0)
+
+    def _control_write(self, reg: int, value: int,
+                       ctx: AccessContext) -> None:
+        if not ctx.kernel:
+            self.protocol_violations += 1
+            return
+        if reg == REG_SOURCE:
+            self._control_src = value
+        elif reg == REG_DESTINATION:
+            self._control_dst = value
+        elif reg == REG_SIZE:
+            # Fig. 1: writing SIZE starts the kernel-level DMA.
+            status = self.try_start(self._control_src, self._control_dst,
+                                    value, issuer=ctx.issuer, via="kernel")
+            self._control_status = status
+            self._control_transfer = (
+                self.transfer_engine.history[-1]
+                if status != STATUS_FAILURE else None)
+        elif reg == REG_CURRENT_PID:
+            self.current_pid = value
+            self.protocol.on_context_switch(value)
+        elif reg == REG_ABORT:
+            self.protocol.on_abort_pending()
+        elif reg == REG_MAPOUT_SRC:
+            self._mapout_src_latch = value
+        elif reg == REG_MAPOUT_DST:
+            if self._mapout_src_latch is None:
+                raise DeviceError(
+                    f"{self.name}: MAPOUT_DST written with no source latched")
+            self.mapout_table[page_base(self._mapout_src_latch)] = value
+            self._mapout_src_latch = None
+        else:
+            raise DeviceError(
+                f"{self.name}: write to unknown control register {reg:#x}")
+
+    def _control_read(self, reg: int, ctx: AccessContext) -> int:
+        if not ctx.kernel:
+            self.protocol_violations += 1
+            return STATUS_FAILURE
+        if reg == REG_STATUS:
+            if self._control_transfer is not None:
+                return self._control_transfer.remaining(ctx.when)
+            return self._control_status
+        if reg == REG_SOURCE:
+            return self._control_src
+        if reg == REG_DESTINATION:
+            return self._control_dst
+        if reg == REG_CURRENT_PID:
+            return self.current_pid & ((1 << 64) - 1)
+        raise DeviceError(
+            f"{self.name}: read of unknown control register {reg:#x}")
+
+    # ------------------------------------------------------------------
+    # Administration (OS boot/setup paths; not on any timed fast path)
+    # ------------------------------------------------------------------
+
+    def install_key(self, ctx_id: int, key: int) -> None:
+        """Install the protection key for context *ctx_id* (OS setup)."""
+        self._check_ctx_id(ctx_id)
+        self.key_table[ctx_id] = key
+
+    def assign_context(self, ctx_id: int, pid: int) -> RegisterContext:
+        """Record OS assignment of a context to a process, resetting it."""
+        self._check_ctx_id(ctx_id)
+        context = self.contexts[ctx_id]
+        context.reset()
+        context.owner_pid = pid
+        return context
+
+    def release_context(self, ctx_id: int) -> None:
+        """OS released a context: scrub state, key, and ownership."""
+        self._check_ctx_id(ctx_id)
+        self.contexts[ctx_id].reset()
+        self.contexts[ctx_id].owner_pid = None
+        self.key_table.pop(ctx_id, None)
+
+    def install_mapout(self, psrc_page: int, pdst: int) -> None:
+        """Install a SHRIMP-1 mapped-out entry (OS setup path)."""
+        self.mapout_table[page_base(psrc_page)] = pdst
+
+    def mapout_destination(self, psrc: int) -> Optional[int]:
+        """The mapped-out destination for *psrc*, or None."""
+        base = self.mapout_table.get(page_base(psrc))
+        if base is None:
+            return None
+        return base + page_offset(psrc)
+
+    def reset(self) -> None:
+        """Power-on reset: contexts, tables, protocol state, records."""
+        for context in self.contexts:
+            context.reset()
+            context.owner_pid = None
+        self.key_table.clear()
+        self.mapout_table.clear()
+        self.current_pid = -1
+        self.initiations.clear()
+        self.protocol_violations = 0
+        self._control_src = 0
+        self._control_dst = 0
+        self._control_status = 0
+        self._control_transfer = None
+        self._mapout_src_latch = None
+        self.protocol.reset()
+
+    # ------------------------------------------------------------------
+
+    def _shadow_access(self, op: str, ctx_id: int, paddr: int, data: int,
+                       ctx: AccessContext) -> ShadowAccess:
+        return ShadowAccess(op=op, ctx_id=ctx_id, paddr=paddr, data=data,
+                            issuer=ctx.issuer, kernel=ctx.kernel,
+                            when=ctx.when)
+
+    def _check_ctx_id(self, ctx_id: int) -> None:
+        if not 0 <= ctx_id < len(self.contexts):
+            raise ConfigError(
+                f"context id {ctx_id} out of range "
+                f"[0, {len(self.contexts)})")

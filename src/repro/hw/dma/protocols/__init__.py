@@ -1,0 +1,37 @@
+"""Initiation-protocol state machines, one per method in the paper.
+
+==================  =========================================  ============
+Module              Method                                     Paper section
+==================  =========================================  ============
+``kernel``          no user-level DMA (baseline engine)        §2.2 / Fig. 1
+``shrimp1``         mapped-out pages, one atomic access        §2.4
+``shrimp2``         STORE+LOAD pair, kernel abort hook         §2.5 / Fig. 2
+``flash``           current-process register, kernel hook      §2.6
+``pal``             STORE+LOAD pair inside a PAL call          §2.7
+``keyed``           register contexts guarded by secret keys   §3.1 / Fig. 3
+``extshadow``       CONTEXT_ID bits in the shadow address      §3.2 / Fig. 4
+``repeated``        repeated argument passing (3/4/5 instr.)   §3.3 / Fig. 7
+==================  =========================================  ============
+"""
+
+from .extshadow import ExtendedShadowProtocol
+from .flash import FlashProtocol
+from .kernel import KernelOnlyProtocol
+from .keyed import KeyedProtocol, pack_key_word, unpack_key_word
+from .pal import PalProtocol
+from .repeated import RepeatedPassingProtocol
+from .shrimp1 import MappedOutProtocol
+from .shrimp2 import PendingPairProtocol
+
+__all__ = [
+    "ExtendedShadowProtocol",
+    "FlashProtocol",
+    "KernelOnlyProtocol",
+    "KeyedProtocol",
+    "MappedOutProtocol",
+    "PalProtocol",
+    "PendingPairProtocol",
+    "RepeatedPassingProtocol",
+    "pack_key_word",
+    "unpack_key_word",
+]

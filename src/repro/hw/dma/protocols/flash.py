@@ -1,0 +1,74 @@
+"""The FLASH solution: a current-process register (§2.6).
+
+Like SHRIMP-2, initiation is a STORE/LOAD pair over shadow addresses; but
+the engine latches, together with the pending arguments, the value of its
+**current-process register** — which the (modified) context-switch handler
+writes on every switch.  A load only completes an initiation if the
+register still holds the same value, so arguments latched by a preempted
+process can never pair with another process's load.
+
+The whole point of the paper: this works *only because* the kernel was
+patched to keep the register current.  Run without the scheduler hook and
+the register never changes, every tag matches, and the scheme collapses
+into the racy SHRIMP-2 behaviour — the ablation benchmark shows exactly
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..recognizer import InitiationProtocol, ShadowAccess
+from ..status import STATUS_FAILURE
+
+
+@dataclass
+class TaggedPending:
+    """A pending (destination, size) tagged with the announcing pid."""
+
+    pdst: int
+    size: int
+    tag: int
+
+
+class FlashProtocol(InitiationProtocol):
+    """STORE/LOAD pair discriminated by the current-process register."""
+
+    name = "flash"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pending: Optional[TaggedPending] = None
+        self.tag_mismatches = 0
+        self.empty_loads = 0
+
+    def on_shadow_store(self, access: ShadowAccess) -> None:
+        # The engine tags the latch with whoever the kernel last announced.
+        self.pending = TaggedPending(pdst=access.paddr, size=access.data,
+                                     tag=self.engine.current_pid)
+
+    def on_shadow_load(self, access: ShadowAccess) -> int:
+        if self.pending is None:
+            self.empty_loads += 1
+            return STATUS_FAILURE
+        pending, self.pending = self.pending, None
+        if pending.tag != self.engine.current_pid:
+            self.tag_mismatches += 1
+            return STATUS_FAILURE
+        return self.engine.try_start(
+            psrc=access.paddr, pdst=pending.pdst, size=pending.size,
+            issuer=access.issuer)
+
+    def on_context_switch(self, new_pid: int) -> None:
+        """The FLASH kernel modification keeps current_pid fresh.
+
+        The register itself lives on the engine; a stale pending latch is
+        detected at load time via the tag comparison, so nothing else is
+        needed here.
+        """
+
+    def reset(self) -> None:
+        self.pending = None
+        self.tag_mismatches = 0
+        self.empty_loads = 0

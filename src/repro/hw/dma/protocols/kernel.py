@@ -1,0 +1,37 @@
+"""The kernel-only baseline: no user-level initiation at all (§2.2).
+
+A traditional DMA engine ignores the shadow region entirely; the only way
+to start a transfer is through the privileged Fig. 1 registers on the
+control page, which only the kernel can reach.  User shadow accesses are
+absorbed (and counted) — exactly what a conventional interface that knows
+nothing about shadow addressing would do.
+"""
+
+from __future__ import annotations
+
+from ..recognizer import InitiationProtocol, ShadowAccess
+from ..status import STATUS_FAILURE
+
+
+class KernelOnlyProtocol(InitiationProtocol):
+    """Rejects every user-level initiation attempt."""
+
+    name = "kernel"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.ignored_accesses = 0
+
+    def on_shadow_store(self, access: ShadowAccess) -> None:
+        self.ignored_accesses += 1
+
+    def on_shadow_load(self, access: ShadowAccess) -> int:
+        self.ignored_accesses += 1
+        return STATUS_FAILURE
+
+    def on_shadow_exchange(self, access: ShadowAccess) -> int:
+        self.ignored_accesses += 1
+        return STATUS_FAILURE
+
+    def reset(self) -> None:
+        self.ignored_accesses = 0

@@ -1,0 +1,21 @@
+"""The PAL-code method (§2.7).
+
+Hardware-wise this is *identical* to SHRIMP-2: a STORE/LOAD pair over a
+single pending latch.  The difference is entirely on the software side —
+the pair executes inside a DEC Alpha PAL call, which cannot be
+interrupted, so the race SHRIMP-2 needs a kernel hook to close simply
+cannot occur.  :mod:`repro.core.methods` builds the user program as a
+``CALL_PAL`` and the machine installs the two-instruction PAL function;
+this subclass exists so traces, stats, and initiation records name the
+method correctly.
+"""
+
+from __future__ import annotations
+
+from .shrimp2 import PendingPairProtocol
+
+
+class PalProtocol(PendingPairProtocol):
+    """SHRIMP-2 hardware driven from an uninterruptible PAL call."""
+
+    name = "pal"

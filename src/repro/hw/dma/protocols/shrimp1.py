@@ -1,0 +1,47 @@
+"""The first SHRIMP solution: mapped-out pages (§2.4).
+
+Every communication page is "mapped out" to a fixed destination page
+(installed by the OS in the engine's mapped-out table).  A DMA is started
+with **one** atomic compare-and-exchange-style access to the shadow image
+of the source address: the address argument carries the source, the data
+argument carries the size, the destination is implied by the mapped-out
+table, and the returned old value reports success or failure.
+
+Because the whole initiation is one indivisible bus transaction, atomicity
+is free — but a source page can only ever DMA to its mapped-out partner,
+which is the restriction that motivated all the later schemes.
+"""
+
+from __future__ import annotations
+
+from ..recognizer import InitiationProtocol, ShadowAccess
+from ..status import STATUS_FAILURE
+
+
+class MappedOutProtocol(InitiationProtocol):
+    """Single-access initiation against the mapped-out table."""
+
+    name = "shrimp1"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.unmapped_attempts = 0
+
+    def on_shadow_exchange(self, access: ShadowAccess) -> int:
+        pdst = self.engine.mapout_destination(access.paddr)
+        if pdst is None:
+            self.unmapped_attempts += 1
+            return STATUS_FAILURE
+        return self.engine.try_start(
+            psrc=access.paddr, pdst=pdst, size=access.data,
+            issuer=access.issuer)
+
+    def on_shadow_store(self, access: ShadowAccess) -> None:
+        # Plain stores carry no atomic return path; SHRIMP-1 ignores them.
+        return None
+
+    def on_shadow_load(self, access: ShadowAccess) -> int:
+        return STATUS_FAILURE
+
+    def reset(self) -> None:
+        self.unmapped_attempts = 0

@@ -1,0 +1,69 @@
+"""The second SHRIMP solution: a STORE/LOAD pair (§2.5, Fig. 2).
+
+The engine keeps **one** pending-argument latch:
+
+* ``STORE size TO shadow(vdestination)`` latches (destination, size);
+* ``LOAD FROM shadow(vsource)`` pairs the latched destination with the
+  load's source and starts the DMA, returning the status.
+
+The latch is the protocol's whole weakness: if the storing process is
+preempted before its load, another process's store overwrites the latch
+(or another process's load consumes it), and arguments from two processes
+mix — Blumrich et al.'s fix is the kernel modification that invalidates
+the latch on every context switch, modelled here by
+:meth:`on_abort_pending` which the scheduler hook drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..recognizer import InitiationProtocol, ShadowAccess
+from ..status import STATUS_FAILURE
+
+
+@dataclass
+class PendingStore:
+    """The latched (destination, size) of a half-started initiation."""
+
+    pdst: int
+    size: int
+    issuer: Optional[int]  # tracing only; never used for decisions
+
+
+class PendingPairProtocol(InitiationProtocol):
+    """SHRIMP-2: one global pending latch, no process discrimination."""
+
+    name = "shrimp2"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pending: Optional[PendingStore] = None
+        self.aborts = 0
+        self.empty_loads = 0
+
+    def on_shadow_store(self, access: ShadowAccess) -> None:
+        # A new store simply replaces whatever was latched.
+        self.pending = PendingStore(pdst=access.paddr, size=access.data,
+                                    issuer=access.issuer)
+
+    def on_shadow_load(self, access: ShadowAccess) -> int:
+        if self.pending is None:
+            self.empty_loads += 1
+            return STATUS_FAILURE
+        pending, self.pending = self.pending, None
+        return self.engine.try_start(
+            psrc=access.paddr, pdst=pending.pdst, size=pending.size,
+            issuer=access.issuer)
+
+    def on_abort_pending(self) -> None:
+        """The SHRIMP kernel modification: invalidate half-started DMAs."""
+        if self.pending is not None:
+            self.aborts += 1
+            self.pending = None
+
+    def reset(self) -> None:
+        self.pending = None
+        self.aborts = 0
+        self.empty_loads = 0

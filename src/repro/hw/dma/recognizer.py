@@ -1,0 +1,126 @@
+"""Initiation-protocol plug-in interface.
+
+The DMA engine forwards every access it receives to the active
+:class:`InitiationProtocol`.  A protocol sees:
+
+* **shadow accesses** — loads/stores/atomic-exchanges whose decoded
+  :class:`ShadowAccess` carries the argument physical address, the
+  CONTEXT_ID from the address bits (0 under plain shadow encoding), and
+  the raw data word;
+* **register-context accesses** — loads/stores to a context page (§3.1:
+  stores land on the size register, loads return the status word);
+* **control events** — the privileged hook register writes that model the
+  SHRIMP-2 ("abort pending on context switch") and FLASH ("tell the engine
+  who runs now") kernel modifications.
+
+Hard rule, enforced by the verification suite: a protocol may read
+``access.issuer`` **only for tracing** — never to make a protocol
+decision.  The engine cannot know the issuing process in real hardware;
+that is the entire problem the paper solves.  (The FLASH baseline learns
+the process identity only through its explicit current-pid register, which
+is exactly the kernel modification it requires.)
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ...units import Time
+from .status import STATUS_FAILURE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .contexts import RegisterContext
+    from .engine import DmaEngine
+
+
+@dataclass(frozen=True)
+class ShadowAccess:
+    """One decoded access to the shadow region.
+
+    Attributes:
+        op: "load", "store", or "exchange".
+        ctx_id: CONTEXT_ID bits carried in the shadow address.
+        paddr: the decoded argument physical address.
+        data: the store/exchange data word (0 for loads).
+        issuer: issuing process id — tracing/verification only.
+        kernel: whether issued from kernel mode.
+        when: delivery timestamp.
+    """
+
+    op: str
+    ctx_id: int
+    paddr: int
+    data: int
+    issuer: Optional[int]
+    kernel: bool
+    when: Time
+
+
+class InitiationProtocol(ABC):
+    """Base class for the per-method DMA-initiation state machines."""
+
+    #: Method name, e.g. "keyed"; set by subclasses.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._engine: Optional["DmaEngine"] = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    def attach(self, engine: "DmaEngine") -> None:
+        """Bind this protocol to its engine.  Called by the engine."""
+        self._engine = engine
+        self.reset()
+
+    @property
+    def engine(self) -> "DmaEngine":
+        """The owning engine (raises if unattached)."""
+        if self._engine is None:
+            raise RuntimeError(f"protocol {self.name} is not attached")
+        return self._engine
+
+    # -- the shadow region --------------------------------------------------------
+
+    @abstractmethod
+    def on_shadow_store(self, access: ShadowAccess) -> None:
+        """Handle a store to a shadow address."""
+
+    @abstractmethod
+    def on_shadow_load(self, access: ShadowAccess) -> int:
+        """Handle a load from a shadow address; return the status word."""
+
+    def on_shadow_exchange(self, access: ShadowAccess) -> int:
+        """Handle an atomic exchange to a shadow address.
+
+        Only SHRIMP-1 uses these; everyone else reports failure.
+        """
+        return STATUS_FAILURE
+
+    # -- register-context pages ------------------------------------------------------
+
+    def on_context_store(self, ctx: "RegisterContext", offset: int,
+                         value: int, access: ShadowAccess) -> None:
+        """A store to a context page.  Default (§3.1): set the size."""
+        ctx.size = value
+        ctx.failed = False
+
+    def on_context_load(self, ctx: "RegisterContext", offset: int,
+                        access: ShadowAccess) -> int:
+        """A load from a context page.  Default (§3.1): the status word."""
+        return ctx.status_word(access.when)
+
+    # -- privileged hooks (the kernel modifications our methods avoid) -----------------
+
+    def on_context_switch(self, new_pid: int) -> None:
+        """FLASH hook: the kernel announced the running process."""
+
+    def on_abort_pending(self) -> None:
+        """SHRIMP-2 hook: the kernel invalidated half-started initiations."""
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Return to power-on state (also called on attach)."""

@@ -1,0 +1,51 @@
+"""Status words the DMA engine returns to software.
+
+The paper (§3.1) defines the readout of a register context as "the number
+of bytes that need to be transferred yet (-1 means failure, 0 means
+completed DMA operation)".  On 64-bit hardware -1 reads back as all-ones.
+
+Loads that are part of an initiation sequence return either
+:data:`STATUS_FAILURE` (the sequence was broken — Fig. 7's retry condition)
+or a non-failure word: the remaining byte count for a started DMA, or
+:data:`STATUS_ACK` for an in-sequence intermediate load.
+"""
+
+from __future__ import annotations
+
+WORD_MASK = (1 << 64) - 1
+
+#: -1 as an unsigned 64-bit word: the initiation failed / sequence broken.
+STATUS_FAILURE = WORD_MASK
+
+#: -2 as an unsigned word: the access was accepted *mid-sequence* (the
+#: repeated-passing recognizer advanced but no DMA started yet).
+#:
+#: The paper leaves the return value of in-sequence intermediate loads
+#: unspecified.  Model checking the 5-instruction variant (see
+#: repro.verify) shows that if intermediate acks are indistinguishable
+#: from success, an adversary can time its own stores so the victim's
+#: *final* load lands mid-pattern and reads back an ack — a phantom
+#: success with no DMA started.  Hardware must therefore return a
+#: distinguished PENDING word, and the Fig. 7 software loop must retry
+#: when the final load reads PENDING.
+STATUS_PENDING = WORD_MASK - 1
+
+#: "Transfer complete" when read from a register context.
+STATUS_ACK = 0
+
+
+def is_failure(status: int) -> bool:
+    """Whether a status word signals DMA_FAILURE."""
+    return status == STATUS_FAILURE
+
+
+def is_rejection(status: int) -> bool:
+    """Whether a status word means "no DMA started on your behalf"."""
+    return status in (STATUS_FAILURE, STATUS_PENDING)
+
+
+def to_signed(status: int) -> int:
+    """Interpret a status word as the signed value software sees."""
+    if status > (1 << 63) - 1:
+        return status - (1 << 64)
+    return status

@@ -1,0 +1,184 @@
+"""Physical memory and frame allocation.
+
+:class:`PhysicalMemory` is a flat byte-addressable RAM starting at physical
+address 0.  The DMA engine's data mover reads and writes it directly (that
+is the whole point of DMA), and tests verify end-to-end data integrity
+through it.
+
+:class:`FrameAllocator` hands out page frames to the OS's virtual-memory
+manager.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import AddressError, MemoryError_
+from .pagetable import PAGE_MASK, PAGE_SIZE
+
+#: Width of a machine word (Alpha: 64-bit).
+WORD_BYTES = 8
+WORD_MASK = (1 << 64) - 1
+
+
+class PhysicalMemory:
+    """Flat RAM at physical [0, size).
+
+    All bulk operations are bounds-checked; word operations additionally
+    require natural alignment, as the Alpha does.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size & PAGE_MASK:
+            raise MemoryError_(
+                f"RAM size must be a positive page multiple, got {size}")
+        self.size = size
+        self._data = bytearray(size)
+
+    # -- range helpers --------------------------------------------------------
+
+    def _check_range(self, paddr: int, nbytes: int, op: str) -> None:
+        if nbytes < 0:
+            raise AddressError(f"{op}: negative length {nbytes}")
+        if paddr < 0 or paddr + nbytes > self.size:
+            raise MemoryError_(
+                f"{op}: [{paddr:#x}, {paddr + nbytes:#x}) outside RAM "
+                f"of size {self.size:#x}")
+
+    def contains(self, paddr: int, nbytes: int = 1) -> bool:
+        """Whether [paddr, paddr+nbytes) lies entirely inside RAM."""
+        return 0 <= paddr and paddr + nbytes <= self.size and nbytes >= 1
+
+    # -- byte access ------------------------------------------------------------
+
+    def read(self, paddr: int, nbytes: int) -> bytes:
+        """Read *nbytes* starting at *paddr*."""
+        self._check_range(paddr, nbytes, "read")
+        return bytes(self._data[paddr:paddr + nbytes])
+
+    def write(self, paddr: int, data: bytes) -> None:
+        """Write *data* starting at *paddr*."""
+        self._check_range(paddr, len(data), "write")
+        self._data[paddr:paddr + len(data)] = data
+
+    def fill(self, paddr: int, nbytes: int, value: int = 0) -> None:
+        """Fill a range with a repeated byte value."""
+        if not 0 <= value <= 0xFF:
+            raise ValueError(f"fill value must be a byte, got {value}")
+        self._check_range(paddr, nbytes, "fill")
+        self._data[paddr:paddr + nbytes] = bytes([value]) * nbytes
+
+    def copy(self, psrc: int, pdst: int, nbytes: int) -> None:
+        """Copy *nbytes* from *psrc* to *pdst* (overlap-safe).
+
+        This is the primitive the DMA data mover uses.
+        """
+        self._check_range(psrc, nbytes, "copy-src")
+        self._check_range(pdst, nbytes, "copy-dst")
+        self._data[pdst:pdst + nbytes] = self._data[psrc:psrc + nbytes]
+
+    # -- word access --------------------------------------------------------------
+
+    def read_word(self, paddr: int) -> int:
+        """Read a naturally aligned 64-bit little-endian word."""
+        if paddr % WORD_BYTES:
+            raise AddressError(f"unaligned word read at {paddr:#x}")
+        return int.from_bytes(self.read(paddr, WORD_BYTES), "little")
+
+    def write_word(self, paddr: int, value: int) -> None:
+        """Write a naturally aligned 64-bit little-endian word."""
+        if paddr % WORD_BYTES:
+            raise AddressError(f"unaligned word write at {paddr:#x}")
+        self.write(paddr, (value & WORD_MASK).to_bytes(WORD_BYTES, "little"))
+
+
+class FrameAllocator:
+    """Hands out physical page frames from a RAM region.
+
+    Frames are allocated low-to-high; freed frames are reused LIFO.  The OS
+    reserves an initial region for itself (kernel text/data) by allocating
+    from a non-zero base.
+    """
+
+    def __init__(self, base: int, size: int) -> None:
+        if base & PAGE_MASK or size & PAGE_MASK:
+            raise MemoryError_(
+                f"allocator region must be page-aligned: "
+                f"base={base:#x} size={size:#x}")
+        if size <= 0:
+            raise MemoryError_(f"allocator region must be non-empty: {size}")
+        self.base = base
+        self.limit = base + size
+        self._next = base
+        self._free: List[int] = []
+        self._outstanding = 0
+
+    @property
+    def total_frames(self) -> int:
+        """Total frames managed by this allocator."""
+        return (self.limit - self.base) // PAGE_SIZE
+
+    @property
+    def frames_in_use(self) -> int:
+        """Frames currently allocated."""
+        return self._outstanding
+
+    def alloc_frame(self) -> int:
+        """Allocate one frame; returns its physical base address.
+
+        Raises:
+            MemoryError_: when the region is exhausted.
+        """
+        self._outstanding += 1
+        if self._free:
+            return self._free.pop()
+        if self._next >= self.limit:
+            self._outstanding -= 1
+            raise MemoryError_("out of physical frames")
+        frame = self._next
+        self._next += PAGE_SIZE
+        return frame
+
+    def alloc_contiguous(self, npages: int) -> int:
+        """Allocate *npages* physically contiguous frames.
+
+        Contiguity can only be guaranteed from the never-allocated tail,
+        so this ignores the free list.
+
+        Raises:
+            MemoryError_: when the tail cannot satisfy the request.
+        """
+        if npages <= 0:
+            raise MemoryError_(f"npages must be positive, got {npages}")
+        nbytes = npages * PAGE_SIZE
+        if self._next + nbytes > self.limit:
+            raise MemoryError_(
+                f"cannot allocate {npages} contiguous frames")
+        base = self._next
+        self._next += nbytes
+        self._outstanding += npages
+        return base
+
+    def free_frame(self, frame: int) -> None:
+        """Return one frame to the allocator.
+
+        Raises:
+            MemoryError_: if the frame is outside the region or unaligned.
+        """
+        if frame & PAGE_MASK or not self.base <= frame < self.limit:
+            raise MemoryError_(f"bogus frame free: {frame:#x}")
+        if self._outstanding <= 0:
+            raise MemoryError_("double free: no frames outstanding")
+        self._outstanding -= 1
+        self._free.append(frame)
+
+
+def make_ram_and_allocator(size: int,
+                           reserved: int = 0,
+                           ) -> "tuple[PhysicalMemory, FrameAllocator]":
+    """Convenience: build RAM plus an allocator skipping *reserved* bytes."""
+    ram = PhysicalMemory(size)
+    if reserved & PAGE_MASK:
+        raise MemoryError_(f"reserved must be page-aligned, got {reserved}")
+    allocator = FrameAllocator(reserved, size - reserved)
+    return ram, allocator

@@ -1,0 +1,32 @@
+"""A user-level message-passing library built on the paper's primitives.
+
+This is the downstream payoff the paper's introduction promises: once
+DMA initiation and atomic operations run from user level, a messaging
+layer needs *no* kernel involvement on its data path at all.
+
+* :mod:`repro.msg.ring` — a single-producer/single-consumer ring in the
+  receiver's memory, filled by remote DMA, with credit-based flow
+  control returned by reverse DMA;
+* :mod:`repro.msg.channel` — :class:`MessageChannel`, the user-facing
+  send/receive API over a ring (one per direction for duplex);
+* :mod:`repro.msg.barrier` — a cluster-wide sense-reversing barrier
+  built on user-level remote ``atomic_add``;
+* :mod:`repro.msg.rpc` — request/reply RPC whose whole round trip runs
+  on user-level DMA.
+"""
+
+from .barrier import ClusterBarrier
+from .channel import MessageChannel
+from .ring import RingLayout, RingReceiver, RingSender
+from .rpc import RpcClient, RpcServer, make_rpc_pair
+
+__all__ = [
+    "ClusterBarrier",
+    "MessageChannel",
+    "RingLayout",
+    "RingReceiver",
+    "RingSender",
+    "RpcClient",
+    "RpcServer",
+    "make_rpc_pair",
+]

@@ -1,0 +1,132 @@
+"""A cluster barrier built on user-level remote atomic operations.
+
+§3.5's atomics exist to support exactly this kind of shared-memory
+coordination on a NOW.  The barrier is sense-reversing:
+
+* a *counter* word lives at a home node; every arrival does a remote
+  user-level ``atomic_add(counter, 1)``;
+* each participant owns a local *sense* word; the **last** arriver
+  resets the counter and flips everyone's sense word with remote
+  ``fetch_and_store`` operations — all still from user level;
+* the others spin on their own local sense word (plain loads — no
+  network traffic while waiting).
+
+Because the simulation is single-threaded, ``arrive()`` returns a
+:class:`BarrierTicket` whose :attr:`~BarrierTicket.passed` flips once
+the release lands, instead of blocking the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.atomics import AtomicChannel
+from ..core.machine import Workstation
+from ..errors import ConfigError
+from ..hw.pagetable import PAGE_SIZE
+from ..os.process import Process
+
+
+@dataclass
+class _Participant:
+    ws: Workstation
+    proc: Process
+    chan: AtomicChannel
+    counter_window: int   # vaddr naming the home counter
+    sense_buf_paddr: int  # local sense word (spun on locally)
+    sense_vaddr: int
+    sense_windows: List[int]  # windows onto everyone's sense words
+
+
+class BarrierTicket:
+    """Handle returned by :meth:`ClusterBarrier.arrive`."""
+
+    def __init__(self, barrier: "ClusterBarrier", index: int,
+                 expected_sense: int) -> None:
+        self._barrier = barrier
+        self._index = index
+        self._expected = expected_sense
+
+    @property
+    def passed(self) -> bool:
+        """Whether the barrier has released this participant."""
+        participant = self._barrier.participants[self._index]
+        sense = participant.ws.ram.read_word(participant.sense_buf_paddr)
+        return sense == self._expected
+
+
+class ClusterBarrier:
+    """A sense-reversing barrier over user-level remote atomics."""
+
+    def __init__(self, home_ws: Workstation,
+                 members: List[Tuple[Workstation, Process]]) -> None:
+        if len(members) < 2:
+            raise ConfigError("a barrier needs at least two members")
+        for ws, _proc in members + [(home_ws, None)]:
+            if ws.atomic_unit is None:
+                raise ConfigError(
+                    "every member machine needs an atomic unit "
+                    "(MachineConfig.atomic_mode)")
+        self.home_ws = home_ws
+        home_owner = home_ws.kernel.spawn("barrier-home")
+        self._counter_buf = home_ws.kernel.alloc_buffer(
+            home_owner, PAGE_SIZE, shadow=False)
+        counter_global = home_ws.nic.global_address(
+            self._counter_buf.paddr)
+
+        self.participants: List[_Participant] = []
+        sense_globals: List[int] = []
+        for ws, proc in members:
+            if proc.atomic is None:
+                ws.kernel.enable_user_atomics(proc)
+            sense_buf = ws.kernel.alloc_buffer(proc, PAGE_SIZE,
+                                               shadow=False)
+            sense_globals.append(ws.nic.global_address(sense_buf.paddr))
+            counter_window = ws.kernel.map_remote_atomic_window(
+                proc, counter_global, PAGE_SIZE)
+            self.participants.append(_Participant(
+                ws=ws, proc=proc, chan=AtomicChannel(ws, proc),
+                counter_window=counter_window,
+                sense_buf_paddr=sense_buf.paddr,
+                sense_vaddr=sense_buf.vaddr,
+                sense_windows=[]))
+        # Every participant can flip every sense word (any of them may
+        # be the last arriver).
+        for participant in self.participants:
+            for sense_global in sense_globals:
+                participant.sense_windows.append(
+                    participant.ws.kernel.map_remote_atomic_window(
+                        participant.proc, sense_global, PAGE_SIZE))
+        self._sense = 0
+        self.episodes = 0
+
+    @property
+    def size(self) -> int:
+        """Number of participants."""
+        return len(self.participants)
+
+    def arrive(self, index: int) -> BarrierTicket:
+        """Participant *index* arrives; returns its release ticket.
+
+        The last arriver resets the counter and releases everyone with
+        remote fetch_and_store operations — all user-level.
+        """
+        participant = self.participants[index]
+        expected = self._sense + 1
+        result = participant.chan.atomic_add(participant.counter_window, 1)
+        if not result.ok:
+            raise ConfigError("barrier arrival atomic_add rejected")
+        if result.old_value == self.size - 1:
+            # Last arrival: reset the counter, flip all senses.
+            reset = participant.chan.fetch_and_store(
+                participant.counter_window, 0)
+            if not reset.ok:
+                raise ConfigError("barrier counter reset rejected")
+            for window in participant.sense_windows:
+                flip = participant.chan.fetch_and_store(window, expected)
+                if not flip.ok:
+                    raise ConfigError("barrier sense flip rejected")
+            self._sense = expected
+            self.episodes += 1
+        return BarrierTicket(self, index, expected)

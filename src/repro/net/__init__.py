@@ -1,0 +1,22 @@
+"""The Network-of-Workstations substrate.
+
+Models the cluster context of the paper's introduction: workstations
+joined by point-to-point links whose bandwidth matches the networks the
+paper names (ATM at 155 and 622 Mb/s, emerging Gigabit LANs).  The NIC
+(:mod:`repro.hw.nic`) routes DMA transfers whose global destination names
+another node through this fabric.
+"""
+
+from .link import ATM_155, ATM_622, GIGABIT, Link, LinkSpec
+from .message import Message
+from .now import Cluster
+
+__all__ = [
+    "ATM_155",
+    "ATM_622",
+    "Cluster",
+    "GIGABIT",
+    "Link",
+    "LinkSpec",
+    "Message",
+]

@@ -1,0 +1,45 @@
+"""Network messages.
+
+The only traffic the reproduction needs is the remote-write packet a NIC
+emits when a DMA transfer targets another node's memory (the Telegraphos/
+SHRIMP model: data is *deposited* directly into the destination's
+physical memory, no receiver software on the critical path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from ..units import Time
+
+_SEQ = count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """One remote-write packet.
+
+    Attributes:
+        src_node / dst_node: fabric node ids.
+        pdst_local: destination physical address on the receiving node.
+        payload: the data bytes.
+        sent_at: transmission start time.
+        seq: global sequence number (debugging / tracing).
+    """
+
+    src_node: int
+    dst_node: int
+    pdst_local: int
+    payload: bytes
+    sent_at: Time
+    seq: int = field(default_factory=lambda: next(_SEQ))
+
+    @property
+    def size(self) -> int:
+        """Payload length in bytes."""
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        return (f"Message(#{self.seq} {self.src_node}->{self.dst_node} "
+                f"{self.size}B @ {self.pdst_local:#x})")

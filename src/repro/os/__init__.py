@@ -1,0 +1,32 @@
+"""The operating-system substrate.
+
+Models exactly as much OS as the paper's argument needs: a kernel with a
+costly syscall path (the Fig. 1 baseline), software virtual-to-physical
+translation with access checks, allocation of buffers / shadow mappings /
+register contexts / keys, and a preemptive scheduler whose context-switch
+path can optionally run the SHRIMP-2 or FLASH *kernel modifications* as
+plug-in hooks — the modifications the paper's own methods make unnecessary.
+"""
+
+from .costs import OsCosts
+from .kernel import Kernel
+from .process import DmaBinding, Process
+from .scheduler import (
+    RandomPreemptionPolicy,
+    RoundRobinPolicy,
+    Scheduler,
+    SchedulingPolicy,
+)
+from .vm import VirtualMemoryManager
+
+__all__ = [
+    "DmaBinding",
+    "Kernel",
+    "OsCosts",
+    "Process",
+    "RandomPreemptionPolicy",
+    "RoundRobinPolicy",
+    "Scheduler",
+    "SchedulingPolicy",
+    "VirtualMemoryManager",
+]

@@ -1,0 +1,41 @@
+"""The OS cost model.
+
+The paper's quantitative claim rests on two observations it cites from
+Ousterhout and from lmbench: operating systems do not speed up as fast as
+hardware, and "the overhead of an empty system call of commercial
+UNIX-like operating systems ranges between 1,000 and 5,000 processor
+cycles".  The trap entry/exit cycles live in
+:class:`repro.hw.cpu.CpuCosts`; this module prices the work the kernel
+does *inside* the DMA syscall (Fig. 1) and on the context-switch path.
+
+All values are CPU cycles; DESIGN.md §6 records the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OsCosts:
+    """Cycle costs of kernel work.
+
+    Attributes:
+        translation_cycles: one software ``virtual_to_physical`` walk with
+            its access-rights check (Fig. 1 does two of these).
+        range_check_cycles_per_page: per-page cost of ``check_size()``
+            validating the whole transfer range.
+        syscall_dispatch_cycles: argument copy-in and handler dispatch.
+        context_switch_cycles: save/restore register state, switch address
+            space, scheduler bookkeeping (TLB refill costs accrue
+            separately through the MMU model).
+        hook_call_cycles: invoking one installed context-switch hook (the
+            incremental cost of the SHRIMP/FLASH kernel modification,
+            excluding its device accesses).
+    """
+
+    translation_cycles: float = 100.0
+    range_check_cycles_per_page: float = 20.0
+    syscall_dispatch_cycles: float = 40.0
+    context_switch_cycles: float = 600.0
+    hook_call_cycles: float = 10.0

@@ -1,0 +1,83 @@
+"""The kernel's virtual-memory manager.
+
+Allocates physically contiguous user buffers (DMA engines speak physical
+addresses, so a multi-page transfer needs contiguous frames — the same
+simplification real drivers make with pinned, contiguous DMA buffers) and
+creates the *shadow mappings* of §2.3: for every data page, a second
+uncached mapping at a fixed virtual offset whose physical side is the
+``shadow()`` image of the data frame.
+
+Shadow permissions mirror the data page's permissions.  This is what makes
+the MMU the protection check: a process can only ever present the engine
+with shadow addresses of frames it has rights on, with the right kind of
+access (a store-passed argument needs write permission, a load-passed one
+needs read permission — hence the paper's note that the key-based method,
+which passes the source by store, requires read *and* write access to the
+source).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import KernelError
+from ..hw.memory import FrameAllocator
+from ..hw.pagetable import PAGE_MASK, PAGE_SIZE, Perm
+from .process import Buffer, Process, shadow_vaddr
+
+#: Maps a data-frame physical address to its shadow physical address.
+ShadowEncoder = Callable[[int], int]
+
+
+class VirtualMemoryManager:
+    """Buffer allocation and mapping services used by the kernel."""
+
+    def __init__(self, allocator: FrameAllocator) -> None:
+        self.allocator = allocator
+
+    def alloc_buffer(self, proc: Process, nbytes: int,
+                     perm: Perm = Perm.RW) -> Buffer:
+        """Allocate a physically contiguous buffer and map it for *proc*.
+
+        *nbytes* is rounded up to whole pages.
+
+        Raises:
+            KernelError: for a non-positive size.
+        """
+        if nbytes <= 0:
+            raise KernelError(f"buffer size must be positive, got {nbytes}")
+        size = (nbytes + PAGE_MASK) & ~PAGE_MASK
+        paddr = self.allocator.alloc_contiguous(size // PAGE_SIZE)
+        vaddr = proc.take_vrange(size)
+        proc.page_table.map_range(vaddr, paddr, size, perm, user=True)
+        buffer = Buffer(vaddr=vaddr, paddr=paddr, size=size, perm=perm)
+        proc.record_buffer(buffer)
+        return buffer
+
+    def map_shadow(self, proc: Process, buffer: Buffer,
+                   encode: ShadowEncoder) -> None:
+        """Create the shadow mappings for every page of *buffer*.
+
+        The virtual side is ``shadow_vaddr(data_vaddr)``; the physical
+        side is ``encode(data_paddr)``; permissions mirror the data
+        page's; the mapping is uncached (it reaches a device).
+
+        Raises:
+            KernelError: if the buffer is already shadowed.
+        """
+        if buffer.shadowed:
+            raise KernelError(
+                f"buffer at {buffer.vaddr:#x} is already shadowed")
+        for offset in range(0, buffer.size, PAGE_SIZE):
+            data_v = buffer.vaddr + offset
+            data_p = buffer.paddr + offset
+            proc.page_table.map_range(
+                shadow_vaddr(data_v), encode(data_p), PAGE_SIZE,
+                buffer.perm, user=True, uncached=True)
+        buffer.shadowed = True
+
+    def map_device_page(self, proc: Process, vaddr: int,
+                        device_paddr: int, perm: Perm = Perm.RW) -> None:
+        """Map one device page (e.g. a register-context page) for *proc*."""
+        proc.page_table.map_range(vaddr, device_paddr, PAGE_SIZE, perm,
+                                  user=True, uncached=True)

@@ -1,0 +1,56 @@
+"""Clock domains.
+
+A :class:`Clock` binds a frequency to the picosecond time base and converts
+between cycle counts and durations.  The CPU, the I/O bus, and the DMA
+engine each run in their own domain (e.g. a 150 MHz Alpha talking to a
+12.5 MHz TurboChannel), matching the paper's prototype where the FPGA board
+ran at 12.5 MHz while the host CPU ran an order of magnitude faster.
+"""
+
+from __future__ import annotations
+
+from ..errors import ClockError
+from ..units import Time, period_ps
+
+
+class Clock:
+    """A named clock domain with a fixed frequency.
+
+    Attributes:
+        name: human-readable domain name (e.g. ``"cpu"``, ``"tc-bus"``).
+        frequency_hz: the domain frequency in Hz.
+        period: one cycle, in integer picoseconds.
+    """
+
+    def __init__(self, name: str, frequency_hz: float) -> None:
+        if frequency_hz <= 0:
+            raise ClockError(
+                f"clock {name!r}: frequency must be positive, "
+                f"got {frequency_hz}")
+        self.name = name
+        self.frequency_hz = frequency_hz
+        self.period: Time = period_ps(frequency_hz)
+
+    def cycles(self, n: float) -> Time:
+        """Duration of *n* cycles (fractional cycles allowed), in ps."""
+        if n < 0:
+            raise ClockError(f"clock {self.name!r}: negative cycles {n}")
+        return round(n * self.period)
+
+    def cycles_in(self, duration: Time) -> float:
+        """How many cycles of this domain fit in *duration* ps."""
+        if duration < 0:
+            raise ClockError(
+                f"clock {self.name!r}: negative duration {duration}")
+        return duration / self.period
+
+    def align_up(self, t: Time) -> Time:
+        """Round *t* up to the next cycle boundary of this domain."""
+        if t < 0:
+            raise ClockError(f"clock {self.name!r}: negative time {t}")
+        remainder = t % self.period
+        return t if remainder == 0 else t + (self.period - remainder)
+
+    def __repr__(self) -> str:
+        mhz_value = self.frequency_hz / 1e6
+        return f"Clock({self.name!r}, {mhz_value:g} MHz)"

@@ -1,0 +1,224 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns the global clock (integer picoseconds) and a
+priority queue of :class:`Event` objects.  Components schedule callbacks with
+:meth:`Simulator.schedule` / :meth:`Simulator.call_at`, and the owner of the
+simulation drives it with :meth:`Simulator.run` (until the queue drains or a
+deadline passes) or :meth:`Simulator.step`.
+
+Two styles of progress coexist:
+
+* **Synchronous components** (the CPU executing an instruction stream)
+  advance the clock directly with :meth:`Simulator.advance`; they represent
+  the single foreground thread of control.
+* **Background activities** (DMA data transfers, network deliveries)
+  schedule future events; the foreground can :meth:`Simulator.run_until`
+  a timestamp or :meth:`Simulator.wait_for` a predicate to let them complete.
+
+Determinism: events at equal timestamps fire in insertion order (a
+monotonically increasing sequence number breaks ties), so identical inputs
+replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from ..units import Time
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(when, seq)``; ``seq`` is assigned by the simulator so
+    same-time events fire first-scheduled-first.  Cancelled events stay in
+    the heap but are skipped when popped.
+    """
+
+    when: Time
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event queue plus the global simulated clock.
+
+    Attributes:
+        now: current simulated time in integer picoseconds.
+    """
+
+    def __init__(self) -> None:
+        self.now: Time = 0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: Time, action: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule *action* to run *delay* ps from now.
+
+        Raises:
+            SimulationError: if *delay* is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        return self.call_at(self.now + delay, action, label)
+
+    def call_at(self, when: Time, action: Callable[[], None],
+                label: str = "") -> Event:
+        """Schedule *action* at absolute time *when*.
+
+        Raises:
+            SimulationError: if *when* is before the current time.
+        """
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self.now}")
+        event = Event(when=when, seq=self._seq, action=action, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # -- synchronous time ---------------------------------------------------
+
+    def advance(self, delta: Time) -> Time:
+        """Advance the clock by *delta* ps, firing any events that become due.
+
+        This is the foreground thread of control "spending" time; background
+        events scheduled inside the advanced window fire in timestamp order
+        before the clock settles at the new value.
+
+        Returns:
+            The new current time.
+
+        Raises:
+            SimulationError: if *delta* is negative.
+        """
+        if delta < 0:
+            raise SimulationError(f"cannot advance by negative time: {delta}")
+        target = self.now + delta
+        self._drain_until(target)
+        self.now = target
+        return self.now
+
+    # -- event loop -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next pending event.
+
+        Returns:
+            True if an event fired, False if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.when < self.now:
+                raise SimulationError(
+                    f"event {event.label!r} scheduled at {event.when} "
+                    f"popped after now={self.now}")
+            self.now = event.when
+            self._events_fired += 1
+            event.action()
+            return True
+        return False
+
+    def run(self, until: Optional[Time] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, *until* passes, or a budget hits.
+
+        Args:
+            until: absolute deadline; events after it stay queued and the
+                clock is left at the deadline (if any events remain) or at
+                the last fired event.
+            max_events: stop after firing this many events.
+
+        Returns:
+            The number of events fired.
+        """
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                break
+            head = self._peek()
+            if head is None:
+                break
+            if until is not None and head.when > until:
+                self.now = max(self.now, until)
+                break
+            if self.step():
+                fired += 1
+        if until is not None and not self._queue:
+            self.now = max(self.now, until)
+        return fired
+
+    def run_until(self, when: Time) -> int:
+        """Run all events up to and including absolute time *when*."""
+        fired = self.run(until=when)
+        self.now = max(self.now, when)
+        return fired
+
+    def wait_for(self, predicate: Callable[[], bool],
+                 timeout: Optional[Time] = None) -> bool:
+        """Fire events until *predicate* becomes true.
+
+        Args:
+            predicate: checked before any event and after each one.
+            timeout: give up after this much simulated time elapses.
+
+        Returns:
+            True if the predicate became true, False on timeout or if the
+            queue drained without satisfying it.
+        """
+        deadline = None if timeout is None else self.now + timeout
+        if predicate():
+            return True
+        while True:
+            head = self._peek()
+            if head is None:
+                return predicate()
+            if deadline is not None and head.when > deadline:
+                self.now = deadline
+                return predicate()
+            self.step()
+            if predicate():
+                return True
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events that have fired."""
+        return self._events_fired
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next live event without popping, or None."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def _drain_until(self, target: Time) -> None:
+        """Fire every live event with timestamp <= target."""
+        while True:
+            head = self._peek()
+            if head is None or head.when > target:
+                return
+            self.step()

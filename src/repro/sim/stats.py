@@ -1,0 +1,175 @@
+"""Counters and latency statistics.
+
+Every hardware and OS model exposes its activity through a
+:class:`StatRegistry` so experiments can report instruction counts, bus
+transactions, context switches, DMA initiations, and latency distributions
+without the models printing anything themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..units import Time, to_us
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        """Increment by *n* (must be non-negative)."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {n}")
+        self.value += n
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class LatencyStat:
+    """Accumulates a latency distribution in integer picoseconds.
+
+    Keeps count/sum/min/max plus the sum of squares for the standard
+    deviation, and optionally retains raw samples for percentile queries.
+    """
+
+    def __init__(self, name: str, keep_samples: bool = False) -> None:
+        self.name = name
+        self.count = 0
+        self.total: Time = 0
+        self.min: Optional[Time] = None
+        self.max: Optional[Time] = None
+        self._sum_sq = 0
+        self._samples: Optional[List[Time]] = [] if keep_samples else None
+
+    def record(self, latency: Time) -> None:
+        """Record one latency sample."""
+        if latency < 0:
+            raise ValueError(
+                f"latency stat {self.name!r}: negative sample {latency}")
+        self.count += 1
+        self.total += latency
+        self._sum_sq += latency * latency
+        if self.min is None or latency < self.min:
+            self.min = latency
+        if self.max is None or latency > self.max:
+            self.max = latency
+        if self._samples is not None:
+            self._samples.append(latency)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency in picoseconds (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def mean_us(self) -> float:
+        """Mean latency in microseconds."""
+        return to_us(round(self.mean))
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation in picoseconds."""
+        if self.count == 0:
+            return 0.0
+        mean = self.mean
+        variance = self._sum_sq / self.count - mean * mean
+        return math.sqrt(max(0.0, variance))
+
+    def percentile(self, p: float) -> Time:
+        """The *p*-th percentile (0..100) of retained samples.
+
+        Raises:
+            ValueError: if samples were not retained or none were recorded.
+        """
+        if self._samples is None:
+            raise ValueError(
+                f"latency stat {self.name!r} was built without keep_samples")
+        if not self._samples:
+            raise ValueError(f"latency stat {self.name!r} has no samples")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return ordered[low]
+        frac = rank - low
+        return round(ordered[low] * (1 - frac) + ordered[high] * frac)
+
+    def reset(self) -> None:
+        """Clear all recorded samples and aggregates."""
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self._sum_sq = 0
+        if self._samples is not None:
+            self._samples.clear()
+
+    def __repr__(self) -> str:
+        return (f"LatencyStat({self.name!r}, n={self.count}, "
+                f"mean={self.mean_us:.3f}us)")
+
+
+@dataclass
+class StatRegistry:
+    """A namespace of counters and latency stats owned by one component."""
+
+    prefix: str = ""
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    latencies: Dict[str, LatencyStat] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        if name not in self.counters:
+            self.counters[name] = Counter(self._qualify(name))
+        return self.counters[name]
+
+    def latency(self, name: str, keep_samples: bool = False) -> LatencyStat:
+        """Get or create the latency stat *name*."""
+        if name not in self.latencies:
+            self.latencies[name] = LatencyStat(
+                self._qualify(name), keep_samples=keep_samples)
+        return self.latencies[name]
+
+    def reset(self) -> None:
+        """Reset every counter and latency stat in the registry."""
+        for counter in self.counters.values():
+            counter.reset()
+        for stat in self.latencies.values():
+            stat.reset()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat name -> value dict of all counters and latency means (us)."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[self._qualify(name)] = float(counter.value)
+        for name, stat in self.latencies.items():
+            out[self._qualify(name) + ".mean_us"] = stat.mean_us
+            out[self._qualify(name) + ".count"] = float(stat.count)
+        return out
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Merge several snapshots; later entries win on key collisions."""
+    merged: Dict[str, float] = {}
+    for snap in snapshots:
+        merged.update(snap)
+    return merged

@@ -1,0 +1,95 @@
+"""Structured trace log.
+
+Components append :class:`TraceEvent` records (timestamp, source, kind,
+detail dict) to a shared :class:`TraceLog`.  Tests assert on trace contents
+(e.g. "the DMA engine saw exactly this access sequence"), and experiments
+can dump traces for debugging.  Tracing is off by default and costs one
+branch per call when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from ..units import Time, fmt_time
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    Attributes:
+        when: simulated timestamp (ps).
+        source: emitting component (e.g. ``"dma"``, ``"cpu0"``).
+        kind: event kind within the source (e.g. ``"shadow-store"``).
+        detail: free-form payload fields.
+    """
+
+    when: Time
+    source: str
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """One-line rendering for dumps."""
+        fields = " ".join(f"{k}={v!r}" for k, v in sorted(self.detail.items()))
+        return f"[{fmt_time(self.when):>12}] {self.source}/{self.kind} {fields}"
+
+
+class TraceLog:
+    """An append-only, filterable event log.
+
+    Attributes:
+        enabled: when False (the default), :meth:`emit` is a no-op.
+        max_events: ring-buffer style cap; oldest events are dropped once
+            exceeded (None means unbounded).
+    """
+
+    def __init__(self, enabled: bool = False,
+                 max_events: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: List[TraceEvent] = []
+
+    def emit(self, when: Time, source: str, kind: str, **detail: Any) -> None:
+        """Append an event if tracing is enabled."""
+        if not self.enabled:
+            return
+        self._events.append(TraceEvent(when, source, kind, detail))
+        if self.max_events is not None and len(self._events) > self.max_events:
+            del self._events[: len(self._events) - self.max_events]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, source: Optional[str] = None,
+               kind: Optional[str] = None,
+               where: Optional[Callable[[TraceEvent], bool]] = None,
+               ) -> List[TraceEvent]:
+        """Return events matching the given filters, in order."""
+        out = []
+        for event in self._events:
+            if source is not None and event.source != source:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            if where is not None and not where(event):
+                continue
+            out.append(event)
+        return out
+
+    def kinds(self, source: Optional[str] = None) -> List[str]:
+        """The sequence of event kinds, optionally filtered by source."""
+        return [e.kind for e in self.events(source=source)]
+
+    def dump(self) -> str:
+        """Multi-line human-readable rendering of the whole log."""
+        return "\n".join(event.format() for event in self._events)

@@ -1,0 +1,164 @@
+"""Time, frequency, size, and bandwidth units.
+
+The whole simulator keeps time as an **integer number of picoseconds**.
+Integer time makes event ordering exact and reproducible: there is no
+floating-point drift when thousands of sub-nanosecond costs are accumulated,
+and two runs with the same seed produce byte-identical traces.
+
+Helpers here convert between human units and picoseconds, and between clock
+frequencies and periods.  Bandwidths are expressed in bits per second and
+converted to per-byte transfer times.
+"""
+
+from __future__ import annotations
+
+from .errors import ClockError
+
+#: Type alias for simulation timestamps/durations (integer picoseconds).
+Time = int
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def ps(value: float) -> Time:
+    """Return *value* picoseconds as an integer :data:`Time`."""
+    return round(value)
+
+
+def ns(value: float) -> Time:
+    """Return *value* nanoseconds in picoseconds."""
+    return round(value * PS_PER_NS)
+
+
+def us(value: float) -> Time:
+    """Return *value* microseconds in picoseconds."""
+    return round(value * PS_PER_US)
+
+
+def ms(value: float) -> Time:
+    """Return *value* milliseconds in picoseconds."""
+    return round(value * PS_PER_MS)
+
+
+def seconds(value: float) -> Time:
+    """Return *value* seconds in picoseconds."""
+    return round(value * PS_PER_S)
+
+
+def to_ns(t: Time) -> float:
+    """Convert picoseconds to nanoseconds (float, for reporting only)."""
+    return t / PS_PER_NS
+
+
+def to_us(t: Time) -> float:
+    """Convert picoseconds to microseconds (float, for reporting only)."""
+    return t / PS_PER_US
+
+
+def to_ms(t: Time) -> float:
+    """Convert picoseconds to milliseconds (float, for reporting only)."""
+    return t / PS_PER_MS
+
+
+def to_seconds(t: Time) -> float:
+    """Convert picoseconds to seconds (float, for reporting only)."""
+    return t / PS_PER_S
+
+
+def mhz(value: float) -> float:
+    """Return *value* MHz in Hz."""
+    return value * 1_000_000.0
+
+
+def ghz(value: float) -> float:
+    """Return *value* GHz in Hz."""
+    return value * 1_000_000_000.0
+
+
+def period_ps(frequency_hz: float) -> Time:
+    """Return the period of a clock running at *frequency_hz*, in ps.
+
+    Raises:
+        ClockError: if the frequency is not positive.
+    """
+    if frequency_hz <= 0:
+        raise ClockError(f"frequency must be positive, got {frequency_hz}")
+    return round(PS_PER_S / frequency_hz)
+
+
+# --- sizes -----------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+def kib(value: float) -> int:
+    """Return *value* KiB in bytes."""
+    return round(value * KIB)
+
+
+def mib(value: float) -> int:
+    """Return *value* MiB in bytes."""
+    return round(value * MIB)
+
+
+def gib(value: float) -> int:
+    """Return *value* GiB in bytes."""
+    return round(value * GIB)
+
+
+# --- bandwidth -------------------------------------------------------------
+
+
+def mbps(value: float) -> float:
+    """Return *value* megabits/second in bits/second."""
+    return value * 1_000_000.0
+
+
+def gbps(value: float) -> float:
+    """Return *value* gigabits/second in bits/second."""
+    return value * 1_000_000_000.0
+
+
+def transfer_time(nbytes: int, bandwidth_bps: float) -> Time:
+    """Time to move *nbytes* at *bandwidth_bps*, in integer picoseconds.
+
+    Raises:
+        ClockError: if the bandwidth is not positive.
+    """
+    if bandwidth_bps <= 0:
+        raise ClockError(f"bandwidth must be positive, got {bandwidth_bps}")
+    return round(nbytes * 8 * PS_PER_S / bandwidth_bps)
+
+
+def bandwidth_of(nbytes: int, elapsed: Time) -> float:
+    """Achieved bandwidth in bits/second for *nbytes* over *elapsed* ps."""
+    if elapsed <= 0:
+        raise ClockError(f"elapsed time must be positive, got {elapsed}")
+    return nbytes * 8 * PS_PER_S / elapsed
+
+
+def fmt_time(t: Time) -> str:
+    """Human-readable rendering of a :data:`Time` value."""
+    if t >= PS_PER_MS:
+        return f"{to_ms(t):.3f} ms"
+    if t >= PS_PER_US:
+        return f"{to_us(t):.3f} us"
+    if t >= PS_PER_NS:
+        return f"{to_ns(t):.2f} ns"
+    return f"{t} ps"
+
+
+def fmt_bandwidth(bps: float) -> str:
+    """Human-readable rendering of a bandwidth in bits/second."""
+    if bps >= 1e9:
+        return f"{bps / 1e9:.2f} Gb/s"
+    if bps >= 1e6:
+        return f"{bps / 1e6:.2f} Mb/s"
+    if bps >= 1e3:
+        return f"{bps / 1e3:.2f} kb/s"
+    return f"{bps:.1f} b/s"

@@ -1,0 +1,59 @@
+"""Verification: the paper's correctness arguments, checked mechanically.
+
+The paper argues (§3.3.1, Figs. 5, 6, 8) about *interleavings* of shadow
+accesses from multiple processes.  This package makes those arguments
+executable:
+
+* :mod:`repro.verify.interleave` — a protocol-level harness that replays
+  arbitrary access interleavings into a fresh engine, plus an exhaustive
+  interleaving enumerator;
+* :mod:`repro.verify.adversary` — the attack scenarios from the figures
+  and generators for adversarial access streams;
+* :mod:`repro.verify.properties` — the safety properties (authorized
+  start, single-issuer sequences, truthful status reporting);
+* :mod:`repro.verify.model_check` — bounded exhaustive checking of a
+  scenario against the properties;
+* :mod:`repro.verify.stress` — whole-machine multiprogrammed stress runs
+  under a seeded preemptive scheduler.
+"""
+
+from .adversary import (
+    fig5_scenario,
+    fig6_scenario,
+    fig8_scenario,
+    pair_race_scenario,
+)
+from .interleave import (
+    AccessSpec,
+    ProtocolHarness,
+    enumerate_interleavings,
+    initiation_stream,
+    interleaving_count,
+)
+from .model_check import CheckResult, Scenario, check_scenario
+from .proof import LemmaResult, ProofReport, prove_fig8
+from .properties import ProcessIntent, Rights, Violation
+from .stress import StressReport, run_stress
+
+__all__ = [
+    "AccessSpec",
+    "CheckResult",
+    "LemmaResult",
+    "ProcessIntent",
+    "ProofReport",
+    "ProtocolHarness",
+    "Rights",
+    "Scenario",
+    "StressReport",
+    "Violation",
+    "check_scenario",
+    "enumerate_interleavings",
+    "fig5_scenario",
+    "fig6_scenario",
+    "fig8_scenario",
+    "initiation_stream",
+    "interleaving_count",
+    "pair_race_scenario",
+    "prove_fig8",
+    "run_stress",
+]

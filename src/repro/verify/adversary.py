@@ -1,0 +1,234 @@
+"""The paper's attack scenarios (Figs. 5, 6, 8) and race scenarios.
+
+Each builder returns a :class:`~repro.verify.model_check.Scenario` plus,
+where the paper gives one, the *exact* interleaving from the figure so
+tests can reproduce the printed attack verbatim before searching
+exhaustively.
+
+Address conventions: one page per named buffer; the victim is pid 1.
+Adversary streams only contain accesses the MMU would let the adversary
+issue — a shadow store needs write permission on the page, a shadow load
+needs read permission (that is the whole protection story of §2.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import VerificationError
+from ..hw.pagetable import PAGE_SIZE
+from .interleave import AccessSpec, initiation_stream
+from .model_check import Scenario
+from .properties import ProcessIntent, Rights
+
+# One page per named buffer, inside the harness's 64 KiB RAM.
+ADDR_A = 0 * PAGE_SIZE   # victim's source
+ADDR_B = 1 * PAGE_SIZE   # victim's (private) destination
+ADDR_C = 2 * PAGE_SIZE   # adversary's own data
+ADDR_FOO = 3 * PAGE_SIZE  # adversary's scratch page
+
+SIZE = 256  # transfer size used throughout the scenarios
+
+
+def fig5_scenario() -> Tuple[Scenario, List[AccessSpec]]:
+    """Fig. 5: the 3-instruction variant is exploitable.
+
+    The malicious process (pid 2) owns C and foo; the victim (pid 1)
+    wants A -> B.  In the figure's interleaving the engine ends up
+    starting C -> B: the adversary's data lands in the victim's private
+    page — an authorized-start violation (pid 2 cannot write B).
+
+    Returns:
+        (scenario, the exact interleaving from the figure).
+    """
+    victim = initiation_stream("repeated3", 1, ADDR_A, ADDR_B, SIZE)
+    malicious = [
+        AccessSpec(2, "store", ADDR_FOO, SIZE),   # STORE foo TO shadow(foo)
+        AccessSpec(2, "load", ADDR_FOO),          # LOAD FROM shadow(foo)
+        AccessSpec(2, "load", ADDR_C),            # LOAD FROM shadow(C)
+        AccessSpec(2, "load", ADDR_C, final=True),  # LOAD FROM shadow(C)
+    ]
+    scenario = Scenario(
+        name="fig5-repeated3",
+        method="repeated3",
+        streams=[victim, malicious],
+        rights={
+            1: Rights.over(write_pages=[ADDR_A, ADDR_B]),
+            2: Rights.over(write_pages=[ADDR_C, ADDR_FOO]),
+        },
+        intents=[ProcessIntent(1, ADDR_A, ADDR_B, SIZE)],
+    )
+    # The figure's order: V:1  M:2 M:3 M:4  V:5  M:6  V:7
+    figure_order = [victim[0], malicious[0], malicious[1], malicious[2],
+                    victim[1], malicious[3], victim[2]]
+    return scenario, figure_order
+
+
+def fig6_scenario() -> Tuple[Scenario, List[AccessSpec]]:
+    """Fig. 6: the 4-instruction variant misinforms the victim.
+
+    The adversary (pid 2) has *read-only* access to A ("data readable by
+    any process").  It slips one LOAD FROM shadow(A) between the victim's
+    3rd and 4th accesses: the engine starts the victim's A -> B transfer
+    but reports the success to the adversary and DMA_FAILURE to the
+    victim — a truthful-status violation (and an authorized-start one,
+    since the start was triggered by a process that cannot write B).
+    """
+    victim = initiation_stream("repeated4", 1, ADDR_A, ADDR_B, SIZE)
+    malicious = [AccessSpec(2, "load", ADDR_A, final=True)]
+    scenario = Scenario(
+        name="fig6-repeated4",
+        method="repeated4",
+        streams=[victim, malicious],
+        rights={
+            1: Rights.over(write_pages=[ADDR_A, ADDR_B]),
+            2: Rights.over(read_pages=[ADDR_A],
+                           write_pages=[ADDR_C]),
+        },
+        intents=[ProcessIntent(1, ADDR_A, ADDR_B, SIZE)],
+    )
+    figure_order = [victim[0], victim[1], victim[2], malicious[0],
+                    victim[3]]
+    return scenario, figure_order
+
+
+def fig8_scenario(n_adversaries: int = 2,
+                  adversary_reads_source: bool = True,
+                  accesses_per_adversary: int = 3) -> Scenario:
+    """Fig. 8 / §3.3.1: the 5-instruction variant under interference.
+
+    The victim wants SOURCE -> DEST where DEST is private; adversaries
+    may (optionally) read the source and own their own pages.  The
+    paper's claim, which :func:`~repro.verify.model_check.check_scenario`
+    verifies exhaustively: **no interleaving** yields an unauthorized
+    start, a mixed-issuer sequence, or a lying status.
+
+    Args:
+        n_adversaries: 1-4 interfering processes.
+        adversary_reads_source: grant adversaries read access to the
+            victim's source page (the paper's "possibly public" data).
+        accesses_per_adversary: 3 for full interfering initiations, or
+            1 for Fig. 8's literal worst case — each adversary supplies
+            exactly one potential pattern slot (Fig. 8(a): "all five
+            instructions are issued by different processes").  One-slot
+            adversaries keep the interleaving count exact and small
+            even at four adversaries.
+    """
+    if not 1 <= n_adversaries <= 4:
+        raise VerificationError("n_adversaries must be 1..4")
+    if accesses_per_adversary not in (1, 3):
+        raise VerificationError("accesses_per_adversary must be 1 or 3")
+    victim = initiation_stream("repeated5", 1, ADDR_A, ADDR_B, SIZE)
+    streams = [victim]
+    rights = {1: Rights.over(write_pages=[ADDR_A, ADDR_B])}
+    intents = [ProcessIntent(1, ADDR_A, ADDR_B, SIZE)]
+    for index in range(n_adversaries):
+        pid = 2 + index
+        own_page = (4 + index) * PAGE_SIZE
+        read_pages = [ADDR_A] if adversary_reads_source else []
+        rights[pid] = Rights.over(read_pages=read_pages,
+                                  write_pages=[own_page])
+        if accesses_per_adversary == 1:
+            # One pattern-slot each: stores from even adversaries, loads
+            # of the shared source from odd ones (if allowed).
+            if index % 2 == 0 or not adversary_reads_source:
+                stream: List[AccessSpec] = [
+                    AccessSpec(pid, "store", own_page, SIZE, final=False)]
+            else:
+                stream = [AccessSpec(pid, "load", ADDR_A, final=True)]
+        else:
+            stream = [AccessSpec(pid, "store", own_page, SIZE)]
+            if adversary_reads_source:
+                stream.append(AccessSpec(pid, "load", ADDR_A))
+            stream.append(AccessSpec(pid, "load", own_page, final=True))
+        streams.append(stream)
+    return Scenario(
+        name=f"fig8-repeated5-{n_adversaries}adv",
+        method="repeated5",
+        streams=streams,
+        rights=rights,
+        intents=intents,
+    )
+
+
+def pair_race_scenario(method: str,
+                       keys: Optional[Tuple[int, int]] = None) -> Scenario:
+    """Two legitimate processes initiate concurrently (the §2.5 race).
+
+    Both processes are honest; the question is whether an unlucky
+    preemption can mix their arguments.  For SHRIMP-2 (without its
+    kernel hook) the exhaustive check *finds* interleavings where a
+    started DMA pairs one process's source with the other's destination
+    — the exact race Blumrich et al. patch the context-switch handler
+    to prevent.  For the keyed and extended-shadow methods, no
+    interleaving misbehaves: that is the paper's §3.1/§3.2 claim.
+
+    Args:
+        method: "shrimp2", "keyed", "extshadow", or "repeated5".
+        keys: the two processes' keys (keyed method only; defaults
+            provided).
+    """
+    src1, dst1 = 0 * PAGE_SIZE, 1 * PAGE_SIZE
+    src2, dst2 = 2 * PAGE_SIZE, 3 * PAGE_SIZE
+    if method == "keyed":
+        key1, key2 = keys if keys is not None else (0xAAA111, 0xBBB222)
+        stream1 = initiation_stream("keyed", 1, src1, dst1, SIZE,
+                                    key=key1, ctx_id=0)
+        stream2 = initiation_stream("keyed", 2, src2, dst2, SIZE,
+                                    key=key2, ctx_id=1)
+        scenario_keys = {0: key1, 1: key2}
+    elif method == "extshadow":
+        stream1 = initiation_stream("extshadow", 1, src1, dst1, SIZE,
+                                    ctx_id=0)
+        stream2 = initiation_stream("extshadow", 2, src2, dst2, SIZE,
+                                    ctx_id=1)
+        scenario_keys = {}
+    else:
+        stream1 = initiation_stream(method, 1, src1, dst1, SIZE)
+        stream2 = initiation_stream(method, 2, src2, dst2, SIZE)
+        scenario_keys = {}
+    return Scenario(
+        name=f"pair-race-{method}",
+        method=method,
+        streams=[stream1, stream2],
+        rights={
+            1: Rights.over(write_pages=[src1, dst1]),
+            2: Rights.over(write_pages=[src2, dst2]),
+        },
+        intents=[ProcessIntent(1, src1, dst1, SIZE),
+                 ProcessIntent(2, src2, dst2, SIZE)],
+        keys=scenario_keys,
+    )
+
+
+def key_guessing_scenario(true_key: int, guesses: List[int]) -> Scenario:
+    """§3.1: an adversary sprays guessed keys at the victim's context.
+
+    The victim completes a keyed initiation; the adversary interleaves
+    shadow stores carrying guessed keys, trying to redirect the victim's
+    context at its own page.  Unless a guess equals the true 60-bit key,
+    no interleaving can violate any property.
+    """
+    victim = initiation_stream("keyed", 1, ADDR_A, ADDR_B, SIZE,
+                               key=true_key, ctx_id=0)
+    adversary = [
+        AccessSpec(2, "store", ADDR_C,
+                   _keyed_word(guess, ctx_id=0)) for guess in guesses
+    ]
+    return Scenario(
+        name="key-guessing",
+        method="keyed",
+        streams=[victim, adversary],
+        rights={
+            1: Rights.over(write_pages=[ADDR_A, ADDR_B]),
+            2: Rights.over(write_pages=[ADDR_C]),
+        },
+        intents=[ProcessIntent(1, ADDR_A, ADDR_B, SIZE)],
+        keys={0: true_key},
+    )
+
+
+def _keyed_word(key: int, ctx_id: int) -> int:
+    from ..hw.dma.protocols.keyed import ARG_SOURCE, pack_key_word
+
+    return pack_key_word(key, ctx_id, ARG_SOURCE)

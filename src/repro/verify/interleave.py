@@ -1,0 +1,240 @@
+"""Protocol-level replay harness and interleaving enumeration.
+
+Works directly against a fresh :class:`~repro.hw.dma.engine.DmaEngine`
+(no CPU, no scheduler): each :class:`AccessSpec` is delivered through the
+engine's MMIO interface exactly as the bus would deliver it.  This is the
+right level for exhaustive checking — the paper's §3.3.1 argument is
+about the order in which accesses *reach the engine*, nothing else.
+
+The enumerator yields **every** interleaving of the given streams
+(preserving each stream's internal order), so a scenario with a
+5-access victim and a 3-access adversary is checked over all
+C(8,3) = 56 orders; Fig. 8's three-adversary worst case is a few
+thousand.  Counts stay exact and tractable because the streams are short
+— exactly the sizes the paper reasons about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import VerificationError
+from ..hw.device import AccessContext
+from ..hw.dma.engine import DmaEngine
+from ..hw.dma.protocols.keyed import (
+    ARG_DESTINATION,
+    ARG_SOURCE,
+    pack_key_word,
+)
+from ..hw.dma.protocols.repeated import RepeatedPassingProtocol
+from ..hw.dma.shadow import ShadowLayout
+from ..hw.memory import PhysicalMemory
+from ..hw.pagetable import PAGE_SIZE
+from ..sim.engine import Simulator
+from ..units import kib
+from .properties import ReplayEvidence
+
+
+@dataclass(frozen=True)
+class AccessSpec:
+    """One access a process will issue, protocol-level.
+
+    Attributes:
+        pid: issuing process.
+        op: "store", "load", "exchange" (shadow region) or
+            "ctx-store" / "ctx-load" (the process's register-context
+            page).
+        paddr: argument physical address (shadow ops) — ignored for
+            context-page ops.
+        data: data word for stores/exchanges.
+        ctx_id: CONTEXT_ID — the address bits for shadow ops under
+            extended shadow encoding, or the context page index for
+            ctx ops.
+        final: marks the access whose status is the process's verdict.
+    """
+
+    pid: int
+    op: str
+    paddr: int = 0
+    data: int = 0
+    ctx_id: int = 0
+    final: bool = False
+
+
+class ProtocolHarness:
+    """A bare engine + one protocol, driven access-by-access."""
+
+    def __init__(self, protocol_factory, n_contexts: int = 4,
+                 ram_size: int = kib(64)) -> None:
+        self.protocol_factory = protocol_factory
+        self.n_contexts = n_contexts
+        self.ram_size = ram_size
+        self._keys: Dict[int, int] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Fresh simulator, RAM, engine, and protocol (keys re-applied)."""
+        self.sim = Simulator()
+        self.ram = PhysicalMemory(self.ram_size)
+        ctx_bits = max(1, (self.n_contexts - 1).bit_length())
+        self.layout = ShadowLayout(n_contexts=self.n_contexts,
+                                   ctx_bits=ctx_bits)
+        self.protocol = self.protocol_factory()
+        self.engine = DmaEngine(self.sim, self.ram, self.protocol,
+                                layout=self.layout)
+        for ctx_id, key in self._keys.items():
+            self.engine.install_key(ctx_id, key)
+
+    # -- delivery ----------------------------------------------------------
+
+    def deliver(self, access: AccessSpec) -> Optional[int]:
+        """Deliver one access; returns the status for loads, else None."""
+        ctx = AccessContext(issuer=access.pid, kernel=False,
+                            when=self.sim.now)
+        self.sim.advance(1)  # keep timestamps strictly ordered
+        if access.op in ("store", "load", "exchange"):
+            offset = (self.layout.shadow_offset
+                      + (access.ctx_id << self.layout.ctx_shift)
+                      + access.paddr)
+            if access.op == "store":
+                self.engine.mmio_write(offset, access.data, ctx)
+                return None
+            if access.op == "load":
+                return self.engine.mmio_read(offset, ctx)
+            return self.engine.mmio_exchange(offset, access.data, ctx)
+        if access.op == "ctx-store":
+            self.engine.mmio_write(access.ctx_id * PAGE_SIZE, access.data,
+                                   ctx)
+            return None
+        if access.op == "ctx-load":
+            return self.engine.mmio_read(access.ctx_id * PAGE_SIZE, ctx)
+        raise VerificationError(f"unknown access op {access.op!r}")
+
+    def replay(self, interleaving: Sequence[AccessSpec]) -> ReplayEvidence:
+        """Reset and replay one interleaving, collecting evidence."""
+        self.reset()
+        evidence = ReplayEvidence()
+        for access in interleaving:
+            status = self.deliver(access)
+            if access.final and status is not None:
+                evidence.final_status[access.pid] = status
+        evidence.records = list(self.engine.initiations)
+        if isinstance(self.protocol, RepeatedPassingProtocol):
+            evidence.contributors = [
+                tuple(p for p in pids)
+                for pids in self.protocol.completed_contributors]
+        return evidence
+
+    def install_key(self, ctx_id: int, key: int) -> None:
+        """Install a key (survives replay resets via re-registration)."""
+        self._keys[ctx_id] = key
+        self.engine.install_key(ctx_id, key)
+
+
+# ----------------------------------------------------------------------
+# interleaving enumeration
+# ----------------------------------------------------------------------
+
+
+def enumerate_interleavings(
+        streams: Sequence[Sequence[AccessSpec]],
+) -> Iterator[Tuple[AccessSpec, ...]]:
+    """Yield every interleaving of *streams*, each stream kept in order.
+
+    The number of results is the multinomial coefficient
+    ``(sum of lengths)! / prod(lengths!)``.
+    """
+    lengths = tuple(len(s) for s in streams)
+
+    def recurse(positions: Tuple[int, ...],
+                prefix: List[AccessSpec]) -> Iterator[Tuple[AccessSpec, ...]]:
+        if all(p == n for p, n in zip(positions, lengths)):
+            yield tuple(prefix)
+            return
+        for index, (pos, length) in enumerate(zip(positions, lengths)):
+            if pos < length:
+                prefix.append(streams[index][pos])
+                next_positions = (positions[:index] + (pos + 1,)
+                                  + positions[index + 1:])
+                yield from recurse(next_positions, prefix)
+                prefix.pop()
+
+    yield from recurse(tuple(0 for _ in streams), [])
+
+
+def interleaving_count(lengths: Sequence[int]) -> int:
+    """How many interleavings ``enumerate_interleavings`` will yield."""
+    total = sum(lengths)
+    result = _factorial(total)
+    for length in lengths:
+        result //= _factorial(length)
+    return result
+
+
+@lru_cache(maxsize=None)
+def _factorial(n: int) -> int:
+    return 1 if n <= 1 else n * _factorial(n - 1)
+
+
+# ----------------------------------------------------------------------
+# stream builders: one initiation, method by method, at FSM level
+# ----------------------------------------------------------------------
+
+
+def initiation_stream(method: str, pid: int, psrc: int, pdst: int,
+                      size: int, key: Optional[int] = None,
+                      ctx_id: int = 0) -> List[AccessSpec]:
+    """The shadow-access stream one initiation of *method* produces.
+
+    Mirrors :meth:`repro.core.api.DmaChannel.sequence` at the level the
+    engine sees (physical shadow arguments, no retry loop).  The last
+    load is marked ``final`` so properties can read the process's
+    verdict.
+    """
+    if method in ("shrimp2", "flash", "pal"):
+        return [
+            AccessSpec(pid, "store", pdst, size),
+            AccessSpec(pid, "load", psrc, final=True),
+        ]
+    if method == "extshadow":
+        return [
+            AccessSpec(pid, "store", pdst, size, ctx_id=ctx_id),
+            AccessSpec(pid, "load", psrc, ctx_id=ctx_id, final=True),
+        ]
+    if method == "keyed":
+        if key is None:
+            raise VerificationError("keyed streams need a key")
+        return [
+            AccessSpec(pid, "store", pdst,
+                       pack_key_word(key, ctx_id, ARG_DESTINATION)),
+            AccessSpec(pid, "store", psrc,
+                       pack_key_word(key, ctx_id, ARG_SOURCE)),
+            AccessSpec(pid, "ctx-store", data=size, ctx_id=ctx_id),
+            AccessSpec(pid, "ctx-load", ctx_id=ctx_id, final=True),
+        ]
+    if method == "shrimp1":
+        return [AccessSpec(pid, "exchange", psrc, size, final=True)]
+    if method == "repeated3":
+        return [
+            AccessSpec(pid, "load", psrc),
+            AccessSpec(pid, "store", pdst, size),
+            AccessSpec(pid, "load", psrc, final=True),
+        ]
+    if method == "repeated4":
+        return [
+            AccessSpec(pid, "store", pdst, size),
+            AccessSpec(pid, "load", psrc),
+            AccessSpec(pid, "store", pdst, size),
+            AccessSpec(pid, "load", psrc, final=True),
+        ]
+    if method == "repeated5":
+        return [
+            AccessSpec(pid, "store", pdst, size),
+            AccessSpec(pid, "load", psrc),
+            AccessSpec(pid, "store", pdst, size),
+            AccessSpec(pid, "load", psrc),
+            AccessSpec(pid, "load", pdst, final=True),
+        ]
+    raise VerificationError(f"no stream builder for method {method!r}")

@@ -1,0 +1,189 @@
+"""Safety properties for user-level DMA initiation.
+
+A verification *scenario* declares, for each participating process, its
+:class:`Rights` (which physical ranges it may read / write — the MMU's
+view) and optionally its :class:`ProcessIntent` (the one DMA it is trying
+to start).  After a replay, the properties below are evaluated against
+the engine's initiation records and the per-access status results:
+
+* **authorized-start** — every started DMA must be one that its issuing
+  process could have performed legitimately: readable source, writable
+  destination.  (Fig. 5's attack violates this: the malicious process
+  starts a transfer *into* a page it cannot write.)
+* **single-issuer** — for sequence-recognizer protocols, every access
+  that contributed to a started DMA came from one process (§3.3.1's
+  claim for the 5-instruction variant).
+* **truthful-status** — a process that is told DMA_FAILURE must not have
+  had its DMA started by someone else's access, and a process told
+  success must actually have a matching started DMA.  (Fig. 6's attack
+  violates the first half: the adversary steals the start and the victim
+  retries, duplicating the transfer.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..hw.dma.engine import InitiationRecord
+from ..hw.pagetable import PAGE_SIZE, page_base
+
+
+@dataclass(frozen=True)
+class Rights:
+    """What a process's page tables let it do (physical, page granular).
+
+    Attributes:
+        readable: page base addresses it may read.
+        writable: page base addresses it may write.
+    """
+
+    readable: FrozenSet[int] = frozenset()
+    writable: FrozenSet[int] = frozenset()
+
+    @staticmethod
+    def over(read_pages: Iterable[int] = (),
+             write_pages: Iterable[int] = ()) -> "Rights":
+        """Build rights from page base iterables (write implies read)."""
+        writable = frozenset(page_base(p) for p in write_pages)
+        readable = frozenset(page_base(p) for p in read_pages) | writable
+        return Rights(readable=readable, writable=writable)
+
+    def can_read(self, paddr: int, size: int = 1) -> bool:
+        """Whether every page of [paddr, paddr+size) is readable."""
+        return self._covers(self.readable, paddr, size)
+
+    def can_write(self, paddr: int, size: int = 1) -> bool:
+        """Whether every page of [paddr, paddr+size) is writable."""
+        return self._covers(self.writable, paddr, size)
+
+    @staticmethod
+    def _covers(pages: FrozenSet[int], paddr: int, size: int) -> bool:
+        if size <= 0:
+            return False
+        first = page_base(paddr)
+        last = page_base(paddr + size - 1)
+        current = first
+        while current <= last:
+            if current not in pages:
+                return False
+            current += PAGE_SIZE
+        return True
+
+
+@dataclass(frozen=True)
+class ProcessIntent:
+    """The one DMA a process is trying to start in a scenario."""
+
+    pid: int
+    psrc: int
+    pdst: int
+    size: int
+
+    def matches(self, record: InitiationRecord) -> bool:
+        """Whether *record* is exactly this intended transfer."""
+        return (record.psrc == self.psrc and record.pdst == self.pdst
+                and record.size == self.size)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation found in one replay.
+
+    Attributes:
+        prop: property name ("authorized-start", "single-issuer",
+            "truthful-status").
+        pid: the process wronged or at fault (property-dependent).
+        detail: human-readable description.
+    """
+
+    prop: str
+    pid: Optional[int]
+    detail: str
+
+
+@dataclass
+class ReplayEvidence:
+    """Everything a replay produced that the properties inspect.
+
+    Attributes:
+        records: the engine's initiation records, in order.
+        final_status: per-pid status word returned by that process's
+            *final* load (None if its stream had no loads).
+        contributors: per started-record index, the pids of the accesses
+            that advanced the recognizer to completion (only available
+            for sequence-recognizer protocols; empty otherwise).
+    """
+
+    records: List[InitiationRecord] = field(default_factory=list)
+    final_status: dict = field(default_factory=dict)
+    contributors: List[Tuple[int, ...]] = field(default_factory=list)
+
+
+def check_authorized_start(evidence: ReplayEvidence,
+                           rights: dict) -> List[Violation]:
+    """Every started DMA's issuer must hold the needed rights."""
+    violations: List[Violation] = []
+    for record in evidence.records:
+        if not record.ok:
+            continue
+        holder: Optional[Rights] = rights.get(record.issuer)
+        if holder is None:
+            violations.append(Violation(
+                "authorized-start", record.issuer,
+                f"start by unknown pid {record.issuer}"))
+            continue
+        if not holder.can_read(record.psrc, record.size):
+            violations.append(Violation(
+                "authorized-start", record.issuer,
+                f"pid {record.issuer} started DMA from unreadable "
+                f"{record.psrc:#x} (+{record.size})"))
+        if not holder.can_write(record.pdst, record.size):
+            violations.append(Violation(
+                "authorized-start", record.issuer,
+                f"pid {record.issuer} started DMA into unwritable "
+                f"{record.pdst:#x} (+{record.size})"))
+    return violations
+
+
+def check_single_issuer(evidence: ReplayEvidence) -> List[Violation]:
+    """All contributing accesses of a started DMA share one issuer."""
+    violations: List[Violation] = []
+    for index, pids in enumerate(evidence.contributors):
+        if len(set(pids)) > 1:
+            violations.append(Violation(
+                "single-issuer", None,
+                f"started DMA #{index} assembled from accesses by "
+                f"pids {sorted(set(pids))}"))
+    return violations
+
+
+def check_truthful_status(evidence: ReplayEvidence,
+                          intents: Iterable[ProcessIntent],
+                          rejection_words: FrozenSet[int],
+                          ) -> List[Violation]:
+    """Reported success/failure must match whether the intent started.
+
+    Args:
+        rejection_words: status words that mean "no DMA started on your
+            behalf" (FAILURE, and PENDING for the repeated-passing
+            recognizer).
+    """
+    violations: List[Violation] = []
+    for intent in intents:
+        started = any(r.ok and intent.matches(r) for r in evidence.records)
+        status = evidence.final_status.get(intent.pid)
+        if status is None:
+            continue
+        reported_ok = status not in rejection_words
+        if started and not reported_ok:
+            violations.append(Violation(
+                "truthful-status", intent.pid,
+                f"pid {intent.pid} was told FAILURE but its DMA "
+                f"({intent.psrc:#x}->{intent.pdst:#x}) started"))
+        if reported_ok and not started:
+            violations.append(Violation(
+                "truthful-status", intent.pid,
+                f"pid {intent.pid} was told success but its DMA never "
+                f"started"))
+    return violations

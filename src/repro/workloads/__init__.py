@@ -1,0 +1,30 @@
+"""Workload generation for benchmarks and examples.
+
+* :mod:`repro.workloads.patterns` — address/size patterns: sequential,
+  strided, random, and the small-message-heavy mixes that motivate
+  user-level DMA.
+* :mod:`repro.workloads.generators` — request-stream generators binding
+  patterns to buffers and (optionally) Poisson arrival times.
+"""
+
+from .generators import DmaRequest, RequestGenerator, poisson_arrivals
+from .patterns import (
+    MessageSizeMix,
+    SMALL_MESSAGE_MIX,
+    UNIFORM_MIX,
+    offsets_random,
+    offsets_sequential,
+    offsets_strided,
+)
+
+__all__ = [
+    "DmaRequest",
+    "MessageSizeMix",
+    "RequestGenerator",
+    "SMALL_MESSAGE_MIX",
+    "UNIFORM_MIX",
+    "offsets_random",
+    "offsets_sequential",
+    "offsets_strided",
+    "poisson_arrivals",
+]

@@ -1,0 +1,95 @@
+"""DMA request-stream generators.
+
+A :class:`RequestGenerator` binds a size mix and an offset pattern to a
+pair of buffers and yields :class:`DmaRequest` objects a benchmark can
+feed to a :class:`~repro.core.api.DmaChannel`.  Arrival times (for
+open-loop experiments) come from :func:`poisson_arrivals`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..units import Time, seconds
+from .patterns import MessageSizeMix, SMALL_MESSAGE_MIX, offsets_random
+
+
+@dataclass(frozen=True)
+class DmaRequest:
+    """One DMA the workload wants performed.
+
+    Attributes:
+        src_offset / dst_offset: byte offsets within the workload's
+            source and destination buffers.
+        size: transfer size in bytes.
+        arrival: optional arrival timestamp for open-loop replays.
+    """
+
+    src_offset: int
+    dst_offset: int
+    size: int
+    arrival: Optional[Time] = None
+
+
+class RequestGenerator:
+    """Generates a reproducible stream of DMA requests.
+
+    Args:
+        buffer_size: size of both the source and destination buffers.
+        mix: message-size distribution.
+        seed: RNG seed (fully determines the stream).
+        align: offset alignment in bytes.
+    """
+
+    def __init__(self, buffer_size: int,
+                 mix: MessageSizeMix = SMALL_MESSAGE_MIX,
+                 seed: int = 0, align: int = 64) -> None:
+        if buffer_size < max(mix.sizes):
+            raise ValueError(
+                f"buffer {buffer_size} smaller than the largest message "
+                f"size {max(mix.sizes)}")
+        self.buffer_size = buffer_size
+        self.mix = mix
+        self.align = align
+        self._rng = random.Random(f"workload/{seed}")
+
+    def requests(self, n: int) -> List[DmaRequest]:
+        """The next *n* requests."""
+        out: List[DmaRequest] = []
+        for _ in range(n):
+            size = self.mix.sample(self._rng)
+            src = next(offsets_random(self.buffer_size, size, self._rng,
+                                      self.align))
+            dst = next(offsets_random(self.buffer_size, size, self._rng,
+                                      self.align))
+            out.append(DmaRequest(src_offset=src, dst_offset=dst,
+                                  size=size))
+        return out
+
+    def stream(self) -> Iterator[DmaRequest]:
+        """An endless request stream."""
+        while True:
+            yield self.requests(1)[0]
+
+
+def poisson_arrivals(rate_per_second: float, n: int,
+                     seed: int = 0, start: Time = 0) -> List[Time]:
+    """*n* Poisson arrival timestamps at the given average rate.
+
+    Raises:
+        ValueError: for a non-positive rate or count.
+    """
+    if rate_per_second <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_second}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = random.Random(f"arrivals/{seed}")
+    now = start
+    out: List[Time] = []
+    for _ in range(n):
+        gap = rng.expovariate(rate_per_second)
+        now += seconds(gap)
+        out.append(now)
+    return out

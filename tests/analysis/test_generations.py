@@ -1,0 +1,77 @@
+"""Tests for the historical-generations trend model."""
+
+import pytest
+
+from repro.analysis.generations import (
+    Generation,
+    HISTORICAL_GENERATIONS,
+    domination_year,
+    generation_series,
+)
+
+
+def test_generations_are_chronological():
+    years = [g.year for g in HISTORICAL_GENERATIONS]
+    assert years == sorted(years)
+
+
+def test_networks_outpace_buses():
+    first, last = HISTORICAL_GENERATIONS[0], HISTORICAL_GENERATIONS[-1]
+    network_growth = last.network_mbps / first.network_mbps
+    bus_growth = last.bus_mhz / first.bus_mhz
+    assert network_growth > 10 * bus_growth / 10  # 100x vs ~8x
+    assert network_growth == pytest.approx(100.0)
+
+
+def test_os_cycles_grow_with_generations():
+    cycles = [g.os_cycles for g in HISTORICAL_GENERATIONS]
+    assert cycles == sorted(cycles)
+
+
+def test_kernel_ratio_rises_across_the_decade():
+    series = generation_series(1024)
+    assert series[-1].kernel_ratio > 5 * series[0].kernel_ratio
+
+
+def test_user_ratio_stays_negligible():
+    for point in generation_series(1024):
+        assert point.user_ratio < 0.05
+
+
+def test_kernel_dominates_small_messages_by_1995():
+    assert domination_year(256) <= 1995
+
+
+def test_kernel_dominates_1kb_by_decade_end():
+    year = domination_year(1024)
+    assert year != -1
+    assert year <= 1999
+
+
+def test_huge_messages_never_dominated():
+    assert domination_year(10 * 1024 * 1024) == -1
+
+
+def test_1995_generation_matches_the_papers_machine():
+    gen = next(g for g in HISTORICAL_GENERATIONS if g.year == 1995)
+    assert gen.cpu_mhz == 150.0       # Alpha 3000/300
+    assert gen.bus_mhz == 12.5        # TurboChannel
+    # ~18 us kernel initiation, matching Table 1's order.
+    from repro.units import to_us
+
+    assert 15 < to_us(gen.kernel_initiation) < 21
+
+
+def test_custom_trajectory():
+    flat = [Generation(year=2000, cpu_mhz=100, bus_mhz=33,
+                       network_mbps=10_000, os_cycles=2_000)]
+    assert domination_year(64, flat) == 2000
+
+
+def test_wire_time_scales_inversely_with_bandwidth():
+    slow = Generation(year=0, cpu_mhz=100, bus_mhz=33,
+                      network_mbps=100)
+    fast = Generation(year=1, cpu_mhz=100, bus_mhz=33,
+                      network_mbps=1000)
+    assert slow.wire_time(1024) == pytest.approx(
+        10 * fast.wire_time(1024), rel=0.01)

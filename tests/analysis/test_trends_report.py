@@ -1,0 +1,107 @@
+"""Unit tests for the trend analysis and table rendering."""
+
+import pytest
+
+from repro.analysis.report import Table, format_us
+from repro.analysis.trends import (
+    crossover_size,
+    crossover_table,
+    measure_initiation_us,
+    overhead_sweep,
+)
+from repro.net.link import ATM_155, ATM_622, GIGABIT, LinkSpec
+from repro.units import mbps, us
+
+
+class TestCrossover:
+    def test_crossover_grows_with_bandwidth(self):
+        init = 18.6
+        assert (crossover_size(init, GIGABIT)
+                > crossover_size(init, ATM_622)
+                > crossover_size(init, ATM_155))
+
+    def test_fast_initiation_never_dominates_on_slow_link(self):
+        # 1.1 us initiation < 10 us link latency: crossover at 0.
+        assert crossover_size(1.1, ATM_155) == 0
+
+    def test_kernel_initiation_dominates_small_messages(self):
+        # 18.6 us on ATM-155: everything under ~150 B is
+        # initiation-dominated — the paper's motivating regime.
+        size = crossover_size(18.6, ATM_155)
+        assert 100 < size < 250
+
+    def test_exact_arithmetic(self):
+        link = LinkSpec("t", mbps(100), latency=0,
+                        per_message_overhead=0)
+        # 10 us at 100 Mb/s = 1000 bits = 125 bytes.
+        assert crossover_size(10.0, link) == 125
+
+    def test_crossover_table_covers_grid(self):
+        init = {"kernel": 18.6, "extshadow": 1.1}
+        rows = crossover_table(["kernel", "extshadow"],
+                               [ATM_155, GIGABIT], initiation_us=init)
+        assert len(rows) == 4
+        kernel_giga = next(r for r in rows if r.method == "kernel"
+                           and r.link == "gigabit")
+        assert kernel_giga.crossover_bytes > 1000
+
+
+class TestOverheadSweep:
+    def test_fraction_falls_with_size(self):
+        points = overhead_sweep(
+            ["kernel"], [ATM_155], [64, 1024, 65536],
+            initiation_us={"kernel": 18.6})
+        fractions = [p.overhead_fraction for p in points]
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_fraction_rises_with_bandwidth(self):
+        points = overhead_sweep(
+            ["kernel"], [ATM_155, GIGABIT], [4096],
+            initiation_us={"kernel": 18.6})
+        by_link = {p.link: p.overhead_fraction for p in points}
+        assert by_link["gigabit"] > by_link["atm-155"]
+
+    def test_user_level_overhead_negligible(self):
+        points = overhead_sweep(
+            ["extshadow"], [GIGABIT], [64],
+            initiation_us={"extshadow": 1.1})
+        assert points[0].overhead_fraction < 0.3
+
+    def test_measures_when_not_given(self):
+        points = overhead_sweep(["extshadow"], [ATM_155], [64])
+        assert points[0].initiation_us == pytest.approx(1.1, abs=0.2)
+
+
+def test_measure_initiation_close_to_table1():
+    assert measure_initiation_us("keyed",
+                                 iterations=5) == pytest.approx(2.3,
+                                                                rel=0.1)
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Table 1", ["method", "us"])
+        table.add_row("kernel", format_us(18.6))
+        table.add_row("extshadow", format_us(1.1))
+        text = table.render()
+        assert "Table 1" in text
+        assert "kernel" in text and "18.6" in text
+        assert "extshadow" in text and "1.1" in text
+
+    def test_row_width_validation(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_markdown_form(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2)
+        md = table.markdown()
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+
+
+def test_format_us_matches_paper_style():
+    assert format_us(18.6) == "18.6"
+    assert format_us(1.1) == "1.1"
+    assert format_us(2.345, digits=2) == "2.35"

@@ -1,0 +1,51 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import DmaChannel
+from repro.core.machine import MachineConfig, Workstation
+
+
+def build_workstation(method: str = "keyed", **overrides) -> Workstation:
+    """A fresh workstation wired for *method*."""
+    return Workstation(MachineConfig(method=method, **overrides))
+
+
+def ready_channel(method: str = "keyed", buf_bytes: int = 16384,
+                  **overrides):
+    """(workstation, process, src buffer, dst buffer, channel) for *method*.
+
+    Buffers are allocated with shadow mappings where the method uses
+    them; SHRIMP-1 additionally gets its mapped-out entries installed.
+    """
+    ws = build_workstation(method, **overrides)
+    proc = ws.kernel.spawn("app")
+    if method != "kernel":
+        ws.kernel.enable_user_dma(proc)
+    shadow = method != "kernel"
+    src = ws.kernel.alloc_buffer(proc, buf_bytes, shadow=shadow)
+    dst = ws.kernel.alloc_buffer(proc, buf_bytes, shadow=shadow)
+    if method == "shrimp1":
+        ws.kernel.map_out(proc, src.vaddr, proc, dst.vaddr, buf_bytes)
+    channel = DmaChannel(ws, proc)
+    return ws, proc, src, dst, channel
+
+
+@pytest.fixture
+def keyed_setup():
+    """Default key-based machine, ready to DMA."""
+    return ready_channel("keyed")
+
+
+@pytest.fixture
+def extshadow_setup():
+    """Extended-shadow machine, ready to DMA."""
+    return ready_channel("extshadow")
+
+
+@pytest.fixture
+def kernel_setup():
+    """Kernel-only machine, ready for the Fig. 1 syscall path."""
+    return ready_channel("kernel")

@@ -1,0 +1,82 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    args = parser.parse_args(["table1"])
+    assert args.command == "table1"
+    assert args.iterations == 50
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_table1_command(capsys):
+    out = run_cli(capsys, "table1", "--iterations", "10")
+    assert "Kernel-level DMA" in out
+    assert "18.6" in out  # the paper column
+
+
+def test_races_command(capsys):
+    out = run_cli(capsys, "races")
+    assert "shrimp2" in out and "NO" in out
+    assert "extshadow" in out and "yes" in out
+
+
+def test_attacks_command(capsys):
+    out = run_cli(capsys, "attacks")
+    assert "fig5-repeated3" in out
+    assert "fig6-repeated4" in out
+    assert "authorized-start" in out
+
+
+def test_fig8_command(capsys):
+    out = run_cli(capsys, "fig8")
+    assert out.count("SAFE") == 4
+
+
+def test_prove_command(capsys):
+    out = run_cli(capsys, "prove")
+    assert out.count("VERIFIED") == 3
+    assert "lemma1: HOLDS" in out
+
+
+def test_atomics_command(capsys):
+    out = run_cli(capsys, "atomics")
+    assert "keyed" in out and "extshadow" in out and "kernel" in out
+
+
+def test_bus_command(capsys):
+    out = run_cli(capsys, "bus", "--iterations", "5")
+    assert "PCI 66" in out
+
+
+def test_stress_command(capsys):
+    out = run_cli(capsys, "stress", "--seed", "3")
+    assert "shrimp2" in out
+    assert "repeated5" in out
+
+
+def test_generations_command(capsys):
+    out = run_cli(capsys, "generations")
+    assert "1990" in out and "1999" in out
+    assert "dominates" in out
+
+
+def test_crossover_command(capsys):
+    out = run_cli(capsys, "crossover", "--iterations", "5")
+    assert "Crossover sizes" in out
+    assert "gigabit" in out

@@ -1,0 +1,84 @@
+"""Tests for the §3.2 kernel-fallback channel selection."""
+
+import pytest
+
+from repro.core.api import DmaChannel, open_channel
+from repro.core.machine import MachineConfig, Workstation
+from repro.errors import ConfigError
+
+
+def test_open_channel_prefers_user_level():
+    ws = Workstation(MachineConfig(method="keyed"))
+    proc = ws.kernel.spawn()
+    chan = open_channel(ws, proc)
+    assert chan.via == "user"
+    assert chan.method.name == "keyed"
+    assert proc.dma is not None  # binding was created on demand
+
+
+def test_open_channel_reuses_existing_binding():
+    ws = Workstation(MachineConfig(method="extshadow"))
+    proc = ws.kernel.spawn()
+    binding = ws.kernel.enable_user_dma(proc)
+    chan = open_channel(ws, proc)
+    assert chan.via == "user"
+    assert proc.dma is binding
+
+
+def test_open_channel_falls_back_when_contexts_exhausted():
+    ws = Workstation(MachineConfig(method="keyed", n_contexts=2))
+    channels = [open_channel(ws, ws.kernel.spawn()) for _ in range(4)]
+    vias = [c.via for c in channels]
+    assert vias == ["user", "user", "kernel", "kernel"]
+
+
+def test_fallback_channel_actually_transfers():
+    ws = Workstation(MachineConfig(method="keyed", n_contexts=1))
+    open_channel(ws, ws.kernel.spawn())  # takes the only context
+    late = ws.kernel.spawn("late")
+    chan = open_channel(ws, late)
+    assert chan.via == "kernel"
+    src = ws.kernel.alloc_buffer(late, 8192, shadow=False)
+    dst = ws.kernel.alloc_buffer(late, 8192, shadow=False)
+    ws.ram.write(src.paddr, b"through the kernel")
+    result = chan.dma(src.vaddr, dst.vaddr, 18)
+    assert result.ok
+    assert ws.ram.read(dst.paddr, 18) == b"through the kernel"
+
+
+def test_fallback_pays_the_kernel_price():
+    ws = Workstation(MachineConfig(method="keyed", n_contexts=1))
+    first = ws.kernel.spawn()
+    fast = open_channel(ws, first)
+    src1 = ws.kernel.alloc_buffer(first, 8192)
+    dst1 = ws.kernel.alloc_buffer(first, 8192)
+    late = ws.kernel.spawn()
+    slow = open_channel(ws, late)
+    src2 = ws.kernel.alloc_buffer(late, 8192, shadow=False)
+    dst2 = ws.kernel.alloc_buffer(late, 8192, shadow=False)
+    fast.initiate(src1.vaddr, dst1.vaddr, 64)  # warm
+    slow.initiate(src2.vaddr, dst2.vaddr, 64)  # warm
+    user_time = fast.initiate(src1.vaddr, dst1.vaddr, 64).elapsed
+    kernel_time = slow.initiate(src2.vaddr, dst2.vaddr, 64).elapsed
+    assert kernel_time > 5 * user_time
+
+
+def test_kernel_machine_always_gets_kernel_channel():
+    ws = Workstation(MachineConfig(method="kernel"))
+    chan = open_channel(ws, ws.kernel.spawn())
+    assert chan.via == "kernel"
+
+
+def test_explicit_kernel_channel_on_user_machine():
+    ws = Workstation(MachineConfig(method="repeated5"))
+    proc = ws.kernel.spawn()
+    chan = DmaChannel(ws, proc, via="kernel")
+    src = ws.kernel.alloc_buffer(proc, 8192, shadow=False)
+    dst = ws.kernel.alloc_buffer(proc, 8192, shadow=False)
+    assert chan.initiate(src.vaddr, dst.vaddr, 64).ok
+
+
+def test_bad_via_rejected():
+    ws = Workstation(MachineConfig(method="keyed"))
+    with pytest.raises(ConfigError):
+        DmaChannel(ws, ws.kernel.spawn(), via="hypercall")

@@ -1,0 +1,91 @@
+"""Workstation construction and configuration validation."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Workstation
+from repro.core.timing import ALPHA_PCI_66
+from repro.errors import ConfigError
+from repro.units import mib
+
+
+def test_default_config_builds():
+    ws = Workstation()
+    assert ws.method.name == "keyed"
+    assert ws.ram.size == mib(16)
+    assert ws.atomic_unit is None
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(ConfigError):
+        Workstation(MachineConfig(method="io_uring"))
+
+
+def test_bad_atomic_mode_rejected():
+    with pytest.raises(ConfigError):
+        Workstation(MachineConfig(atomic_mode="quantum"))
+
+
+def test_context_count_propagates():
+    ws = Workstation(MachineConfig(n_contexts=8))
+    assert len(ws.engine.contexts) == 8
+    assert ws.engine.layout.n_contexts == 8
+
+
+def test_timing_preset_propagates():
+    ws = Workstation(MachineConfig(timing=ALPHA_PCI_66))
+    assert ws.bus.timing.frequency_hz == 66e6
+    assert ws.cpu_clock.frequency_hz == 150e6
+
+
+def test_ram_size_propagates():
+    ws = Workstation(MachineConfig(ram_size=mib(4)))
+    assert ws.ram.size == mib(4)
+    assert ws.allocator.total_frames == mib(4) // 8192
+
+
+def test_too_much_ram_for_node_space_rejected():
+    with pytest.raises(ConfigError):
+        Workstation(MachineConfig(ram_size=1 << 29))  # > 2^28
+
+
+def test_pal_function_installed_only_for_pal_method():
+    pal_ws = Workstation(MachineConfig(method="pal"))
+    assert "user_level_dma" in pal_ws.cpu.pal_function_names
+    other = Workstation(MachineConfig(method="keyed"))
+    assert other.cpu.pal_function_names == []
+
+
+def test_engine_window_attached_to_bus():
+    ws = Workstation()
+    base = ws.engine.layout.window_base
+    assert ws.bus.is_device(base)
+    assert ws.bus.find_window(base)[0] is ws.nic
+
+
+def test_atomic_unit_window_attached_when_enabled():
+    ws = Workstation(MachineConfig(atomic_mode="keyed"))
+    assert ws.bus.is_device(ws.atomic_unit.layout.window_base)
+
+
+def test_two_workstations_are_isolated():
+    a = Workstation(MachineConfig(seed=1))
+    b = Workstation(MachineConfig(seed=1))
+    a.ram.write(0, b"a only")
+    assert b.ram.read(0, 6) == bytes(6)
+    assert a.sim is not b.sim
+
+
+def test_shared_sim_for_cluster_members():
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    a = Workstation(MachineConfig(node_id=0), sim=sim)
+    b = Workstation(MachineConfig(node_id=1), sim=sim)
+    assert a.sim is b.sim is sim
+
+
+def test_drain_with_timeout():
+    ws = Workstation()
+    ws.sim.schedule(10_000_000, lambda: None)
+    ws.drain(timeout=1_000)
+    assert ws.sim.pending == 1  # far-future event untouched

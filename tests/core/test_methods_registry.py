@@ -1,0 +1,105 @@
+"""Unit tests for the method registry and timing presets."""
+
+import pytest
+
+from repro.core.methods import (
+    BASELINE_METHODS,
+    METHODS,
+    PAPER_METHODS,
+    TABLE1_METHODS,
+    get_method,
+    make_protocol,
+)
+from repro.core.timing import (
+    ALPHA3000_TURBOCHANNEL,
+    ALPHA_PCI_33,
+    ALPHA_PCI_66,
+    TIMING_PRESETS,
+)
+from repro.errors import ConfigError
+
+
+def test_all_ten_methods_registered():
+    assert len(METHODS) == 10
+    for name in ("kernel", "shrimp1", "shrimp2", "flash", "pal", "keyed",
+                 "extshadow", "repeated3", "repeated4", "repeated5"):
+        assert name in METHODS
+
+
+def test_unknown_method_raises():
+    with pytest.raises(ConfigError):
+        get_method("dpdk")
+
+
+def test_protocol_factories_build_fresh_instances():
+    a = make_protocol("keyed")
+    b = make_protocol("keyed")
+    assert a is not b
+    assert a.name == "keyed"
+
+
+def test_protocol_names_match_registry_keys():
+    for name in METHODS:
+        if name == "kernel":
+            continue
+        assert make_protocol(name).name == name
+
+
+def test_kernel_free_property():
+    """The paper's headline: its methods need no kernel modification."""
+    for name in PAPER_METHODS:
+        assert METHODS[name].kernel_free, name
+    assert not METHODS["shrimp2"].kernel_free
+    assert not METHODS["flash"].kernel_free
+    assert not METHODS["kernel"].kernel_free
+
+
+def test_baselines_declare_their_hook():
+    assert METHODS["shrimp2"].kernel_hook == "shrimp_abort"
+    assert METHODS["flash"].kernel_hook == "flash_pid"
+    for name in PAPER_METHODS:
+        assert METHODS[name].kernel_hook is None
+
+
+def test_memory_access_counts_match_paper():
+    """'a DMA operation can be initiated in 2 to 5 assembly instructions'."""
+    assert METHODS["extshadow"].memory_accesses == 2
+    assert METHODS["pal"].memory_accesses == 2
+    assert METHODS["keyed"].memory_accesses == 4
+    assert METHODS["repeated5"].memory_accesses == 5
+    for name in PAPER_METHODS:
+        assert 2 <= METHODS[name].memory_accesses <= 5
+
+
+def test_table1_rows_in_paper_order():
+    assert TABLE1_METHODS == ["kernel", "extshadow", "repeated5", "keyed"]
+
+
+def test_method_groups_disjoint():
+    assert not set(PAPER_METHODS) & set(BASELINE_METHODS)
+
+
+def test_only_pal_uses_pal_mode():
+    assert METHODS["pal"].uses_pal
+    assert not any(METHODS[m].uses_pal for m in METHODS if m != "pal")
+
+
+def test_context_consumers():
+    assert METHODS["keyed"].uses_context
+    assert METHODS["extshadow"].uses_context
+    assert not METHODS["repeated5"].uses_context
+
+
+def test_timing_presets():
+    assert ALPHA3000_TURBOCHANNEL.cpu_hz == 150e6
+    assert ALPHA3000_TURBOCHANNEL.bus.frequency_hz == 12.5e6
+    assert ALPHA_PCI_33.bus.frequency_hz == 33e6
+    assert ALPHA_PCI_66.bus.frequency_hz == 66e6
+    assert ALPHA3000_TURBOCHANNEL.name in TIMING_PRESETS
+
+
+def test_syscall_cost_in_papers_cited_range():
+    """§2.2 cites 1,000-5,000 cycles for an empty syscall."""
+    costs = ALPHA3000_TURBOCHANNEL.cpu_costs
+    total = costs.syscall_entry_cycles + costs.syscall_exit_cycles
+    assert 1_000 <= total <= 5_000

@@ -1,0 +1,75 @@
+"""Unit tests for register contexts and status words."""
+
+from repro.hw.dma.contexts import RegisterContext
+from repro.hw.dma.status import (
+    STATUS_ACK,
+    STATUS_FAILURE,
+    STATUS_PENDING,
+    is_failure,
+    is_rejection,
+    to_signed,
+)
+from repro.hw.dma.transfer import Transfer
+
+
+def test_fresh_context_incomplete():
+    ctx = RegisterContext(0)
+    assert not ctx.args_complete
+
+
+def test_args_complete_requires_all_three():
+    ctx = RegisterContext(0)
+    ctx.src = 0x100
+    ctx.dst = 0x200
+    assert not ctx.args_complete
+    ctx.size = 64
+    assert ctx.args_complete
+
+
+def test_clear_args():
+    ctx = RegisterContext(0, src=1, dst=2, size=3)
+    ctx.clear_args()
+    assert (ctx.src, ctx.dst, ctx.size) == (None, None, None)
+
+
+def test_reset_clears_status_too():
+    ctx = RegisterContext(0, failed=True)
+    ctx.transfer = Transfer(0, 0, 8, started_at=0, duration=10)
+    ctx.reset()
+    assert not ctx.failed
+    assert ctx.transfer is None
+
+
+def test_status_word_failure_sticky():
+    ctx = RegisterContext(0, failed=True)
+    assert ctx.status_word(0) == STATUS_FAILURE
+
+
+def test_status_word_idle_is_ack():
+    assert RegisterContext(0).status_word(0) == STATUS_ACK
+
+
+def test_status_word_tracks_remaining():
+    ctx = RegisterContext(0)
+    ctx.transfer = Transfer(0, 0, 1000, started_at=0, duration=1000)
+    assert ctx.status_word(0) == 1000
+    assert ctx.status_word(2000) == 0
+
+
+def test_status_predicates():
+    assert is_failure(STATUS_FAILURE)
+    assert not is_failure(STATUS_PENDING)
+    assert is_rejection(STATUS_FAILURE)
+    assert is_rejection(STATUS_PENDING)
+    assert not is_rejection(0)
+    assert not is_rejection(64)
+
+
+def test_failure_reads_as_minus_one():
+    assert to_signed(STATUS_FAILURE) == -1
+    assert to_signed(STATUS_PENDING) == -2
+    assert to_signed(64) == 64
+
+
+def test_pending_and_failure_distinct():
+    assert STATUS_PENDING != STATUS_FAILURE

@@ -1,0 +1,209 @@
+"""Edge-case matrix for the protocol FSMs beyond the happy paths."""
+
+import pytest
+
+from repro.hw.dma.protocols import (
+    ExtendedShadowProtocol,
+    FlashProtocol,
+    KeyedProtocol,
+    MappedOutProtocol,
+    PendingPairProtocol,
+    RepeatedPassingProtocol,
+)
+from repro.hw.dma.protocols.keyed import (
+    ARG_DESTINATION,
+    ARG_SOURCE,
+    pack_key_word,
+)
+from repro.hw.dma.status import STATUS_FAILURE, STATUS_PENDING
+from repro.hw.pagetable import PAGE_SIZE
+from repro.verify.interleave import AccessSpec, ProtocolHarness
+
+SRC = 0
+DST = 2 * PAGE_SIZE
+KEY = 0xFEED
+
+
+class TestShrimp1Edges:
+    def test_multi_page_mapout_routes_each_page(self):
+        h = ProtocolHarness(MappedOutProtocol)
+        h.engine.install_mapout(0, 4 * PAGE_SIZE)
+        h.engine.install_mapout(PAGE_SIZE, 6 * PAGE_SIZE)
+        first = h.deliver(AccessSpec(1, "exchange", 16, 64))
+        second = h.deliver(AccessSpec(1, "exchange", PAGE_SIZE + 32, 64))
+        assert first == second == 64
+        records = h.engine.started_transfers()
+        assert records[0].pdst == 4 * PAGE_SIZE + 16
+        assert records[1].pdst == 6 * PAGE_SIZE + 32
+
+    def test_zero_size_exchange_rejected(self):
+        h = ProtocolHarness(MappedOutProtocol)
+        h.engine.install_mapout(0, 4 * PAGE_SIZE)
+        assert h.deliver(AccessSpec(1, "exchange", 0, 0)) == (
+            STATUS_FAILURE)
+
+    def test_remap_overwrites_destination(self):
+        h = ProtocolHarness(MappedOutProtocol)
+        h.engine.install_mapout(0, 4 * PAGE_SIZE)
+        h.engine.install_mapout(0, 6 * PAGE_SIZE)
+        h.deliver(AccessSpec(1, "exchange", 8, 32))
+        assert h.engine.started_transfers()[0].pdst == 6 * PAGE_SIZE + 8
+
+
+class TestShrimp2Edges:
+    def test_back_to_back_pairs_from_one_process(self):
+        h = ProtocolHarness(PendingPairProtocol)
+        for index in range(3):
+            h.deliver(AccessSpec(1, "store", DST + index * 64, 32))
+            status = h.deliver(AccessSpec(1, "load", SRC + index * 64))
+            assert status == 32
+        assert len(h.engine.started_transfers()) == 3
+
+    def test_abort_without_pending_is_harmless(self):
+        h = ProtocolHarness(PendingPairProtocol)
+        h.protocol.on_abort_pending()
+        assert h.protocol.aborts == 0
+        h.deliver(AccessSpec(1, "store", DST, 32))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == 32
+
+    def test_zero_size_store_fails_at_start(self):
+        h = ProtocolHarness(PendingPairProtocol)
+        h.deliver(AccessSpec(1, "store", DST, 0))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+
+
+class TestFlashEdges:
+    def test_rapid_switches_between_stores(self):
+        h = ProtocolHarness(FlashProtocol)
+        h.engine.current_pid = 1
+        h.deliver(AccessSpec(1, "store", DST, 32))
+        h.protocol.on_context_switch(2)
+        h.engine.current_pid = 2
+        h.protocol.on_context_switch(1)
+        h.engine.current_pid = 1
+        # Back on pid 1: the tag (1) matches again — FLASH accepts.  The
+        # tag protects against *other* processes consuming the latch,
+        # not against the same process resuming.
+        assert h.deliver(AccessSpec(1, "load", SRC)) == 32
+
+    def test_store_after_switch_uses_new_tag(self):
+        h = ProtocolHarness(FlashProtocol)
+        h.engine.current_pid = 1
+        h.deliver(AccessSpec(1, "store", DST, 32))
+        h.engine.current_pid = 2
+        h.deliver(AccessSpec(2, "store", DST + 64, 48))
+        assert h.deliver(AccessSpec(2, "load", SRC)) == 48
+
+
+class TestKeyedEdges:
+    def make(self):
+        h = ProtocolHarness(KeyedProtocol)
+        h.install_key(0, KEY)
+        return h
+
+    def test_overwriting_an_argument_is_allowed(self):
+        """A process may restart its own sequence; the last store of
+        each argument wins (self-describing arg selectors)."""
+        h = self.make()
+        h.deliver(AccessSpec(1, "store", DST,
+                             pack_key_word(KEY, 0, ARG_DESTINATION)))
+        h.deliver(AccessSpec(1, "store", DST + 64,
+                             pack_key_word(KEY, 0, ARG_DESTINATION)))
+        h.deliver(AccessSpec(1, "store", SRC,
+                             pack_key_word(KEY, 0, ARG_SOURCE)))
+        h.deliver(AccessSpec(1, "ctx-store", data=32, ctx_id=0))
+        assert h.deliver(AccessSpec(1, "ctx-load", ctx_id=0)) == 32
+        assert h.engine.started_transfers()[0].pdst == DST + 64
+
+    def test_key_for_out_of_range_context_dropped(self):
+        h = self.make()
+        word = pack_key_word(KEY, 7, ARG_SOURCE)  # ctx 7 of 4
+        h.deliver(AccessSpec(1, "store", SRC, word))
+        assert h.protocol.key_rejections == 1
+
+    def test_second_initiation_reuses_context(self):
+        h = self.make()
+        for index in range(2):
+            h.deliver(AccessSpec(
+                1, "store", DST + index * 64,
+                pack_key_word(KEY, 0, ARG_DESTINATION)))
+            h.deliver(AccessSpec(
+                1, "store", SRC + index * 64,
+                pack_key_word(KEY, 0, ARG_SOURCE)))
+            h.deliver(AccessSpec(1, "ctx-store", data=32, ctx_id=0))
+            assert h.deliver(AccessSpec(1, "ctx-load", ctx_id=0)) == 32
+        assert len(h.engine.started_transfers()) == 2
+
+    def test_size_zero_rejected_at_start(self):
+        h = self.make()
+        h.deliver(AccessSpec(1, "store", DST,
+                             pack_key_word(KEY, 0, ARG_DESTINATION)))
+        h.deliver(AccessSpec(1, "store", SRC,
+                             pack_key_word(KEY, 0, ARG_SOURCE)))
+        h.deliver(AccessSpec(1, "ctx-store", data=0, ctx_id=0))
+        assert h.deliver(AccessSpec(1, "ctx-load", ctx_id=0)) == (
+            STATUS_FAILURE)
+
+
+class TestExtshadowEdges:
+    def test_restarting_overwrites_own_latch(self):
+        h = ProtocolHarness(ExtendedShadowProtocol)
+        h.deliver(AccessSpec(1, "store", DST, 32, ctx_id=1))
+        h.deliver(AccessSpec(1, "store", DST + 64, 48, ctx_id=1))
+        assert h.deliver(AccessSpec(1, "load", SRC, ctx_id=1)) == 48
+        assert h.engine.started_transfers()[0].pdst == DST + 64
+
+    def test_all_contexts_concurrently(self):
+        h = ProtocolHarness(ExtendedShadowProtocol)
+        for ctx in range(4):
+            h.deliver(AccessSpec(ctx + 1, "store", DST + ctx * 64,
+                                 32, ctx_id=ctx))
+        for ctx in range(4):
+            assert h.deliver(AccessSpec(ctx + 1, "load", SRC + ctx * 64,
+                                        ctx_id=ctx)) == 32
+        assert len(h.engine.started_transfers()) == 4
+
+
+class TestRepeatedEdges:
+    def test_interleaved_attempts_same_process(self):
+        """A process abandoning an attempt and restarting converges."""
+        h = ProtocolHarness(lambda: RepeatedPassingProtocol(5))
+        h.deliver(AccessSpec(1, "store", DST, 32))
+        h.deliver(AccessSpec(1, "load", SRC))
+        # Abandon; start over with a different destination.
+        h.deliver(AccessSpec(1, "store", DST + 64, 48))
+        h.deliver(AccessSpec(1, "load", SRC))
+        h.deliver(AccessSpec(1, "store", DST + 64, 48))
+        h.deliver(AccessSpec(1, "load", SRC))
+        status = h.deliver(AccessSpec(1, "load", DST + 64))
+        assert status == 48
+        record = h.engine.started_transfers()[0]
+        assert record.pdst == DST + 64
+
+    def test_exchange_is_failure_for_repeated(self):
+        h = ProtocolHarness(lambda: RepeatedPassingProtocol(5))
+        assert h.deliver(AccessSpec(1, "exchange", SRC, 32)) == (
+            STATUS_FAILURE)
+
+    def test_resets_counted(self):
+        h = ProtocolHarness(lambda: RepeatedPassingProtocol(5))
+        h.deliver(AccessSpec(1, "store", DST, 32))
+        h.deliver(AccessSpec(1, "store", DST + 8, 32))  # reset + reopen
+        assert h.protocol.resets == 1
+
+    def test_pending_distinct_from_remaining(self):
+        h = ProtocolHarness(lambda: RepeatedPassingProtocol(5))
+        h.deliver(AccessSpec(1, "store", DST, 64))
+        status = h.deliver(AccessSpec(1, "load", SRC))
+        assert status == STATUS_PENDING
+        assert status != 64
+
+    @pytest.mark.parametrize("length", [3, 4, 5])
+    def test_snapshot_resets_after_fire(self, length):
+        h = ProtocolHarness(lambda: RepeatedPassingProtocol(length))
+        from repro.verify.interleave import initiation_stream
+
+        for access in initiation_stream(f"repeated{length}", 1, SRC,
+                                        DST, 64):
+            h.deliver(access)
+        assert h.protocol.state_snapshot() == [0, None, None, None]

@@ -1,0 +1,449 @@
+"""Protocol FSM tests, method by method, via the replay harness."""
+
+import pytest
+
+from repro.hw.dma.protocols import (
+    ExtendedShadowProtocol,
+    FlashProtocol,
+    KernelOnlyProtocol,
+    KeyedProtocol,
+    MappedOutProtocol,
+    PalProtocol,
+    PendingPairProtocol,
+    RepeatedPassingProtocol,
+)
+from repro.hw.dma.protocols.keyed import (
+    ARG_DESTINATION,
+    ARG_SOURCE,
+    pack_key_word,
+    unpack_key_word,
+)
+from repro.hw.dma.status import STATUS_FAILURE, STATUS_PENDING
+from repro.verify.interleave import AccessSpec, ProtocolHarness
+
+SRC = 0x0000
+DST = 0x2000
+SIZE = 64
+KEY = 0x5A5A5A
+
+
+def harness(factory, **kw):
+    return ProtocolHarness(factory, **kw)
+
+
+def started(h):
+    return h.engine.started_transfers()
+
+
+class TestKernelOnly:
+    def test_shadow_accesses_ignored(self):
+        h = harness(KernelOnlyProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+        assert h.deliver(AccessSpec(1, "exchange", SRC, SIZE)) == (
+            STATUS_FAILURE)
+        assert started(h) == []
+        assert h.protocol.ignored_accesses == 3
+
+
+class TestShrimp1:
+    def test_exchange_starts_mapped_transfer(self):
+        h = harness(MappedOutProtocol)
+        h.engine.install_mapout(SRC, DST)
+        status = h.deliver(AccessSpec(1, "exchange", SRC + 16, SIZE))
+        assert status == SIZE
+        record = started(h)[0]
+        assert (record.psrc, record.pdst) == (SRC + 16, DST + 16)
+
+    def test_unmapped_page_fails(self):
+        h = harness(MappedOutProtocol)
+        status = h.deliver(AccessSpec(1, "exchange", SRC, SIZE))
+        assert status == STATUS_FAILURE
+        assert h.protocol.unmapped_attempts == 1
+
+    def test_plain_loads_and_stores_do_nothing(self):
+        h = harness(MappedOutProtocol)
+        h.engine.install_mapout(SRC, DST)
+        h.deliver(AccessSpec(1, "store", SRC, SIZE))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+        assert started(h) == []
+
+    def test_destination_fixed_by_mapping(self):
+        """A source page can only ever reach its mapped-out partner."""
+        h = harness(MappedOutProtocol)
+        h.engine.install_mapout(SRC, DST)
+        h.deliver(AccessSpec(1, "exchange", SRC, SIZE))
+        record = started(h)[0]
+        assert record.pdst == DST
+
+
+class TestShrimp2:
+    def test_store_load_pair_starts(self):
+        h = harness(PendingPairProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        status = h.deliver(AccessSpec(1, "load", SRC))
+        assert status == SIZE
+        record = started(h)[0]
+        assert (record.psrc, record.pdst, record.size) == (SRC, DST, SIZE)
+
+    def test_load_without_store_fails(self):
+        h = harness(PendingPairProtocol)
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+        assert h.protocol.empty_loads == 1
+
+    def test_second_store_overwrites_latch(self):
+        h = harness(PendingPairProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(2, "store", 0x4000, 128))
+        h.deliver(AccessSpec(1, "load", SRC))
+        record = started(h)[0]
+        assert record.pdst == 0x4000  # the race the paper describes
+
+    def test_race_mixes_arguments_without_abort(self):
+        """A-store, B-store, A-load: A's source pairs with B's dest."""
+        h = harness(PendingPairProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(2, "store", 0x4000, 128))
+        status = h.deliver(AccessSpec(1, "load", SRC))
+        assert status != STATUS_FAILURE
+        assert started(h)[0].pdst == 0x4000
+        assert started(h)[0].psrc == SRC
+
+    def test_abort_hook_prevents_the_race(self):
+        h = harness(PendingPairProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.protocol.on_abort_pending()  # the kernel modification
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+        assert started(h) == []
+
+    def test_latch_consumed_by_load(self):
+        h = harness(PendingPairProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(1, "load", SRC))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+
+
+class TestPal:
+    def test_same_hardware_as_shrimp2(self):
+        assert issubclass(PalProtocol, PendingPairProtocol)
+        assert PalProtocol.name == "pal"
+
+    def test_pair_starts(self):
+        h = harness(PalProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == SIZE
+
+
+class TestFlash:
+    def test_pair_starts_when_pid_stable(self):
+        h = harness(FlashProtocol)
+        h.engine.current_pid = 1
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == SIZE
+
+    def test_context_switch_invalidates_latch(self):
+        h = harness(FlashProtocol)
+        h.engine.current_pid = 1
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        # Kernel hook announces a switch to pid 2.
+        h.engine.current_pid = 2
+        h.protocol.on_context_switch(2)
+        assert h.deliver(AccessSpec(2, "load", 0x4000)) == STATUS_FAILURE
+        assert h.protocol.tag_mismatches == 1
+        assert started(h) == []
+
+    def test_without_hook_degenerates_to_shrimp2_race(self):
+        h = harness(FlashProtocol)
+        # current_pid never updated: both processes tag identically.
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(2, "store", 0x4000, 128))
+        status = h.deliver(AccessSpec(1, "load", SRC))
+        assert status != STATUS_FAILURE
+        assert started(h)[0].pdst == 0x4000  # mixed arguments
+
+    def test_empty_load_fails(self):
+        h = harness(FlashProtocol)
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+
+
+class TestKeyed:
+    def setup_harness(self):
+        h = harness(KeyedProtocol)
+        h.install_key(0, KEY)
+        return h
+
+    def full_sequence(self, h, pid=1, key=KEY, ctx=0, src=SRC, dst=DST):
+        h.deliver(AccessSpec(pid, "store", dst,
+                             pack_key_word(key, ctx, ARG_DESTINATION)))
+        h.deliver(AccessSpec(pid, "store", src,
+                             pack_key_word(key, ctx, ARG_SOURCE)))
+        h.deliver(AccessSpec(pid, "ctx-store", data=SIZE, ctx_id=ctx))
+        return h.deliver(AccessSpec(pid, "ctx-load", ctx_id=ctx))
+
+    def test_fig3_sequence_starts(self):
+        h = self.setup_harness()
+        assert self.full_sequence(h) == SIZE
+        record = started(h)[0]
+        assert (record.psrc, record.pdst, record.size) == (SRC, DST, SIZE)
+        assert record.ctx_id == 0
+
+    def test_wrong_key_arguments_dropped(self):
+        h = self.setup_harness()
+        status = self.full_sequence(h, key=KEY ^ 1)
+        assert status == STATUS_FAILURE  # args never latched
+        assert h.protocol.key_rejections == 2
+        assert started(h) == []
+
+    def test_no_key_installed_rejects(self):
+        h = harness(KeyedProtocol)  # no key
+        assert self.full_sequence(h) == STATUS_FAILURE
+
+    def test_zero_key_never_matches(self):
+        h = harness(KeyedProtocol)
+        status = self.full_sequence(h, key=0)
+        assert status == STATUS_FAILURE
+
+    def test_argument_order_is_flexible(self):
+        """The arg selector makes stores self-describing (§3.1 impl)."""
+        h = self.setup_harness()
+        h.deliver(AccessSpec(1, "store", SRC,
+                             pack_key_word(KEY, 0, ARG_SOURCE)))
+        h.deliver(AccessSpec(1, "store", DST,
+                             pack_key_word(KEY, 0, ARG_DESTINATION)))
+        h.deliver(AccessSpec(1, "ctx-store", data=SIZE, ctx_id=0))
+        assert h.deliver(AccessSpec(1, "ctx-load", ctx_id=0)) == SIZE
+
+    def test_interrupted_sequence_resumes_safely(self):
+        """Arguments survive in the private context across preemption."""
+        h = self.setup_harness()
+        h.install_key(1, 0xB0B)
+        h.deliver(AccessSpec(1, "store", DST,
+                             pack_key_word(KEY, 0, ARG_DESTINATION)))
+        # Preemption: process 2 runs a whole initiation in context 1.
+        h.deliver(AccessSpec(2, "store", 0x6000,
+                             pack_key_word(0xB0B, 1, ARG_DESTINATION)))
+        h.deliver(AccessSpec(2, "store", 0x4000,
+                             pack_key_word(0xB0B, 1, ARG_SOURCE)))
+        h.deliver(AccessSpec(2, "ctx-store", data=128, ctx_id=1))
+        assert h.deliver(AccessSpec(2, "ctx-load", ctx_id=1)) == 128
+        # Process 1 resumes; its destination is still latched.
+        h.deliver(AccessSpec(1, "store", SRC,
+                             pack_key_word(KEY, 0, ARG_SOURCE)))
+        h.deliver(AccessSpec(1, "ctx-store", data=SIZE, ctx_id=0))
+        assert h.deliver(AccessSpec(1, "ctx-load", ctx_id=0)) == SIZE
+        records = started(h)
+        assert (records[0].psrc, records[0].pdst) == (0x4000, 0x6000)
+        assert (records[1].psrc, records[1].pdst) == (SRC, DST)
+
+    def test_context_load_with_nothing_latched_reports_failure(self):
+        h = self.setup_harness()
+        assert h.deliver(AccessSpec(1, "ctx-load", ctx_id=0)) == (
+            STATUS_FAILURE)
+
+    def test_shadow_loads_play_no_role(self):
+        h = self.setup_harness()
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+
+    def test_context_store_only_reaches_size_register(self):
+        h = self.setup_harness()
+        h.deliver(AccessSpec(1, "ctx-store", data=999, ctx_id=0))
+        ctx = h.engine.contexts[0]
+        assert ctx.size == 999
+        assert ctx.src is None and ctx.dst is None
+
+
+class TestKeyWord:
+    def test_pack_unpack_roundtrip(self):
+        word = pack_key_word(0xABCDEF, 5, ARG_SOURCE)
+        assert unpack_key_word(word) == (0xABCDEF, 5, ARG_SOURCE)
+
+    def test_field_overflow_rejected(self):
+        from repro.errors import ConfigError
+        from repro.hw.dma.protocols.keyed import KEY_FIELD_BITS
+
+        with pytest.raises(ConfigError):
+            pack_key_word(1 << KEY_FIELD_BITS, 0, 0)
+        with pytest.raises(ConfigError):
+            pack_key_word(1, 8, 0)
+        with pytest.raises(ConfigError):
+            pack_key_word(1, 0, 2)
+
+    def test_key_field_is_60_bits(self):
+        from repro.hw.dma.protocols.keyed import KEY_FIELD_BITS
+
+        assert KEY_FIELD_BITS == 60  # "close to 60 bits" (§3.1)
+
+
+class TestExtendedShadow:
+    def test_two_instruction_initiation(self):
+        h = harness(ExtendedShadowProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE, ctx_id=1))
+        status = h.deliver(AccessSpec(1, "load", SRC, ctx_id=1))
+        assert status == SIZE
+        record = started(h)[0]
+        assert (record.psrc, record.pdst, record.ctx_id) == (SRC, DST, 1)
+
+    def test_contexts_isolated(self):
+        h = harness(ExtendedShadowProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE, ctx_id=0))
+        h.deliver(AccessSpec(2, "store", 0x4000, 128, ctx_id=1))
+        assert h.deliver(AccessSpec(1, "load", SRC, ctx_id=0)) == SIZE
+        assert h.deliver(AccessSpec(2, "load", 0x6000, ctx_id=1)) == 128
+        records = started(h)
+        assert records[0].pdst == DST
+        assert records[1].pdst == 0x4000
+
+    def test_load_with_empty_context_fails(self):
+        h = harness(ExtendedShadowProtocol)
+        assert h.deliver(AccessSpec(1, "load", SRC, ctx_id=2)) == (
+            STATUS_FAILURE)
+
+    def test_latch_consumed(self):
+        h = harness(ExtendedShadowProtocol)
+        h.deliver(AccessSpec(1, "store", DST, SIZE, ctx_id=0))
+        h.deliver(AccessSpec(1, "load", SRC, ctx_id=0))
+        assert h.deliver(AccessSpec(1, "load", SRC, ctx_id=0)) == (
+            STATUS_FAILURE)
+
+    def test_single_latch_variant_checks_ctx_match(self):
+        h = ProtocolHarness(lambda: ExtendedShadowProtocol(
+            per_context=False))
+        h.deliver(AccessSpec(1, "store", DST, SIZE, ctx_id=0))
+        status = h.deliver(AccessSpec(2, "load", SRC, ctx_id=1))
+        assert status == STATUS_FAILURE  # §3.2 error-code path
+        assert h.protocol.ctx_mismatches == 1
+        assert started(h) == []
+
+    def test_single_latch_variant_same_ctx_starts(self):
+        h = ProtocolHarness(lambda: ExtendedShadowProtocol(
+            per_context=False))
+        h.deliver(AccessSpec(1, "store", DST, SIZE, ctx_id=1))
+        assert h.deliver(AccessSpec(1, "load", SRC, ctx_id=1)) == SIZE
+
+
+class TestRepeated5:
+    def stream(self, pid=1, src=SRC, dst=DST, size=SIZE):
+        return [
+            AccessSpec(pid, "store", dst, size),
+            AccessSpec(pid, "load", src),
+            AccessSpec(pid, "store", dst, size),
+            AccessSpec(pid, "load", src),
+            AccessSpec(pid, "load", dst),
+        ]
+
+    def test_clean_sequence_starts(self):
+        h = harness(lambda: RepeatedPassingProtocol(5))
+        statuses = [h.deliver(a) for a in self.stream()]
+        assert statuses[1] == STATUS_PENDING
+        assert statuses[3] == STATUS_PENDING
+        assert statuses[4] == SIZE
+        record = started(h)[0]
+        assert (record.psrc, record.pdst, record.size) == (SRC, DST, SIZE)
+
+    def test_contributors_recorded(self):
+        h = harness(lambda: RepeatedPassingProtocol(5))
+        for access in self.stream(pid=3):
+            h.deliver(access)
+        assert h.protocol.completed_contributors == [(3, 3, 3, 3, 3)]
+
+    def test_wrong_repeat_address_resets(self):
+        h = harness(lambda: RepeatedPassingProtocol(5))
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(1, "load", SRC))
+        h.deliver(AccessSpec(1, "store", 0x4000, SIZE))  # wrong dst
+        status = h.deliver(AccessSpec(1, "load", SRC))
+        # The wrong store opened a fresh attempt (dst=0x4000); this load
+        # is its position-1 source load, hence PENDING, not a start.
+        assert status == STATUS_PENDING
+        assert started(h) == []
+
+    def test_size_must_repeat(self):
+        h = harness(lambda: RepeatedPassingProtocol(5))
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(1, "load", SRC))
+        h.deliver(AccessSpec(1, "store", DST, SIZE + 8))  # wrong size
+        h.deliver(AccessSpec(1, "load", SRC))
+        h.deliver(AccessSpec(1, "load", DST))
+        assert started(h) == []
+
+    def test_out_of_order_load_fails(self):
+        h = harness(lambda: RepeatedPassingProtocol(5))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == STATUS_FAILURE
+
+    def test_retry_after_failure_succeeds(self):
+        h = harness(lambda: RepeatedPassingProtocol(5))
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(1, "load", SRC))
+        # Interference resets the recognizer mid-way.
+        h.deliver(AccessSpec(2, "store", 0x4000, 8))
+        # The victim's remaining accesses now mismatch and fail...
+        for access in self.stream()[2:]:
+            h.deliver(access)
+        assert started(h) == []
+        # ...so it retries from scratch, and succeeds.
+        for access in self.stream():
+            status = h.deliver(access)
+        assert status == SIZE
+        assert len(started(h)) == 1
+
+    def test_final_load_targets_destination(self):
+        """The 5th access repeats the *destination* — which an adversary
+        without write access to it cannot issue; this is what closes the
+        Fig. 6 steal on the 5-variant."""
+        h = harness(lambda: RepeatedPassingProtocol(5))
+        statuses = [h.deliver(a) for a in self.stream()]
+        assert statuses[4] == SIZE
+        assert h.protocol.pattern == ("S", "L", "S", "L", "L")
+
+
+class TestRepeated3:
+    def stream(self, pid=1, src=SRC, dst=DST):
+        return [
+            AccessSpec(pid, "load", src),
+            AccessSpec(pid, "store", dst, SIZE),
+            AccessSpec(pid, "load", src),
+        ]
+
+    def test_clean_sequence_starts(self):
+        h = harness(lambda: RepeatedPassingProtocol(3))
+        statuses = [h.deliver(a) for a in self.stream()]
+        assert statuses[0] == STATUS_PENDING
+        assert statuses[2] == SIZE
+
+    def test_mismatched_third_load_becomes_new_attempt(self):
+        h = harness(lambda: RepeatedPassingProtocol(3))
+        h.deliver(AccessSpec(1, "load", SRC))
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        status = h.deliver(AccessSpec(1, "load", 0x4000))
+        assert status == STATUS_PENDING
+        assert started(h) == []
+
+
+class TestRepeated4:
+    def test_clean_sequence_starts(self):
+        h = harness(lambda: RepeatedPassingProtocol(4))
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(1, "load", SRC))
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        assert h.deliver(AccessSpec(1, "load", SRC)) == SIZE
+
+    def test_wrong_final_source_resets(self):
+        h = harness(lambda: RepeatedPassingProtocol(4))
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        h.deliver(AccessSpec(1, "load", SRC))
+        h.deliver(AccessSpec(1, "store", DST, SIZE))
+        assert h.deliver(AccessSpec(1, "load", 0x4000)) == STATUS_FAILURE
+        assert started(h) == []
+
+
+def test_invalid_variant_rejected():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        RepeatedPassingProtocol(6)
+
+
+def test_protocol_requires_attachment():
+    protocol = RepeatedPassingProtocol(5)
+    with pytest.raises(RuntimeError):
+        _ = protocol.engine

@@ -1,0 +1,103 @@
+"""Unit tests for the shadow-address codec."""
+
+import pytest
+
+from repro.errors import AddressError, ConfigError
+from repro.hw.dma.shadow import ShadowLayout
+from repro.hw.pagetable import PAGE_SIZE
+
+
+def test_roundtrip_plain():
+    layout = ShadowLayout()
+    shadow = layout.shadow_paddr(0x1234)
+    ref = layout.decode_paddr(shadow)
+    assert ref is not None
+    assert ref.paddr == 0x1234
+    assert ref.ctx_id == 0
+
+
+def test_roundtrip_with_context():
+    layout = ShadowLayout(n_contexts=4, ctx_bits=2)
+    for ctx in range(4):
+        shadow = layout.shadow_paddr(0xABC0, ctx)
+        ref = layout.decode_paddr(shadow)
+        assert (ref.ctx_id, ref.paddr) == (ctx, 0xABC0)
+
+
+def test_distinct_contexts_distinct_addresses():
+    layout = ShadowLayout()
+    addresses = {layout.shadow_paddr(0x100, ctx) for ctx in range(4)}
+    assert len(addresses) == 4
+
+
+def test_decode_register_region_returns_none():
+    layout = ShadowLayout()
+    assert layout.decode_offset(0) is None
+    assert layout.decode_offset(layout.control_page_offset) is None
+
+
+def test_decode_outside_window_returns_none():
+    layout = ShadowLayout()
+    assert layout.decode_offset(layout.window_size + 10) is None
+    assert layout.decode_paddr(layout.window_base - 1) is None
+
+
+def test_is_shadow():
+    layout = ShadowLayout()
+    assert layout.is_shadow(layout.shadow_paddr(0))
+    assert not layout.is_shadow(layout.window_base)
+
+
+def test_argument_overflow_rejected():
+    layout = ShadowLayout()
+    with pytest.raises(AddressError):
+        layout.shadow_paddr(layout.max_argument_paddr)
+
+
+def test_bad_context_rejected():
+    layout = ShadowLayout(n_contexts=2, ctx_bits=1)
+    with pytest.raises(AddressError):
+        layout.shadow_paddr(0, 2)
+    with pytest.raises(AddressError):
+        layout.context_page_paddr(2)
+
+
+def test_context_pages_are_page_separated():
+    layout = ShadowLayout()
+    assert (layout.context_page_paddr(1) - layout.context_page_paddr(0)
+            == PAGE_SIZE)
+
+
+def test_context_of_offset():
+    layout = ShadowLayout(n_contexts=4)
+    assert layout.context_of_offset(0) == 0
+    assert layout.context_of_offset(3 * PAGE_SIZE + 8) == 3
+    assert layout.context_of_offset(4 * PAGE_SIZE) is None  # key page
+
+
+def test_privileged_pages_follow_contexts():
+    layout = ShadowLayout(n_contexts=4)
+    assert layout.key_page_offset == 4 * PAGE_SIZE
+    assert layout.control_page_offset == 5 * PAGE_SIZE
+
+
+def test_window_size_covers_shadow_region():
+    layout = ShadowLayout()
+    top = layout.shadow_paddr(layout.max_argument_paddr - 8,
+                              layout.n_contexts - 1)
+    assert top < layout.window_base + layout.window_size
+
+
+def test_too_few_ctx_bits_rejected():
+    with pytest.raises(ConfigError):
+        ShadowLayout(n_contexts=8, ctx_bits=2)
+
+
+def test_unaligned_window_base_rejected():
+    with pytest.raises(ConfigError):
+        ShadowLayout(window_base=(1 << 40) + 1)
+
+
+def test_shadow_region_must_clear_register_pages():
+    with pytest.raises(ConfigError):
+        ShadowLayout(n_contexts=4, shadow_offset=2 * PAGE_SIZE)

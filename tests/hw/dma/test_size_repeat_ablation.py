@@ -1,0 +1,106 @@
+"""Ablation: does the size word need to repeat with the destination?
+
+The paper's §3.3 constraint is stated over *addresses* only; this
+implementation additionally requires the size word to repeat.  These
+tests justify that strengthening: a paper-literal engine
+(``require_size_repeat=False``) can fire a transfer with a **stale
+size** when a process abandons an attempt and restarts with a different
+length — overrunning (or truncating) its own intended transfer.  The
+strict engine treats the changed-size store as a fresh attempt and fires
+with the size the process actually asked for.
+"""
+
+from repro.hw.dma.protocols.repeated import RepeatedPassingProtocol
+from repro.verify.interleave import AccessSpec, ProtocolHarness
+
+SRC = 0x0000
+DST = 0x2000
+
+
+def restart_stream(old_size=4096, new_size=64):
+    """S(d, old) L(s)  — abandon —  S(d, new) L(s) L(d).
+
+    The process changed its mind about the size mid-attempt: a
+    perfectly legal retry its own retry loop can produce.
+    """
+    return [
+        AccessSpec(1, "store", DST, old_size),
+        AccessSpec(1, "load", SRC),
+        AccessSpec(1, "store", DST, new_size),
+        AccessSpec(1, "load", SRC),
+        AccessSpec(1, "load", DST, final=True),
+    ]
+
+
+def run(require_size_repeat):
+    harness = ProtocolHarness(
+        lambda: RepeatedPassingProtocol(
+            5, require_size_repeat=require_size_repeat))
+    for access in restart_stream():
+        harness.deliver(access)
+    return harness
+
+
+def test_strict_engine_never_fires_with_a_stale_size():
+    harness = run(require_size_repeat=True)
+    # The changed-size store reset and reopened the attempt, so this
+    # truncated stream does not complete a pattern at all...
+    assert harness.engine.started_transfers() == []
+    # ...and a full retry with the new size succeeds with that size.
+    for access in restart_stream(new_size=64)[2:] + [
+            AccessSpec(1, "store", DST, 64),
+            AccessSpec(1, "load", SRC),
+            AccessSpec(1, "store", DST, 64),
+            AccessSpec(1, "load", SRC),
+            AccessSpec(1, "load", DST)]:
+        harness.deliver(access)
+    started = harness.engine.started_transfers()
+    assert started
+    assert all(r.size == 64 for r in started)
+
+
+def test_literal_engine_fires_with_the_stale_size():
+    harness = run(require_size_repeat=False)
+    started = harness.engine.started_transfers()
+    assert len(started) == 1
+    # The transfer ran with the ABANDONED 4096-byte size — a 64x
+    # overrun of what the process currently wants.
+    assert started[0].size == 4096
+
+
+def test_both_engines_agree_on_clean_sequences():
+    from repro.verify.interleave import initiation_stream
+
+    for strict in (True, False):
+        harness = ProtocolHarness(
+            lambda s=strict: RepeatedPassingProtocol(
+                5, require_size_repeat=s))
+        for access in initiation_stream("repeated5", 1, SRC, DST, 256):
+            harness.deliver(access)
+        records = harness.engine.started_transfers()
+        assert len(records) == 1
+        assert records[0].size == 256
+
+
+def test_adversarial_safety_unaffected_by_the_flag():
+    """The strengthening is about self-consistency, not the attacks:
+    the Fig. 8 scenario stays safe either way (the attacker still
+    cannot name the destination)."""
+    from repro.verify.adversary import fig8_scenario
+    from repro.verify.model_check import check_scenario
+
+    # The standard checker uses the strict engine; for the literal one,
+    # replay the scenario manually.
+    scenario = fig8_scenario(1)
+    from repro.verify.interleave import enumerate_interleavings
+    from repro.verify.properties import check_authorized_start
+
+    harness = ProtocolHarness(
+        lambda: RepeatedPassingProtocol(5, require_size_repeat=False))
+    bad = 0
+    for order in enumerate_interleavings(scenario.streams):
+        evidence = harness.replay(order)
+        if check_authorized_start(evidence, scenario.rights):
+            bad += 1
+    assert bad == 0
+    assert check_scenario(scenario).safe

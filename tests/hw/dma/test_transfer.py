@@ -1,0 +1,100 @@
+"""Unit tests for the DMA data mover."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.dma.transfer import DmaTransferEngine, Transfer
+from repro.hw.memory import PhysicalMemory
+from repro.sim.engine import Simulator
+from repro.units import kib, mbps, ns, us
+
+
+def make_engine(bandwidth=mbps(400), startup=ns(200)):
+    sim = Simulator()
+    ram = PhysicalMemory(kib(64))
+    engine = DmaTransferEngine(sim, bandwidth, startup, ram.copy)
+    return sim, ram, engine
+
+
+def test_transfer_moves_bytes_at_completion():
+    sim, ram, engine = make_engine()
+    ram.write(0, b"payload!")
+    transfer = engine.start(0, 256, 8)
+    assert ram.read(256, 8) == bytes(8)  # not yet
+    sim.run()
+    assert transfer.completed
+    assert ram.read(256, 8) == b"payload!"
+
+
+def test_duration_includes_startup_and_bandwidth():
+    _, _, engine = make_engine(bandwidth=mbps(400), startup=ns(200))
+    duration = engine.duration_of(4000)
+    # 4000 B = 32000 bits at 400 Mb/s = 80 us, plus 200 ns startup.
+    assert duration == us(80) + ns(200)
+
+
+def test_remaining_counts_down():
+    sim, _, engine = make_engine(startup=0)
+    transfer = engine.start(0, 256, 1000)
+    assert transfer.remaining(sim.now) == 1000
+    halfway = transfer.started_at + transfer.duration // 2
+    assert 400 <= transfer.remaining(halfway) <= 600
+    assert transfer.remaining(transfer.completes_at) == 0
+
+
+def test_remaining_zero_after_completion():
+    sim, _, engine = make_engine()
+    transfer = engine.start(0, 256, 64)
+    sim.run()
+    assert transfer.remaining(sim.now) == 0
+
+
+def test_completion_callback_invoked():
+    sim, _, engine = make_engine()
+    done = []
+    engine.start(0, 256, 8, on_complete=done.append)
+    sim.run()
+    assert len(done) == 1
+    assert isinstance(done[0], Transfer)
+
+
+def test_counters():
+    sim, _, engine = make_engine()
+    engine.start(0, 256, 8)
+    engine.start(8, 512, 16)
+    sim.run()
+    assert engine.transfers_started == 2
+    assert engine.bytes_moved == 24
+    assert len(engine.history) == 2
+
+
+def test_bad_size_rejected():
+    _, _, engine = make_engine()
+    with pytest.raises(ConfigError):
+        engine.start(0, 256, 0)
+
+
+def test_bad_bandwidth_rejected():
+    sim = Simulator()
+    ram = PhysicalMemory(kib(8))
+    with pytest.raises(ConfigError):
+        DmaTransferEngine(sim, 0, 0, ram.copy)
+
+
+def test_negative_startup_rejected():
+    sim = Simulator()
+    ram = PhysicalMemory(kib(8))
+    with pytest.raises(ConfigError):
+        DmaTransferEngine(sim, mbps(1), -1, ram.copy)
+
+
+def test_concurrent_transfers_complete_independently():
+    sim, ram, engine = make_engine(startup=0)
+    ram.write(0, b"AA")
+    ram.write(16, b"BB")
+    first = engine.start(0, 256, 2)
+    second = engine.start(16, 512, 2)
+    sim.run()
+    assert first.completed and second.completed
+    assert ram.read(256, 2) == b"AA"
+    assert ram.read(512, 2) == b"BB"

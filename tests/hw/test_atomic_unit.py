@@ -1,0 +1,257 @@
+"""Unit tests for the atomic-operations unit (§3.5)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.atomic_unit import (
+    AtomicShadowLayout,
+    AtomicUnit,
+    CTX_OPERAND,
+    CTX_OPERAND2,
+    OP_ADD,
+    OP_CAS,
+    OP_CAS_SWAP,
+    OP_FETCH_STORE,
+    REG_OPCODE,
+    REG_OPERAND,
+    REG_OPERAND2,
+    REG_RESULT,
+    REG_TARGET,
+)
+from repro.hw.device import AccessContext
+from repro.hw.dma.protocols.keyed import pack_key_word
+from repro.hw.dma.status import STATUS_FAILURE
+from repro.hw.memory import PhysicalMemory
+from repro.hw.pagetable import PAGE_SIZE
+from repro.sim.engine import Simulator
+from repro.units import kib
+
+USER = AccessContext(issuer=1, kernel=False, when=0)
+KERNEL = AccessContext(issuer=None, kernel=True, when=0)
+TARGET = 0x100
+KEY = 0x77A
+
+
+def make_unit(mode="keyed"):
+    sim = Simulator()
+    ram = PhysicalMemory(kib(64))
+    unit = AtomicUnit(sim, ram, mode=mode)
+    ram.write_word(TARGET, 10)
+    return sim, ram, unit
+
+
+def shadow_off(unit, op, paddr, ctx=0):
+    return (unit.layout.shadow_paddr(op, paddr, ctx)
+            - unit.layout.window_base)
+
+
+def ctx_off(unit, ctx, reg=0):
+    return ctx * PAGE_SIZE + reg
+
+
+class TestLayout:
+    def test_roundtrip(self):
+        layout = AtomicShadowLayout()
+        for op in (OP_ADD, OP_CAS, OP_CAS_SWAP):
+            addr = layout.shadow_paddr(op, 0x1230, 2)
+            assert layout.decode_offset(addr - layout.window_base) == (
+                op, 2, 0x1230)
+
+    def test_overflow_rejected(self):
+        layout = AtomicShadowLayout()
+        with pytest.raises(ConfigError):
+            layout.shadow_paddr(4, 0)
+        with pytest.raises(ConfigError):
+            layout.shadow_paddr(0, 1 << layout.addr_bits)
+        with pytest.raises(ConfigError):
+            layout.shadow_paddr(0, 0, 4)
+
+    def test_target_field_carries_global_addresses(self):
+        """34 bits: 6 node bits + 28 local bits (the NIC address map)."""
+        layout = AtomicShadowLayout()
+        assert layout.addr_bits == 34
+        top_global = (63 << 28) | ((1 << 28) - 8)
+        roundtrip = layout.decode_offset(
+            layout.shadow_paddr(0, top_global) - layout.window_base)
+        assert roundtrip == (0, 0, top_global)
+
+    def test_register_region_not_shadow(self):
+        layout = AtomicShadowLayout()
+        assert layout.decode_offset(0) is None
+
+
+class TestKernelPath:
+    def run_op(self, unit, op, operand, operand2=0):
+        base = unit.layout.control_page * PAGE_SIZE
+        unit.mmio_write(base + REG_TARGET, TARGET, KERNEL)
+        unit.mmio_write(base + REG_OPERAND, operand, KERNEL)
+        unit.mmio_write(base + REG_OPERAND2, operand2, KERNEL)
+        unit.mmio_write(base + REG_OPCODE, op, KERNEL)
+        return unit.mmio_read(base + REG_RESULT, KERNEL)
+
+    def test_atomic_add(self):
+        _, ram, unit = make_unit()
+        assert self.run_op(unit, OP_ADD, 5) == 10
+        assert ram.read_word(TARGET) == 15
+
+    def test_fetch_and_store(self):
+        _, ram, unit = make_unit()
+        assert self.run_op(unit, OP_FETCH_STORE, 99) == 10
+        assert ram.read_word(TARGET) == 99
+
+    def test_cas_success_and_failure(self):
+        _, ram, unit = make_unit()
+        assert self.run_op(unit, OP_CAS, 10, 42) == 10
+        assert ram.read_word(TARGET) == 42
+        assert self.run_op(unit, OP_CAS, 10, 7) == 42  # compare fails
+        assert ram.read_word(TARGET) == 42
+
+    def test_user_cannot_touch_control_page(self):
+        _, ram, unit = make_unit()
+        base = unit.layout.control_page * PAGE_SIZE
+        unit.mmio_write(base + REG_TARGET, TARGET, USER)
+        assert unit.mmio_read(base + REG_RESULT, USER) == STATUS_FAILURE
+        assert unit.protocol_violations == 2
+
+    def test_bad_target_fails(self):
+        _, _, unit = make_unit()
+        base = unit.layout.control_page * PAGE_SIZE
+        unit.mmio_write(base + REG_TARGET, kib(64), KERNEL)  # out of RAM
+        unit.mmio_write(base + REG_OPERAND, 1, KERNEL)
+        unit.mmio_write(base + REG_OPCODE, OP_ADD, KERNEL)
+        assert unit.mmio_read(base + REG_RESULT, KERNEL) == STATUS_FAILURE
+
+    def test_unaligned_target_fails(self):
+        _, _, unit = make_unit()
+        base = unit.layout.control_page * PAGE_SIZE
+        unit.mmio_write(base + REG_TARGET, TARGET + 3, KERNEL)
+        unit.mmio_write(base + REG_OPERAND, 1, KERNEL)
+        unit.mmio_write(base + REG_OPCODE, OP_ADD, KERNEL)
+        assert unit.mmio_read(base + REG_RESULT, KERNEL) == STATUS_FAILURE
+
+
+class TestKeyedFlow:
+    def test_add_with_correct_key(self):
+        _, ram, unit = make_unit("keyed")
+        unit.install_key(0, KEY)
+        unit.mmio_write(shadow_off(unit, OP_ADD, TARGET),
+                        pack_key_word(KEY, 0, 0), USER)
+        unit.mmio_write(ctx_off(unit, 0, CTX_OPERAND), 7, USER)
+        assert unit.mmio_read(ctx_off(unit, 0), USER) == 10
+        assert ram.read_word(TARGET) == 17
+
+    def test_wrong_key_rejected(self):
+        _, ram, unit = make_unit("keyed")
+        unit.install_key(0, KEY)
+        unit.mmio_write(shadow_off(unit, OP_ADD, TARGET),
+                        pack_key_word(KEY ^ 1, 0, 0), USER)
+        unit.mmio_write(ctx_off(unit, 0, CTX_OPERAND), 7, USER)
+        assert unit.mmio_read(ctx_off(unit, 0), USER) == STATUS_FAILURE
+        assert ram.read_word(TARGET) == 10
+        assert unit.key_rejections == 1
+
+    def test_cas_needs_second_operand(self):
+        _, ram, unit = make_unit("keyed")
+        unit.install_key(0, KEY)
+        unit.mmio_write(shadow_off(unit, OP_CAS, TARGET),
+                        pack_key_word(KEY, 0, 0), USER)
+        unit.mmio_write(ctx_off(unit, 0, CTX_OPERAND), 10, USER)
+        assert unit.mmio_read(ctx_off(unit, 0), USER) == STATUS_FAILURE
+        # Retry with both operands latched.
+        unit.mmio_write(shadow_off(unit, OP_CAS, TARGET),
+                        pack_key_word(KEY, 0, 0), USER)
+        unit.mmio_write(ctx_off(unit, 0, CTX_OPERAND), 10, USER)
+        unit.mmio_write(ctx_off(unit, 0, CTX_OPERAND2), 55, USER)
+        assert unit.mmio_read(ctx_off(unit, 0), USER) == 10
+        assert ram.read_word(TARGET) == 55
+
+    def test_contexts_are_isolated(self):
+        _, ram, unit = make_unit("keyed")
+        unit.install_key(0, KEY)
+        unit.install_key(1, 0xB0B)
+        unit.mmio_write(shadow_off(unit, OP_ADD, TARGET),
+                        pack_key_word(KEY, 0, 0), USER)
+        unit.mmio_write(ctx_off(unit, 0, CTX_OPERAND), 1, USER)
+        # A second process latches its own op in context 1.
+        other = AccessContext(issuer=2, kernel=False, when=0)
+        unit.mmio_write(shadow_off(unit, OP_FETCH_STORE, TARGET + 8),
+                        pack_key_word(0xB0B, 1, 0), other)
+        unit.mmio_write(ctx_off(unit, 1, CTX_OPERAND), 2, other)
+        # Both execute independently.
+        assert unit.mmio_read(ctx_off(unit, 0), USER) == 10
+        assert unit.mmio_read(ctx_off(unit, 1), other) == 0
+        assert ram.read_word(TARGET) == 11
+        assert ram.read_word(TARGET + 8) == 2
+
+    def test_shadow_load_not_part_of_keyed_flow(self):
+        _, _, unit = make_unit("keyed")
+        assert unit.mmio_read(shadow_off(unit, OP_ADD, TARGET),
+                              USER) == STATUS_FAILURE
+
+
+class TestExtShadowFlow:
+    def test_two_instruction_add(self):
+        _, ram, unit = make_unit("extshadow")
+        off = shadow_off(unit, OP_ADD, TARGET, ctx=1)
+        unit.mmio_write(off, 7, USER)
+        assert unit.mmio_read(off, USER) == 10
+        assert ram.read_word(TARGET) == 17
+
+    def test_fetch_and_store(self):
+        _, ram, unit = make_unit("extshadow")
+        off = shadow_off(unit, OP_FETCH_STORE, TARGET)
+        unit.mmio_write(off, 123, USER)
+        assert unit.mmio_read(off, USER) == 10
+        assert ram.read_word(TARGET) == 123
+
+    def test_three_instruction_cas(self):
+        _, ram, unit = make_unit("extshadow")
+        cas = shadow_off(unit, OP_CAS, TARGET, ctx=0)
+        swap = shadow_off(unit, OP_CAS_SWAP, TARGET, ctx=0)
+        unit.mmio_write(cas, 10, USER)     # compare operand
+        unit.mmio_write(swap, 77, USER)    # swap operand
+        assert unit.mmio_read(cas, USER) == 10
+        assert ram.read_word(TARGET) == 77
+
+    def test_mismatched_load_clears_latch(self):
+        _, ram, unit = make_unit("extshadow")
+        unit.mmio_write(shadow_off(unit, OP_ADD, TARGET), 7, USER)
+        wrong = shadow_off(unit, OP_ADD, TARGET + 8)
+        assert unit.mmio_read(wrong, USER) == STATUS_FAILURE
+        # Latch is gone; the original load now fails too.
+        assert unit.mmio_read(shadow_off(unit, OP_ADD, TARGET),
+                              USER) == STATUS_FAILURE
+        assert ram.read_word(TARGET) == 10
+
+    def test_cas_swap_without_cas_clears(self):
+        _, _, unit = make_unit("extshadow")
+        unit.mmio_write(shadow_off(unit, OP_CAS_SWAP, TARGET), 5, USER)
+        assert unit.mmio_read(shadow_off(unit, OP_CAS, TARGET),
+                              USER) == STATUS_FAILURE
+
+
+def test_operations_recorded():
+    _, _, unit = make_unit("extshadow")
+    off = shadow_off(unit, OP_ADD, TARGET)
+    unit.mmio_write(off, 7, USER)
+    unit.mmio_read(off, USER)
+    assert len(unit.operations) == 1
+    record = unit.operations[0]
+    assert record.op == OP_ADD
+    assert record.result == 10
+    assert record.via == "extshadow"
+
+
+def test_reset_scrubs():
+    _, _, unit = make_unit("keyed")
+    unit.install_key(0, KEY)
+    unit.reset()
+    assert unit.key_table == {}
+    assert unit.operations == []
+
+
+def test_unknown_mode_rejected():
+    sim = Simulator()
+    ram = PhysicalMemory(kib(8))
+    with pytest.raises(ConfigError):
+        AtomicUnit(sim, ram, mode="bogus")

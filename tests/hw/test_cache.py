@@ -1,0 +1,127 @@
+"""Unit and integration tests for the optional data cache."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.cache import DataCache
+
+
+class TestDataCacheUnit:
+    def test_miss_then_hit(self):
+        cache = DataCache()
+        assert cache.access(0x100) == cache.miss_cycles
+        assert cache.access(0x100) == cache.hit_cycles
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_same_line_different_offset_hits(self):
+        cache = DataCache(line_bytes=32)
+        cache.access(0x100)
+        assert cache.access(0x108) == cache.hit_cycles
+
+    def test_conflict_eviction(self):
+        cache = DataCache(n_lines=4, line_bytes=32)
+        cache.access(0)
+        cache.access(4 * 32)  # same index, different tag: evicts
+        assert cache.access(0) == cache.miss_cycles
+
+    def test_flush_clears(self):
+        cache = DataCache()
+        cache.access(0)
+        cache.flush()
+        assert not cache.contains(0)
+        assert cache.flushes == 1
+
+    def test_invalidate_range(self):
+        cache = DataCache(line_bytes=32)
+        for paddr in (0, 32, 64, 96):
+            cache.access(paddr)
+        dropped = cache.invalidate_range(30, 40)  # touches lines 0-2
+        assert dropped == 3
+        assert not cache.contains(0)
+        assert cache.contains(96)
+
+    def test_invalidate_empty_range(self):
+        cache = DataCache()
+        assert cache.invalidate_range(0, 0) == 0
+
+    def test_hit_rate(self):
+        cache = DataCache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(4096)
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            DataCache(n_lines=3)
+        with pytest.raises(ConfigError):
+            DataCache(line_bytes=24)
+
+
+class TestCacheOnTheMachine:
+    def make(self, data_cache=True):
+        from tests.conftest import ready_channel
+
+        return ready_channel("keyed", data_cache=data_cache)
+
+    def test_machine_builds_with_cache(self):
+        ws, proc, src, dst, chan = self.make()
+        assert ws.data_cache is not None
+        assert ws.cpu.cache is ws.data_cache
+
+    def test_repeated_ram_access_gets_cheaper(self):
+        from repro.hw.isa import Addr, Halt, Load, assemble
+
+        ws, proc, src, dst, chan = self.make()
+        program = assemble([Load("t0", Addr(None, src.vaddr)), Halt()])
+        thread1 = proc.new_thread(program)
+        start = ws.now
+        ws.run_thread(thread1)
+        cold = ws.now - start
+        thread2 = proc.new_thread(program)
+        start = ws.now
+        ws.run_thread(thread2)
+        warm = ws.now - start
+        assert warm < cold
+
+    def test_dma_invalidates_destination_lines(self):
+        from repro.hw.isa import Addr, Halt, Load, assemble
+
+        ws, proc, src, dst, chan = self.make()
+        # Warm the destination line in the cache.
+        warm_prog = assemble([Load("t0", Addr(None, dst.vaddr)), Halt()])
+        ws.run_thread(proc.new_thread(warm_prog))
+        assert ws.data_cache.contains(dst.paddr)
+        # A DMA lands on it: the line must be invalidated.
+        ws.ram.write(src.paddr, b"fresh")
+        result = chan.dma(src.vaddr, dst.vaddr, 64)
+        assert result.ok
+        assert not ws.data_cache.contains(dst.paddr)
+        # The next load therefore sees the DMA'd data (coherence).
+        check = assemble([Load("v0", Addr(None, dst.vaddr)), Halt()])
+        thread = proc.new_thread(check)
+        ws.run_thread(thread)
+        assert thread.reg("v0") == int.from_bytes(b"fresh\0\0\0",
+                                                  "little")
+
+    def test_context_switch_cold_caches(self):
+        from repro.hw.isa import Halt, Mov, assemble
+        from repro.os.scheduler import RoundRobinPolicy
+
+        ws, proc, src, dst, chan = self.make()
+        other = ws.kernel.spawn("other")
+        ws.data_cache.access(0x100)
+        scheduler = ws.make_scheduler(RoundRobinPolicy(1))
+        scheduler.add(proc, proc.new_thread(
+            assemble([Mov("t0", 1), Halt()])))
+        scheduler.add(other, other.new_thread(
+            assemble([Mov("t0", 2), Halt()])))
+        scheduler.run()
+        assert ws.data_cache.flushes >= 1
+
+    def test_cache_off_by_default_preserves_table1(self):
+        """The calibrated Table 1 numbers assume no cache model."""
+        from repro.analysis.trends import measure_initiation_us
+
+        assert measure_initiation_us(
+            "extshadow", iterations=5) == pytest.approx(1.1, abs=0.15)

@@ -1,0 +1,76 @@
+"""Tests for the assembly formatter."""
+
+from repro.hw.isa import (
+    Add,
+    Addr,
+    Beq,
+    CallPal,
+    CompareExchange,
+    Halt,
+    Jump,
+    Label,
+    Load,
+    Mb,
+    Mov,
+    Nop,
+    Store,
+    Syscall,
+    assemble,
+    format_instruction,
+    format_program,
+)
+
+
+def test_memory_instructions():
+    assert format_instruction(
+        Load("v0", Addr(None, 0x1000))) == "ldq   v0, [0x1000]"
+    assert format_instruction(
+        Store(Addr("a1", 8), "a2")) == "stq   a2, [a1+0x8]"
+    assert format_instruction(
+        CompareExchange("v0", Addr(None, 0x20), 64)).startswith("cex")
+
+
+def test_alu_and_control():
+    assert format_instruction(Mov("t0", 5)) == "mov   t0, 5"
+    assert format_instruction(Add("t1", "t0", 1)) == "addq  t1, t0, 1"
+    assert format_instruction(Beq("t0", 0, "retry")).endswith("retry")
+    assert format_instruction(Jump("end")) == "br    end"
+    assert format_instruction(Mb()) == "mb"
+    assert format_instruction(Halt()) == "halt"
+    assert format_instruction(Nop()) == "nop"
+
+
+def test_traps():
+    assert format_instruction(CallPal("user_level_dma")) == (
+        "call_pal user_level_dma")
+    assert format_instruction(Syscall("dma")) == "syscall dma"
+
+
+def test_large_immediates_hex():
+    text = format_instruction(Store(Addr(None, 0), 1 << 40))
+    assert "0x10000000000" in text
+
+
+def test_program_listing_reinserts_labels():
+    program = assemble([
+        Label("retry"),
+        Store(Addr(None, 0x1000), 64),
+        Beq("v0", 0, "retry"),
+        Halt(),
+    ])
+    listing = format_program(program)
+    lines = listing.splitlines()
+    assert lines[0] == "retry:"
+    assert lines[1].strip().startswith("stq")
+    assert "beq" in listing
+    assert listing.rstrip().endswith("halt")
+
+
+def test_listing_matches_the_papers_fig3_shape():
+    from tests.conftest import ready_channel
+
+    ws, proc, src, dst, chan = ready_channel("keyed")
+    listing = format_program(
+        chan.program(src.vaddr, dst.vaddr, 64))
+    ops = [line.strip().split()[0] for line in listing.splitlines()]
+    assert ops == ["stq", "stq", "stq", "ldq", "halt"]

@@ -1,0 +1,92 @@
+"""Unit tests for the MMU (TLB + table walk + checks)."""
+
+import pytest
+
+from repro.errors import PageFault, ProtectionFault
+from repro.hw.mmu import Mmu
+from repro.hw.pagetable import PAGE_SIZE, PageTable, Perm, Pte
+from repro.hw.tlb import Tlb
+
+V = 0x10000
+P = 0x40000
+
+
+def make_mmu(walk_cost=200):
+    mmu = Mmu(Tlb(capacity=4), walk_cost=walk_cost)
+    table = PageTable("t")
+    table.map_page(V, Pte(P, Perm.RW))
+    mmu.activate(table)
+    return mmu, table
+
+
+def test_translate_walk_then_hit():
+    mmu, _ = make_mmu()
+    first = mmu.translate(V, "read")
+    assert not first.tlb_hit
+    assert first.cost == 200
+    second = mmu.translate(V + 8, "read")
+    assert second.tlb_hit
+    assert second.cost == 0
+    assert second.paddr == P + 8
+
+
+def test_no_active_table_raises():
+    mmu = Mmu(Tlb())
+    with pytest.raises(RuntimeError):
+        mmu.translate(V, "read")
+
+
+def test_fault_propagates_from_walk():
+    mmu, _ = make_mmu()
+    with pytest.raises(PageFault):
+        mmu.translate(0xDEAD0000, "read")
+
+
+def test_protection_enforced_on_tlb_hit():
+    mmu, table = make_mmu()
+    mmu.translate(V, "read")  # cache it
+    table.protect_page(V, Perm.READ)
+    # The stale TLB entry still has RW; re-cache by flushing to pick up
+    # the change, then verify the cached-entry check path with READ.
+    mmu.tlb.flush()
+    mmu.translate(V, "read")
+    with pytest.raises(ProtectionFault):
+        mmu.translate(V, "write")
+
+
+def test_kernel_mode_bypasses_user_bit_on_hit():
+    mmu = Mmu(Tlb())
+    table = PageTable()
+    table.map_page(V, Pte(P, Perm.RW, user=False))
+    mmu.activate(table)
+    translation = mmu.translate(V, "write", user_mode=False)
+    assert translation.paddr == P
+    # Now cached: a user access must still fault.
+    with pytest.raises(PageFault):
+        mmu.translate(V, "write", user_mode=True)
+
+
+def test_activate_flushes_by_default():
+    mmu, _ = make_mmu()
+    mmu.translate(V, "read")
+    other = PageTable("other")
+    other.map_page(V, Pte(P + PAGE_SIZE, Perm.RW))
+    mmu.activate(other)
+    translation = mmu.translate(V, "read")
+    assert not translation.tlb_hit
+    assert translation.paddr == P + PAGE_SIZE
+
+
+def test_activate_without_flush_keeps_entries():
+    mmu, table = make_mmu()
+    mmu.translate(V, "read")
+    mmu.activate(table, flush=False)
+    assert mmu.translate(V, "read").tlb_hit
+
+
+def test_uncached_attribute_travels():
+    mmu = Mmu(Tlb())
+    table = PageTable()
+    table.map_page(V, Pte(P, Perm.RW, uncached=True))
+    mmu.activate(table)
+    assert mmu.translate(V, "read").pte.uncached

@@ -1,0 +1,87 @@
+"""Unit tests for the TLB."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.pagetable import PAGE_SIZE, Perm, Pte
+from repro.hw.tlb import Tlb
+
+
+def pte(frame: int) -> Pte:
+    return Pte(frame * PAGE_SIZE, Perm.RW)
+
+
+def test_miss_then_hit():
+    tlb = Tlb()
+    assert tlb.lookup(0x1000) is None
+    tlb.insert(0x1000, pte(1))
+    assert tlb.lookup(0x1000) is not None
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_same_page_different_offset_hits():
+    tlb = Tlb()
+    tlb.insert(0, pte(1))
+    assert tlb.lookup(PAGE_SIZE - 1) is not None
+
+
+def test_lru_eviction():
+    tlb = Tlb(capacity=2)
+    tlb.insert(0 * PAGE_SIZE, pte(1))
+    tlb.insert(1 * PAGE_SIZE, pte(2))
+    tlb.lookup(0)                      # page 0 becomes most recent
+    tlb.insert(2 * PAGE_SIZE, pte(3))  # evicts page 1
+    assert tlb.lookup(0) is not None
+    assert tlb.lookup(1 * PAGE_SIZE) is None
+    assert tlb.lookup(2 * PAGE_SIZE) is not None
+
+
+def test_reinsert_updates_entry():
+    tlb = Tlb()
+    tlb.insert(0, pte(1))
+    tlb.insert(0, pte(2))
+    assert tlb.lookup(0).pframe == 2 * PAGE_SIZE
+    assert tlb.occupancy == 1
+
+
+def test_flush_clears_and_counts():
+    tlb = Tlb()
+    tlb.insert(0, pte(1))
+    tlb.flush()
+    assert tlb.occupancy == 0
+    assert tlb.flushes == 1
+    assert tlb.lookup(0) is None
+
+
+def test_invalidate_single_entry():
+    tlb = Tlb()
+    tlb.insert(0, pte(1))
+    tlb.insert(PAGE_SIZE, pte(2))
+    assert tlb.invalidate(0)
+    assert not tlb.invalidate(0)
+    assert tlb.lookup(PAGE_SIZE) is not None
+
+
+def test_capacity_bound():
+    tlb = Tlb(capacity=4)
+    for index in range(10):
+        tlb.insert(index * PAGE_SIZE, pte(index))
+    assert tlb.occupancy == 4
+
+
+def test_hit_rate():
+    tlb = Tlb()
+    tlb.insert(0, pte(1))
+    tlb.lookup(0)
+    tlb.lookup(PAGE_SIZE)
+    assert tlb.hit_rate == 0.5
+
+
+def test_hit_rate_empty_is_zero():
+    assert Tlb().hit_rate == 0.0
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ConfigError):
+        Tlb(capacity=0)

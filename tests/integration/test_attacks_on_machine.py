@@ -1,0 +1,170 @@
+"""Figs. 5 and 6 replayed on the *whole machine* (CPU + scheduler).
+
+The model checker proves the attacks exist at the engine level; these
+tests drive real processes through the scripted scheduler so the attack
+travels the full path: user instructions -> MMU -> write buffer -> bus ->
+engine FSM -> data mover.
+"""
+
+import pytest
+
+from repro.core.api import DmaChannel
+from repro.core.machine import MachineConfig, Workstation
+from repro.hw.isa import Halt, Load, Store, Addr, assemble
+from repro.os.process import shadow_vaddr
+from repro.os.scheduler import ScriptedPolicy
+
+
+def machine_with_attacker(method):
+    """Victim owns A(src), B(dst); attacker owns C, foo; attacker can
+    also read A (shared page)."""
+    ws = Workstation(MachineConfig(method=method))
+    victim = ws.kernel.spawn("victim")
+    attacker = ws.kernel.spawn("attacker")
+    ws.kernel.enable_user_dma(victim)
+    ws.kernel.enable_user_dma(attacker)
+    buf_a = ws.kernel.alloc_buffer(victim, 8192)
+    buf_b = ws.kernel.alloc_buffer(victim, 8192)
+    buf_c = ws.kernel.alloc_buffer(attacker, 8192)
+    buf_foo = ws.kernel.alloc_buffer(attacker, 8192)
+    from repro.hw.pagetable import Perm
+
+    shared_a = ws.kernel.share_buffer(victim, buf_a, attacker,
+                                      perm=Perm.READ)
+    return ws, victim, attacker, buf_a, buf_b, buf_c, buf_foo, shared_a
+
+
+def test_fig5_attack_on_the_full_machine():
+    """3-instruction variant: attacker's C lands in victim's B."""
+    (ws, victim, attacker, buf_a, buf_b, buf_c, buf_foo,
+     shared_a) = machine_with_attacker("repeated3")
+    ws.ram.write(buf_c.paddr, b"EVIL" * 16)
+    ws.ram.write(buf_b.paddr, b"good" * 16)
+
+    chan = DmaChannel(ws, victim)
+    victim_prog = chan.program(buf_a.vaddr, buf_b.vaddr, 64,
+                               with_retry=False)
+    shadow = lambda v: Addr(None, shadow_vaddr(v))
+    attacker_prog = assemble([
+        Store(shadow(buf_foo.vaddr), 64),   # STORE foo TO shadow(foo)
+        Load("t0", shadow(buf_foo.vaddr)),  # LOAD FROM shadow(foo)
+        Load("t1", shadow(buf_c.vaddr)),    # LOAD FROM shadow(C)
+        Load("v0", shadow(buf_c.vaddr)),    # LOAD FROM shadow(C)
+        Halt(),
+    ], name="fig5-attacker")
+
+    # Fig. 5's interleaving: V1  M2 M3 M4  V5  M6  V7 (+ halts).
+    script = [0, 1, 1, 1, 0, 1, 0, 0, 1]
+    scheduler = ws.make_scheduler(ScriptedPolicy(script + [0] * 8))
+    scheduler.add(victim, victim.new_thread(victim_prog))
+    scheduler.add(attacker, attacker.new_thread(attacker_prog))
+    scheduler.run()
+    ws.drain()
+
+    started = ws.engine.started_transfers()
+    assert len(started) == 1
+    assert started[0].psrc == ws.engine.global_address(buf_c.paddr)
+    assert started[0].pdst == ws.engine.global_address(buf_b.paddr)
+    # The attacker's bytes really did land in the victim's buffer.
+    assert ws.ram.read(buf_b.paddr, 64) == b"EVIL" * 16
+
+
+def test_fig6_attack_on_the_full_machine():
+    """4-instruction variant: attacker steals the start; victim is told
+    FAILURE although its transfer ran."""
+    (ws, victim, attacker, buf_a, buf_b, buf_c, buf_foo,
+     shared_a) = machine_with_attacker("repeated4")
+    ws.ram.write(buf_a.paddr, b"data" * 16)
+
+    chan = DmaChannel(ws, victim)
+    victim_prog = chan.program(buf_a.vaddr, buf_b.vaddr, 64,
+                               with_retry=False)
+    attacker_prog = assemble([
+        Load("v0", Addr(None, shadow_vaddr(shared_a))),
+        Halt(),
+    ], name="fig6-attacker")
+
+    # Victim program: S, Mb, L, S, Mb, L, Halt.  The attacker's load
+    # slots in after the victim's second store (and its barrier).
+    script = [0, 0, 0, 0, 0, 1, 1, 0, 0]
+    scheduler = ws.make_scheduler(ScriptedPolicy(script + [0] * 8))
+    victim_thread = victim.new_thread(victim_prog)
+    attacker_thread = attacker.new_thread(attacker_prog)
+    scheduler.add(victim, victim_thread)
+    scheduler.add(attacker, attacker_thread)
+    scheduler.run()
+    ws.drain()
+
+    started = ws.engine.started_transfers()
+    assert len(started) == 1
+    assert started[0].issuer == attacker.pid        # stolen start
+    from repro.hw.dma.status import is_rejection
+
+    assert is_rejection(victim_thread.reg("v0"))    # victim misinformed
+    assert not is_rejection(attacker_thread.reg("v0"))
+    # The data did move (it was the victim's transfer).
+    assert ws.ram.read(buf_b.paddr, 64) == b"data" * 16
+
+
+def test_same_interleaving_is_harmless_under_repeated5():
+    """The Fig. 6 steal cannot happen on the 5-variant: the final access
+    repeats the destination, which the attacker cannot name."""
+    (ws, victim, attacker, buf_a, buf_b, buf_c, buf_foo,
+     shared_a) = machine_with_attacker("repeated5")
+    chan = DmaChannel(ws, victim)
+    victim_prog = chan.program(buf_a.vaddr, buf_b.vaddr, 64,
+                               with_retry=False)
+    attacker_prog = assemble([
+        Load("v0", Addr(None, shadow_vaddr(shared_a))),
+        Halt(),
+    ], name="fig6-attacker")
+    script = [0, 0, 0, 0, 0, 1, 1, 0, 0, 0]
+    scheduler = ws.make_scheduler(ScriptedPolicy(script + [0] * 10))
+    victim_thread = victim.new_thread(victim_prog)
+    scheduler.add(victim, victim_thread)
+    scheduler.add(attacker, attacker.new_thread(attacker_prog))
+    scheduler.run()
+    ws.drain()
+    started = ws.engine.started_transfers()
+    # Either the victim's own DMA ran intact, or nothing did — but the
+    # attacker can never be the issuer of a started transfer.
+    assert all(r.issuer == victim.pid for r in started)
+
+
+def test_attacker_address_space_cannot_name_victims_private_frame():
+    """The §2.3 protection: no shadow mapping in the attacker's address
+    space decodes to the victim's private destination frame, so the
+    attacker cannot construct a shadow access naming it at all — and a
+    store to an unmapped shadow address simply faults."""
+    (ws, victim, attacker, buf_a, buf_b, buf_c, buf_foo,
+     shared_a) = machine_with_attacker("repeated4")
+    forbidden = ws.engine.global_address(buf_b.paddr)
+    for _vpn, pte in attacker.page_table.mapped_pages():
+        decoded = ws.engine.layout.decode_paddr(pte.pframe)
+        if decoded is not None:
+            assert decoded.paddr != forbidden
+
+    unmapped = shadow_vaddr(0x7000_0000)  # no mapping anywhere near
+    thread = attacker.new_thread(assemble([
+        Store(Addr(None, unmapped), 64), Halt()], name="forge"))
+    from repro.hw.cpu import StepStatus
+
+    assert ws.run_thread(thread) is StepStatus.FAULTED
+    assert thread.fault is not None
+
+
+def test_read_only_share_blocks_shadow_store_but_allows_load():
+    """Shadow permissions mirror data permissions (§2.3): the attacker
+    can pass shared_a as a *source* (load) but not as a destination
+    (store)."""
+    (ws, victim, attacker, buf_a, buf_b, buf_c, buf_foo,
+     shared_a) = machine_with_attacker("repeated4")
+    from repro.hw.cpu import StepStatus
+
+    load_ok = attacker.new_thread(assemble([
+        Load("v0", Addr(None, shadow_vaddr(shared_a))), Halt()]))
+    assert ws.run_thread(load_ok) is StepStatus.HALTED
+
+    store_blocked = attacker.new_thread(assemble([
+        Store(Addr(None, shadow_vaddr(shared_a)), 64), Halt()]))
+    assert ws.run_thread(store_blocked) is StepStatus.FAULTED

@@ -1,0 +1,126 @@
+"""Failure injection: the system degrades safely, never silently.
+
+Exhausted allocators, revoked contexts, killed processes mid-sequence,
+overlapping transfers, and engine resets — each either raises a typed
+error at the OS level or returns DMA_FAILURE at the hardware level;
+nothing corrupts and nothing is misattributed.
+"""
+
+import pytest
+
+from tests.conftest import build_workstation, ready_channel
+
+from repro.errors import KernelError, MemoryError_
+from repro.hw.dma.status import STATUS_FAILURE
+from repro.units import kib, mib
+
+
+def test_physical_memory_exhaustion_is_a_typed_error():
+    ws = build_workstation("keyed", ram_size=kib(64))  # 8 frames
+    proc = ws.kernel.spawn()
+    ws.kernel.enable_user_dma(proc)
+    with pytest.raises(MemoryError_):
+        for _ in range(10):
+            ws.kernel.alloc_buffer(proc, kib(16))
+
+
+def test_released_context_rejects_stale_key():
+    """A process's key dies with its context; replaying old stores is
+    harmless for the next owner."""
+    ws, proc, src, dst, chan = ready_channel("keyed")
+    stale_key = proc.dma_binding.key
+    stale_ctx = proc.dma_binding.ctx_id
+    ws.kernel.release_user_dma(proc)
+
+    victim = ws.kernel.spawn("victim")
+    binding = ws.kernel.enable_user_dma(victim)
+    assert binding.key != stale_key         # fresh key, whatever context
+    assert stale_ctx not in ws.engine.key_table  # old key uninstalled
+
+    # Replaying an access with the stale key is dropped by the engine.
+    from repro.hw.device import AccessContext
+    from repro.hw.dma.protocols.keyed import pack_key_word
+
+    engine = ws.engine
+    offset = engine.layout.shadow_offset + 0x100
+    engine.mmio_write(offset, pack_key_word(stale_key, stale_ctx, 0),
+                      AccessContext(issuer=proc.pid, kernel=False,
+                                    when=ws.now))
+    assert engine.contexts[stale_ctx].dst is None
+    assert engine.protocol.key_rejections == 1
+
+
+def test_context_reassignment_clears_half_started_state():
+    """A process dies mid-sequence; the OS hands its context to someone
+    else; the stale half-latched arguments must be gone."""
+    ws, proc, src, dst, chan = ready_channel("keyed")
+    # Latch only the destination argument, then "kill" the process.
+    from repro.hw.device import AccessContext
+    from repro.hw.dma.protocols.keyed import ARG_DESTINATION, pack_key_word
+
+    binding = proc.dma_binding
+    engine = ws.engine
+    g = engine.global_address
+    engine.mmio_write(
+        engine.layout.shadow_offset + g(dst.paddr),
+        pack_key_word(binding.key, binding.ctx_id, ARG_DESTINATION),
+        AccessContext(issuer=proc.pid, kernel=False, when=ws.now))
+    assert engine.contexts[binding.ctx_id].dst is not None
+    ws.kernel.release_user_dma(proc)
+    other = ws.kernel.spawn()
+    new_binding = ws.kernel.enable_user_dma(other)
+    assert engine.contexts[new_binding.ctx_id].dst is None
+
+
+def test_overlapping_src_dst_transfer_is_well_defined():
+    ws, proc, src, dst, chan = ready_channel("extshadow")
+    payload = bytes(range(128))
+    ws.ram.write(src.paddr, payload)
+    result = chan.dma(src.vaddr, src.vaddr + 64, 64)
+    assert result.ok
+    # memmove semantics: the first 64 bytes land intact.
+    assert ws.ram.read(src.paddr + 64, 64) == payload[:64]
+
+
+def test_engine_reset_mid_sequence_fails_cleanly():
+    ws, proc, src, dst, chan = ready_channel("repeated5")
+    # Deliver the first two accesses, then power-cycle the engine.
+    program = chan.program(src.vaddr, dst.vaddr, 64, with_retry=False)
+    thread = proc.new_thread(program)
+    ws.cpu.mmu.activate(thread.page_table, flush=False)
+    for _ in range(3):
+        ws.cpu.step(thread)
+    ws.engine.reset()
+    while not thread.done:
+        ws.cpu.step(thread)
+    assert ws.engine.started_transfers() == []
+    # The retry loop recovers on the next full attempt.
+    retry = chan.initiate(src.vaddr, dst.vaddr, 64, with_retry=True)
+    assert retry.ok
+
+
+def test_transfer_larger_than_ram_rejected_everywhere():
+    ws, proc, src, dst, chan = ready_channel("extshadow")
+    result = chan.initiate(src.vaddr, dst.vaddr, mib(64))
+    assert not result.ok
+    assert ws.engine.started_transfers() == []
+
+
+def test_double_release_is_idempotent():
+    ws, proc, src, dst, chan = ready_channel("keyed")
+    ws.kernel.release_user_dma(proc)
+    ws.kernel.release_user_dma(proc)  # no-op, no error
+
+
+def test_alloc_shadow_without_binding_raises():
+    ws = build_workstation("keyed")
+    proc = ws.kernel.spawn()
+    with pytest.raises(KernelError):
+        ws.kernel.alloc_buffer(proc, 8192, shadow=True)
+
+
+def test_status_failure_never_confused_with_huge_remaining():
+    """A rejected initiation reads exactly -1, not a plausible count."""
+    ws, proc, src, dst, chan = ready_channel("keyed")
+    result = chan.initiate(src.vaddr, dst.vaddr, 1 << 40)
+    assert result.status == STATUS_FAILURE

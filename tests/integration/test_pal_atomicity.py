@@ -1,0 +1,104 @@
+"""§2.7: PAL-mode uninterruptibility is what makes the PAL method safe.
+
+Hardware-wise the PAL method is SHRIMP-2 — a single pending latch with a
+known race.  These tests put both under the *same* adversarial scheduler
+and show the race hits SHRIMP-2's bare pair but cannot hit the PAL call,
+because the whole pair executes inside one uninterruptible step.
+"""
+
+from repro.core.api import DmaChannel
+from repro.core.machine import MachineConfig, Workstation
+from repro.os.scheduler import ScriptedPolicy
+from repro.hw.dma.status import is_rejection
+
+
+def race_setup(method):
+    ws = Workstation(MachineConfig(method=method))
+    procs, threads, buffers = [], [], []
+    for name in ("one", "two"):
+        proc = ws.kernel.spawn(name)
+        ws.kernel.enable_user_dma(proc)
+        src = ws.kernel.alloc_buffer(proc, 8192)
+        dst = ws.kernel.alloc_buffer(proc, 8192)
+        ws.ram.write(src.paddr, name.encode() * 8)
+        chan = DmaChannel(ws, proc)
+        program = chan.program(src.vaddr, dst.vaddr, 64)
+        thread = proc.new_thread(program)
+        procs.append(proc)
+        threads.append(thread)
+        buffers.append((src, dst))
+    return ws, procs, threads, buffers
+
+
+def audit(ws, procs, buffers):
+    """Return started transfers that mix one process's source with the
+    other's destination."""
+    mixed = []
+    for record in ws.engine.started_transfers():
+        for index, (src, dst) in enumerate(buffers):
+            g = ws.engine.global_address
+            if record.psrc == g(src.paddr) and record.pdst != g(dst.paddr):
+                mixed.append(record)
+    return mixed
+
+
+def test_shrimp2_mixes_under_adversarial_schedule():
+    ws, procs, threads, buffers = race_setup("shrimp2")
+    # Program: Store, Load, Halt.  P0 stores, P1's store overwrites the
+    # latch, then P0's load pairs its source with P1's destination.
+    script = [0, 1, 0, 0, 1, 1]
+    scheduler = ws.make_scheduler(ScriptedPolicy(script + [0] * 6),
+                                  with_required_hooks=False)
+    for proc, thread in zip(procs, threads):
+        scheduler.add(proc, thread)
+    scheduler.run()
+    ws.drain()
+    assert audit(ws, procs, buffers)  # arguments mixed
+
+
+def test_pal_cannot_be_split_by_the_same_schedule():
+    ws, procs, threads, buffers = race_setup("pal")
+    # The PAL program is Mov,Mov,Mov,CallPal,Halt: the scheduler can
+    # interleave *around* the CALL_PAL but never inside it.
+    script = [0, 0, 0, 1, 1, 1, 1, 0, 1, 0]
+    scheduler = ws.make_scheduler(ScriptedPolicy(script + [0] * 10),
+                                  with_required_hooks=False)
+    for proc, thread in zip(procs, threads):
+        scheduler.add(proc, thread)
+    scheduler.run()
+    ws.drain()
+    assert audit(ws, procs, buffers) == []
+    # Both DMAs started correctly.
+    assert len(ws.engine.started_transfers()) == 2
+
+
+def test_pal_under_random_preemption_never_mixes():
+    from repro.os.scheduler import RandomPreemptionPolicy
+    from repro.sim.rng import make_rng
+
+    for seed in range(5):
+        ws, procs, threads, buffers = race_setup("pal")
+        policy = RandomPreemptionPolicy(0.7, make_rng(seed, "pal"))
+        scheduler = ws.make_scheduler(policy, with_required_hooks=False)
+        for proc, thread in zip(procs, threads):
+            scheduler.add(proc, thread)
+        scheduler.run()
+        ws.drain()
+        assert audit(ws, procs, buffers) == [], f"seed {seed}"
+        for thread in threads:
+            assert not is_rejection(thread.reg("v0"))
+
+
+def test_shrimp2_with_hook_survives_the_same_schedules():
+    from repro.os.scheduler import RandomPreemptionPolicy
+    from repro.sim.rng import make_rng
+
+    for seed in range(5):
+        ws, procs, threads, buffers = race_setup("shrimp2")
+        policy = RandomPreemptionPolicy(0.7, make_rng(seed, "s2"))
+        scheduler = ws.make_scheduler(policy, with_required_hooks=True)
+        for proc, thread in zip(procs, threads):
+            scheduler.add(proc, thread)
+        scheduler.run()
+        ws.drain()
+        assert audit(ws, procs, buffers) == [], f"seed {seed}"

@@ -1,0 +1,70 @@
+"""Table 1's shape, asserted as tests.
+
+We reproduce the paper's measurement (1,000 initiations, different
+addresses, warm steady state) in miniature and assert the *shape* of
+Table 1: the ordering of the four rows, the ~10x kernel/user gap, and
+closeness to the paper's absolute numbers (the timing model is calibrated
+— see DESIGN.md §6 — so absolute agreement is expected within ~10%).
+"""
+
+import pytest
+
+from repro.analysis.trends import measure_initiation_us
+
+PAPER_US = {
+    "kernel": 18.6,
+    "extshadow": 1.1,
+    "repeated5": 2.6,
+    "keyed": 2.3,
+}
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return {method: measure_initiation_us(method, iterations=10)
+            for method in PAPER_US}
+
+
+def test_ordering_matches_table1(measured):
+    assert measured["extshadow"] < measured["keyed"]
+    assert measured["keyed"] < measured["repeated5"]
+    assert measured["repeated5"] < measured["kernel"]
+
+
+def test_user_level_is_an_order_of_magnitude_faster(measured):
+    for method in ("extshadow", "keyed", "repeated5"):
+        assert measured["kernel"] / measured[method] > 6.0
+
+
+@pytest.mark.parametrize("method", sorted(PAPER_US))
+def test_absolute_value_within_tolerance(measured, method):
+    ratio = measured[method] / PAPER_US[method]
+    assert 0.85 < ratio < 1.15, (
+        f"{method}: measured {measured[method]:.2f} us vs paper "
+        f"{PAPER_US[method]} us")
+
+
+def test_extshadow_close_to_1_1_us(measured):
+    assert measured["extshadow"] == pytest.approx(1.1, abs=0.15)
+
+
+def test_kernel_close_to_18_6_us(measured):
+    assert measured["kernel"] == pytest.approx(18.6, rel=0.1)
+
+
+def test_pci_buses_shrink_user_level_costs():
+    """§3.4: 'user-level DMA can achieve quite better performance in
+    modern systems, that use faster buses.'"""
+    from repro.core.timing import ALPHA_PCI_33, ALPHA_PCI_66
+
+    tc = measure_initiation_us("extshadow", iterations=5)
+    pci33 = measure_initiation_us("extshadow", ALPHA_PCI_33,
+                                  iterations=5)
+    pci66 = measure_initiation_us("extshadow", ALPHA_PCI_66,
+                                  iterations=5)
+    assert pci66 < pci33 < tc
+    # Kernel-level barely improves: its cost is CPU cycles, not bus.
+    kernel_tc = measure_initiation_us("kernel", iterations=5)
+    kernel_pci = measure_initiation_us("kernel", ALPHA_PCI_66,
+                                       iterations=5)
+    assert (kernel_tc - kernel_pci) / kernel_tc < 0.15

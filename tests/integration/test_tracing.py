@@ -1,0 +1,74 @@
+"""Trace-based tests: the engine sees exactly the access sequence the
+paper's figures prescribe."""
+
+from tests.conftest import ready_channel
+
+
+def trace_kinds(ws, source="nic"):
+    return [e.kind for e in ws.trace.events(source=source)]
+
+
+def test_keyed_initiation_trace():
+    ws, proc, src, dst, chan = ready_channel("keyed",
+                                             trace_enabled=True)
+    chan.initiate(src.vaddr, dst.vaddr, 64)
+    kinds = trace_kinds(ws)
+    # Fig. 3: two keyed shadow stores, a size store to the context page,
+    # then the start fires inside the handling of the status load.
+    assert kinds[:3] == ["shadow-store", "shadow-store", "context-store"]
+    assert kinds[3:] == ["start", "context-load"]
+
+
+def test_extshadow_initiation_trace():
+    ws, proc, src, dst, chan = ready_channel("extshadow",
+                                             trace_enabled=True)
+    chan.initiate(src.vaddr, dst.vaddr, 64)
+    kinds = trace_kinds(ws)
+    assert kinds[0] == "shadow-store"
+    assert "start" in kinds
+    # Exactly one shadow store and one shadow load (Fig. 4).
+    assert kinds.count("shadow-store") == 1
+    assert kinds.count("shadow-load") == 1
+
+
+def test_repeated5_trace_shows_five_shadow_accesses():
+    ws, proc, src, dst, chan = ready_channel("repeated5",
+                                             trace_enabled=True)
+    chan.initiate(src.vaddr, dst.vaddr, 64, with_retry=False)
+    kinds = trace_kinds(ws)
+    shadow = [k for k in kinds if k.startswith("shadow")]
+    assert shadow == ["shadow-store", "shadow-load", "shadow-store",
+                      "shadow-load", "shadow-load"]
+
+
+def test_trace_records_issuers():
+    ws, proc, src, dst, chan = ready_channel("keyed",
+                                             trace_enabled=True)
+    chan.initiate(src.vaddr, dst.vaddr, 64)
+    stores = ws.trace.events(source="nic", kind="shadow-store")
+    assert all(e.detail["issuer"] == proc.pid for e in stores)
+
+
+def test_trace_records_decoded_arguments():
+    ws, proc, src, dst, chan = ready_channel("extshadow",
+                                             trace_enabled=True)
+    chan.initiate(src.vaddr, dst.vaddr, 64)
+    store = ws.trace.events(source="nic", kind="shadow-store")[0]
+    assert store.detail["paddr"] == ws.engine.global_address(dst.paddr)
+    start = ws.trace.events(source="nic", kind="start")[0]
+    assert start.detail["psrc"] == ws.engine.global_address(src.paddr)
+    assert start.detail["size"] == 64
+
+
+def test_rejected_start_traced():
+    ws, proc, src, dst, chan = ready_channel("extshadow",
+                                             trace_enabled=True)
+    chan.initiate(src.vaddr, dst.vaddr, 1 << 30)  # too large
+    assert ws.trace.events(source="nic", kind="start-rejected")
+
+
+def test_disabled_trace_costs_nothing():
+    ws, proc, src, dst, chan = ready_channel("keyed",
+                                             trace_enabled=False)
+    chan.initiate(src.vaddr, dst.vaddr, 64)
+    assert len(ws.trace) == 0

@@ -1,0 +1,93 @@
+"""Tests for the cluster barrier over user-level remote atomics."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Workstation
+from repro.errors import ConfigError
+from repro.msg import ClusterBarrier
+from repro.net import Cluster
+
+
+def make_barrier(n_nodes=3):
+    cluster = Cluster(n_nodes,
+                      config=MachineConfig(method="extshadow",
+                                           atomic_mode="extshadow"))
+    members = [(ws, ws.kernel.spawn(f"member{i}"))
+               for i, ws in enumerate(cluster.nodes)]
+    return cluster, ClusterBarrier(cluster.node(0), members)
+
+
+def test_nobody_passes_until_all_arrive():
+    cluster, barrier = make_barrier(3)
+    first = barrier.arrive(0)
+    second = barrier.arrive(1)
+    assert not first.passed
+    assert not second.passed
+    third = barrier.arrive(2)
+    assert first.passed and second.passed and third.passed
+
+
+def test_last_arriver_varies():
+    cluster, barrier = make_barrier(3)
+    tickets = [barrier.arrive(2), barrier.arrive(0)]
+    assert not any(t.passed for t in tickets)
+    tickets.append(barrier.arrive(1))
+    assert all(t.passed for t in tickets)
+
+
+def test_barrier_is_reusable_sense_reversal():
+    cluster, barrier = make_barrier(2)
+    for episode in range(4):
+        first = barrier.arrive(0)
+        assert not first.passed
+        second = barrier.arrive(1)
+        assert first.passed and second.passed
+    assert barrier.episodes == 4
+
+
+def test_counter_resets_between_episodes():
+    cluster, barrier = make_barrier(2)
+    barrier.arrive(0)
+    barrier.arrive(1)
+    counter = barrier.home_ws.ram.read_word(barrier._counter_buf.paddr)
+    assert counter == 0
+
+
+def test_all_operations_user_level():
+    """No syscalls executed during arrivals (setup aside)."""
+    cluster, barrier = make_barrier(2)
+    syscalls_before = sum(ws.cpu.stats.counter("syscalls").value
+                          for ws in cluster.nodes)
+    barrier.arrive(0)
+    barrier.arrive(1)
+    syscalls_after = sum(ws.cpu.stats.counter("syscalls").value
+                         for ws in cluster.nodes)
+    assert syscalls_after == syscalls_before
+
+
+def test_needs_two_members():
+    cluster = Cluster(1, config=MachineConfig(method="extshadow",
+                                              atomic_mode="extshadow"))
+    ws = cluster.node(0)
+    with pytest.raises(ConfigError):
+        ClusterBarrier(ws, [(ws, ws.kernel.spawn("solo"))])
+
+
+def test_needs_atomic_units():
+    ws = Workstation(MachineConfig(method="extshadow"))
+    a = ws.kernel.spawn("a")
+    b = ws.kernel.spawn("b")
+    with pytest.raises(ConfigError):
+        ClusterBarrier(ws, [(ws, a), (ws, b)])
+
+
+def test_single_machine_barrier():
+    """Both members on one workstation — atomics stay local."""
+    ws = Workstation(MachineConfig(method="extshadow",
+                                   atomic_mode="extshadow"))
+    members = [(ws, ws.kernel.spawn("x")), (ws, ws.kernel.spawn("y"))]
+    barrier = ClusterBarrier(ws, members)
+    first = barrier.arrive(0)
+    assert not first.passed
+    second = barrier.arrive(1)
+    assert first.passed and second.passed

@@ -1,0 +1,157 @@
+"""Tests for the user-level message library (rings + channels)."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Workstation
+from repro.errors import ConfigError
+from repro.msg import MessageChannel, RingLayout
+from repro.net import ATM_155, Cluster
+
+
+def cluster_channel(layout=None, method="extshadow"):
+    cluster = Cluster(2, link_spec=ATM_155,
+                      config=MachineConfig(method=method))
+    ws0, ws1 = cluster.nodes
+    sender = ws0.kernel.spawn("sender")
+    receiver = ws1.kernel.spawn("receiver")
+    if method != "kernel":
+        ws0.kernel.enable_user_dma(sender)
+        ws1.kernel.enable_user_dma(receiver)
+    channel = MessageChannel.create(ws0, sender, ws1, receiver,
+                                    layout=layout)
+    return cluster, channel
+
+
+class TestRingLayout:
+    def test_defaults_valid(self):
+        layout = RingLayout()
+        assert layout.max_payload == 1016
+        assert layout.total_bytes % 8192 == 0
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ConfigError):
+            RingLayout(n_slots=6)
+
+    def test_slot_size_validation(self):
+        with pytest.raises(ConfigError):
+            RingLayout(slot_size=8)
+        with pytest.raises(ConfigError):
+            RingLayout(slot_size=100)  # not a multiple of 8
+
+    def test_slot_offsets_wrap(self):
+        layout = RingLayout(n_slots=4, slot_size=256)
+        assert layout.slot_offset(0) == layout.slot_offset(4)
+        assert (layout.slot_offset(1) - layout.slot_offset(0)) == 256
+
+
+class TestMessageDelivery:
+    def test_messages_arrive_in_order_with_content(self):
+        cluster, channel = cluster_channel()
+        payloads = [f"message number {i}".encode() for i in range(5)]
+        for payload in payloads:
+            assert channel.send(payload)
+        assert channel.drain() == payloads
+
+    def test_recv_drives_the_simulation(self):
+        cluster, channel = cluster_channel()
+        channel.send(b"hello")
+        assert channel.recv() == b"hello"
+
+    def test_poll_without_messages_is_none(self):
+        cluster, channel = cluster_channel()
+        assert channel.poll() is None
+
+    def test_binary_payloads_roundtrip(self):
+        cluster, channel = cluster_channel()
+        payload = bytes(range(256)) * 3
+        channel.send(payload)
+        assert channel.recv() == payload
+
+    def test_oversized_payload_rejected(self):
+        cluster, channel = cluster_channel(
+            layout=RingLayout(n_slots=4, slot_size=128))
+        with pytest.raises(ConfigError):
+            channel.send(b"x" * 200)
+
+    def test_empty_payload(self):
+        cluster, channel = cluster_channel()
+        channel.send(b"")
+        assert channel.recv() == b""
+
+
+class TestFlowControl:
+    def test_ring_fills_and_rejects(self):
+        cluster, channel = cluster_channel(
+            layout=RingLayout(n_slots=4, slot_size=128))
+        sent = 0
+        while channel.send(b"x" * 64) and sent < 20:
+            sent += 1
+        assert sent == 4  # exactly the ring capacity
+        assert channel.sender.full_rejections >= 1
+
+    def test_credits_recover_after_drain(self):
+        cluster, channel = cluster_channel(
+            layout=RingLayout(n_slots=4, slot_size=128))
+        while channel.send(b"y" * 32):
+            pass
+        assert channel.drain()  # consume everything
+        cluster.run_until_quiet()  # let the credit DMAs land
+        assert channel.sender.credits == 4
+        assert channel.send(b"again")
+        assert channel.recv() == b"again"
+
+    def test_sustained_traffic_through_a_small_ring(self):
+        cluster, channel = cluster_channel(
+            layout=RingLayout(n_slots=2, slot_size=128))
+        delivered = []
+        for index in range(20):
+            while not channel.send(f"m{index}".encode()):
+                delivered.extend(channel.drain())
+                cluster.run_until_quiet()
+        delivered.extend(channel.drain())
+        assert delivered == [f"m{i}".encode() for i in range(20)]
+
+    def test_stats(self):
+        cluster, channel = cluster_channel()
+        channel.send(b"a")
+        channel.send(b"b")
+        channel.drain()
+        stats = channel.stats
+        assert stats["sent"] == 2
+        assert stats["received"] == 2
+
+
+class TestTransports:
+    def test_local_loopback_channel(self):
+        ws = Workstation(MachineConfig(method="keyed"))
+        sender = ws.kernel.spawn("s")
+        receiver = ws.kernel.spawn("r")
+        ws.kernel.enable_user_dma(sender)
+        ws.kernel.enable_user_dma(receiver)
+        channel = MessageChannel.create(ws, sender, ws, receiver)
+        channel.send(b"loopback")
+        assert channel.recv() == b"loopback"
+
+    def test_kernel_fallback_transport_still_works(self):
+        cluster = Cluster(2, config=MachineConfig(method="kernel"))
+        ws0, ws1 = cluster.nodes
+        sender = ws0.kernel.spawn("s")
+        receiver = ws1.kernel.spawn("r")
+        channel = MessageChannel.create(ws0, sender, ws1, receiver)
+        channel.send(b"via syscalls")
+        assert channel.recv() == b"via syscalls"
+
+    def test_user_level_send_is_much_cheaper_than_kernel(self):
+        from repro.units import to_us
+
+        costs = {}
+        for method in ("kernel", "extshadow"):
+            cluster, channel = cluster_channel(method=method)
+            channel.send(b"warm")
+            channel.recv()
+            ws = channel.sender.ws
+            start = ws.sim.now
+            channel.send(b"x" * 64)
+            costs[method] = to_us(ws.sim.now - start)
+            channel.recv()
+        assert costs["extshadow"] * 3 < costs["kernel"]

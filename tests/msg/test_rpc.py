@@ -1,0 +1,97 @@
+"""Tests for the RPC layer over user-level messaging."""
+
+import struct
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.errors import ConfigError
+from repro.msg.rpc import RpcClient, make_rpc_pair, _pack, _unpack
+from repro.net import GIGABIT, Cluster
+from repro.units import to_us
+
+
+def echo_upper(payload: bytes) -> bytes:
+    return payload.upper()
+
+
+def make_pair(method="extshadow", handler=echo_upper):
+    cluster = Cluster(2, link_spec=GIGABIT,
+                      config=MachineConfig(method=method))
+    ws0, ws1 = cluster.nodes
+    client_proc = ws0.kernel.spawn("client")
+    server_proc = ws1.kernel.spawn("server")
+    if method != "kernel":
+        ws0.kernel.enable_user_dma(client_proc)
+        ws1.kernel.enable_user_dma(server_proc)
+    client, server = make_rpc_pair(ws0, client_proc, ws1, server_proc,
+                                   handler)
+    return cluster, client, server
+
+
+def test_wire_format_roundtrip():
+    wire = _pack(42, b"payload")
+    assert _unpack(wire) == (42, b"payload")
+
+
+def test_runt_message_rejected():
+    with pytest.raises(ConfigError):
+        _unpack(b"abc")
+
+
+def test_single_call():
+    cluster, client, server = make_pair()
+    assert client.call(b"hello", server) == b"HELLO"
+    assert server.requests_served == 1
+    assert client.calls_completed == 1
+
+
+def test_sequential_calls_correlate():
+    cluster, client, server = make_pair()
+    for index in range(10):
+        reply = client.call(f"req{index}".encode(), server)
+        assert reply == f"REQ{index}".encode()
+
+
+def test_computation_handler():
+    def square(payload: bytes) -> bytes:
+        (value,) = struct.unpack("<q", payload)
+        return struct.pack("<q", value * value)
+
+    cluster, client, server = make_pair(handler=square)
+    reply = client.call(struct.pack("<q", 12), server)
+    assert struct.unpack("<q", reply) == (144,)
+
+
+def test_rpc_over_kernel_transport_works_but_slower():
+    times = {}
+    for method in ("extshadow", "kernel"):
+        cluster, client, server = make_pair(method=method)
+        client.call(b"warm", server)
+        start = cluster.sim.now
+        client.call(b"x", server)
+        times[method] = to_us(cluster.sim.now - start)
+    assert times["extshadow"] < times["kernel"]
+    assert times["kernel"] - times["extshadow"] > 50  # 4+ syscalls
+
+
+def test_empty_payload():
+    cluster, client, server = make_pair()
+    assert client.call(b"", server) == b""
+
+
+def test_many_calls_through_small_rings():
+    from repro.msg.ring import RingLayout
+
+    cluster = Cluster(2, config=MachineConfig(method="extshadow"))
+    ws0, ws1 = cluster.nodes
+    client_proc = ws0.kernel.spawn("c")
+    server_proc = ws1.kernel.spawn("s")
+    ws0.kernel.enable_user_dma(client_proc)
+    ws1.kernel.enable_user_dma(server_proc)
+    client, server = make_rpc_pair(
+        ws0, client_proc, ws1, server_proc, echo_upper,
+        layout=RingLayout(n_slots=2, slot_size=128))
+    for index in range(12):
+        assert client.call(f"m{index}".encode(),
+                           server) == f"M{index}".encode()

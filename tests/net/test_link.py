@@ -1,0 +1,97 @@
+"""Unit tests for links and link presets."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.link import ATM_155, ATM_622, GIGABIT, Link, LinkSpec
+from repro.net.message import Message
+from repro.sim.engine import Simulator
+from repro.units import mbps, to_us, us
+
+
+def make_link(spec=ATM_155):
+    sim = Simulator()
+    return sim, Link(sim, spec, 0, 1)
+
+
+def msg(size=100, src=0, dst=1, sent_at=0):
+    return Message(src_node=src, dst_node=dst, pdst_local=0,
+                   payload=bytes(size), sent_at=sent_at)
+
+
+def test_wire_time_matches_bandwidth():
+    spec = LinkSpec("t", mbps(100), latency=0, per_message_overhead=0)
+    # 1250 bytes = 10_000 bits at 100 Mb/s = 100 us.
+    assert to_us(spec.wire_time(1250)) == pytest.approx(100.0)
+
+
+def test_delivery_time_adds_latency():
+    spec = LinkSpec("t", mbps(100), latency=us(7), per_message_overhead=0)
+    assert spec.delivery_time(1250) == spec.wire_time(1250) + us(7)
+
+
+def test_presets_ordering():
+    size = 4096
+    assert (ATM_155.delivery_time(size) > ATM_622.delivery_time(size)
+            > GIGABIT.delivery_time(size))
+
+
+def test_send_delivers_at_modelled_time():
+    sim, link = make_link()
+    delivered = []
+    arrival = link.send(msg(100), delivered.append)
+    assert delivered == []
+    sim.run()
+    assert len(delivered) == 1
+    assert sim.now == arrival
+    assert arrival == ATM_155.delivery_time(100)
+
+
+def test_fifo_queueing_on_busy_link():
+    sim, link = make_link()
+    order = []
+    first = link.send(msg(10_000), lambda m: order.append("big"))
+    second = link.send(msg(10), lambda m: order.append("small"))
+    sim.run()
+    assert order == ["big", "small"]
+    # The small message waited for the big one's wire time.
+    assert second > first - ATM_155.latency
+
+
+def test_wrong_endpoints_rejected():
+    _, link = make_link()
+    with pytest.raises(NetworkError):
+        link.send(msg(10, src=5, dst=6), lambda m: None)
+
+
+def test_either_direction_accepted():
+    sim, link = make_link()
+    seen = []
+    link.send(msg(8, src=1, dst=0), seen.append)
+    sim.run()
+    assert len(seen) == 1
+
+
+def test_counters():
+    sim, link = make_link()
+    link.send(msg(100), lambda m: None)
+    link.send(msg(200), lambda m: None)
+    sim.run()
+    assert link.messages_carried == 2
+    assert link.bytes_carried == 300
+
+
+def test_idle_link_has_no_backlog():
+    sim, link = make_link()
+    link.send(msg(10_000), lambda m: None)
+    assert link.utilization_window > 0
+    sim.run()
+    assert link.utilization_window == 0
+
+
+def test_message_metadata():
+    a = msg(5)
+    b = msg(5)
+    assert a.size == 5
+    assert a.seq != b.seq
+    assert "->" in repr(a)

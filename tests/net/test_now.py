@@ -1,0 +1,127 @@
+"""Integration tests for the NOW cluster: remote user-level DMA."""
+
+import pytest
+
+from repro.core.api import DmaChannel
+from repro.core.machine import MachineConfig
+from repro.errors import NetworkError
+from repro.net import ATM_155, ATM_622, Cluster
+from repro.units import to_us
+
+
+def two_node_cluster(method="extshadow", link=ATM_155):
+    cluster = Cluster(2, link_spec=link,
+                      config=MachineConfig(method=method))
+    sender_ws = cluster.node(0)
+    receiver_ws = cluster.node(1)
+    sender = sender_ws.kernel.spawn("sender")
+    if method != "kernel":
+        sender_ws.kernel.enable_user_dma(sender)
+    src = sender_ws.kernel.alloc_buffer(sender, 8192)
+    receiver = receiver_ws.kernel.spawn("receiver")
+    dst = receiver_ws.kernel.alloc_buffer(receiver, 8192, shadow=False)
+    window = sender_ws.kernel.map_remote_window(
+        sender, receiver_ws.nic.global_address(dst.paddr), 8192)
+    return cluster, sender_ws, receiver_ws, sender, src, dst, window
+
+
+def test_nodes_share_one_timeline():
+    cluster = Cluster(3)
+    assert all(ws.sim is cluster.sim for ws in cluster.nodes)
+
+
+def test_remote_user_level_dma_moves_data():
+    (cluster, sender_ws, receiver_ws, sender, src, dst,
+     window) = two_node_cluster()
+    sender_ws.ram.write(src.paddr, b"over the wire")
+    chan = DmaChannel(sender_ws, sender)
+    result = chan.initiate(src.vaddr, window, 13)
+    assert result.ok
+    cluster.run_until_quiet()
+    assert receiver_ws.ram.read(dst.paddr, 13) == b"over the wire"
+    assert cluster.deliveries == 1
+
+
+def test_remote_transfer_includes_link_time():
+    (cluster, sender_ws, receiver_ws, sender, src, dst,
+     window) = two_node_cluster()
+    chan = DmaChannel(sender_ws, sender)
+    chan.initiate(src.vaddr, window, 4096)
+    start = cluster.sim.now
+    cluster.run_until_quiet()
+    elapsed = cluster.sim.now - start
+    assert elapsed >= ATM_155.wire_time(4096)
+
+
+def test_faster_link_delivers_sooner():
+    times = {}
+    for link in (ATM_155, ATM_622):
+        (cluster, sender_ws, _, sender, src, _, window
+         ) = two_node_cluster(link=link)
+        chan = DmaChannel(sender_ws, sender)
+        chan.initiate(src.vaddr, window, 8192)
+        start = cluster.sim.now
+        cluster.run_until_quiet()
+        times[link.name] = cluster.sim.now - start
+    assert times["atm-622"] < times["atm-155"]
+
+
+def test_kernel_method_also_reaches_remote():
+    (cluster, sender_ws, receiver_ws, sender, src, dst,
+     window) = two_node_cluster(method="kernel")
+    sender_ws.ram.write(src.paddr, b"via syscall")
+    chan = DmaChannel(sender_ws, sender)
+    result = chan.initiate(src.vaddr, window, 11)
+    assert result.ok
+    cluster.run_until_quiet()
+    assert receiver_ws.ram.read(dst.paddr, 11) == b"via syscall"
+
+
+def test_ping_pong_round_trip():
+    cluster = Cluster(2, config=MachineConfig(method="extshadow"))
+    ws0, ws1 = cluster.node(0), cluster.node(1)
+    procs, bufs, windows, chans = [], [], [], []
+    for ws in (ws0, ws1):
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        buf = ws.kernel.alloc_buffer(proc, 8192)
+        procs.append(proc)
+        bufs.append(buf)
+    windows.append(ws0.kernel.map_remote_window(
+        procs[0], ws1.nic.global_address(bufs[1].paddr), 8192))
+    windows.append(ws1.kernel.map_remote_window(
+        procs[1], ws0.nic.global_address(bufs[0].paddr), 8192))
+    chans = [DmaChannel(ws0, procs[0]), DmaChannel(ws1, procs[1])]
+    ws0.ram.write(bufs[0].paddr, b"ping")
+    chans[0].initiate(bufs[0].vaddr, windows[0], 4)
+    cluster.run_until_quiet()
+    assert ws1.ram.read(bufs[1].paddr, 4) == b"ping"
+    ws1.ram.write(bufs[1].paddr, b"pong")
+    chans[1].initiate(bufs[1].vaddr, windows[1], 4)
+    cluster.run_until_quiet()
+    assert ws0.ram.read(bufs[0].paddr, 4) == b"pong"
+
+
+def test_unknown_node_and_link_rejected():
+    cluster = Cluster(2)
+    with pytest.raises(NetworkError):
+        cluster.node(5)
+    with pytest.raises(NetworkError):
+        cluster.link_between(0, 0)
+
+
+def test_full_mesh_links():
+    cluster = Cluster(4)
+    for a in range(4):
+        for b in range(a + 1, 4):
+            assert cluster.link_between(a, b) is not None
+
+
+def test_empty_cluster_rejected():
+    with pytest.raises(NetworkError):
+        Cluster(0)
+
+
+def test_node_ids_wired_into_nics():
+    cluster = Cluster(3)
+    assert [ws.nic.node_id for ws in cluster.nodes] == [0, 1, 2]

@@ -1,0 +1,92 @@
+"""Remote atomic operations across the NOW (§3.5 on the cluster)."""
+
+import pytest
+
+from repro.core.atomics import AtomicChannel
+from repro.core.machine import MachineConfig
+from repro.net import ATM_155, GIGABIT, Cluster
+from repro.units import to_us
+
+
+def cluster_with_counter(mode="extshadow", link=ATM_155):
+    cluster = Cluster(2, link_spec=link,
+                      config=MachineConfig(method="keyed",
+                                           atomic_mode=mode))
+    ws0, ws1 = cluster.nodes
+    client = ws0.kernel.spawn("client")
+    ws0.kernel.enable_user_atomics(client)
+    owner = ws1.kernel.spawn("owner")
+    counter = ws1.kernel.alloc_buffer(owner, 8192, shadow=False)
+    ws1.ram.write_word(counter.paddr, 100)
+    window = ws0.kernel.map_remote_atomic_window(
+        client, ws1.nic.global_address(counter.paddr), 8192)
+    return cluster, ws0, ws1, client, counter, window
+
+
+@pytest.mark.parametrize("mode", ["keyed", "extshadow"])
+def test_remote_atomic_add(mode):
+    cluster, ws0, ws1, client, counter, window = cluster_with_counter(
+        mode)
+    chan = AtomicChannel(ws0, client)
+    result = chan.atomic_add(window, 5)
+    assert result.ok
+    assert result.old_value == 100
+    assert ws1.ram.read_word(counter.paddr) == 105
+
+
+def test_remote_cas():
+    cluster, ws0, ws1, client, counter, window = cluster_with_counter()
+    chan = AtomicChannel(ws0, client)
+    assert chan.compare_and_swap(window, 100, 7).old_value == 100
+    assert ws1.ram.read_word(counter.paddr) == 7
+    # Failed compare leaves remote memory alone.
+    assert chan.compare_and_swap(window, 100, 9).old_value == 7
+    assert ws1.ram.read_word(counter.paddr) == 7
+
+
+def test_remote_atomic_pays_the_round_trip():
+    cluster, ws0, ws1, client, counter, window = cluster_with_counter()
+    local_buf = ws0.kernel.alloc_buffer(client, 8192, shadow=False)
+    chan = AtomicChannel(ws0, client)
+    chan.atomic_add(local_buf.vaddr, 0)  # warm
+    chan.atomic_add(window, 0)
+    local = chan.atomic_add(local_buf.vaddr, 1)
+    remote = chan.atomic_add(window, 1)
+    rtt_us = to_us(ws0.atomic_unit.remote_rtt)
+    assert remote.elapsed_us > local.elapsed_us + rtt_us * 0.9
+    assert rtt_us > 15  # two ATM-155 latencies
+
+
+def test_faster_link_means_cheaper_remote_atomics():
+    slow = cluster_with_counter(link=ATM_155)
+    fast = cluster_with_counter(link=GIGABIT)
+    assert (fast[1].atomic_unit.remote_rtt
+            < slow[1].atomic_unit.remote_rtt)
+
+
+def test_two_clients_share_one_remote_counter():
+    cluster = Cluster(3, config=MachineConfig(method="keyed",
+                                              atomic_mode="extshadow"))
+    home = cluster.node(2)
+    owner = home.kernel.spawn("owner")
+    counter = home.kernel.alloc_buffer(owner, 8192, shadow=False)
+    total = 0
+    for node_id in (0, 1):
+        ws = cluster.node(node_id)
+        client = ws.kernel.spawn(f"client{node_id}")
+        ws.kernel.enable_user_atomics(client)
+        window = ws.kernel.map_remote_atomic_window(
+            client, home.nic.global_address(counter.paddr), 8192)
+        chan = AtomicChannel(ws, client)
+        for _ in range(5):
+            assert chan.atomic_add(window, 1).ok
+            total += 1
+    assert home.ram.read_word(counter.paddr) == total
+
+
+def test_unknown_remote_node_fails():
+    cluster, ws0, ws1, client, counter, window = cluster_with_counter()
+    bogus = ws0.kernel.map_remote_atomic_window(
+        client, (9 << 28), 8192)  # node 9 does not exist
+    chan = AtomicChannel(ws0, client)
+    assert not chan.atomic_add(bogus, 1).ok

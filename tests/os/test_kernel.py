@@ -1,0 +1,319 @@
+"""Unit tests for the kernel: setup services and the Fig. 1 syscall."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Workstation
+from repro.errors import KernelError
+from repro.hw.dma.status import STATUS_FAILURE, is_rejection
+from repro.hw.isa import Halt, Mov, Syscall, assemble
+from repro.hw.pagetable import PAGE_SIZE, Perm
+from repro.os.process import CTX_PAGE_VADDR, shadow_vaddr
+from repro.units import to_us
+
+
+def ws_with(method="keyed", **kw):
+    return Workstation(MachineConfig(method=method, **kw))
+
+
+class TestSpawnAndBuffers:
+    def test_spawn_assigns_unique_pids(self):
+        ws = ws_with()
+        a = ws.kernel.spawn()
+        b = ws.kernel.spawn()
+        assert a.pid != b.pid
+        assert ws.kernel.processes[a.pid] is a
+
+    def test_alloc_buffer_auto_shadows_with_binding(self):
+        ws = ws_with("keyed")
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        buffer = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        assert buffer.shadowed
+        shadow_pte = proc.page_table.lookup(shadow_vaddr(buffer.vaddr))
+        assert shadow_pte is not None
+        decoded = ws.engine.layout.decode_paddr(shadow_pte.pframe)
+        assert decoded.paddr == ws.engine.global_address(buffer.paddr)
+
+    def test_alloc_buffer_no_shadow_for_kernel_method(self):
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        buffer = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        assert not buffer.shadowed
+
+    def test_shadow_forced_off(self):
+        ws = ws_with("keyed")
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        buffer = ws.kernel.alloc_buffer(proc, PAGE_SIZE, shadow=False)
+        assert not buffer.shadowed
+
+
+class TestEnableUserDma:
+    def test_keyed_grants_context_key_and_page(self):
+        ws = ws_with("keyed")
+        proc = ws.kernel.spawn()
+        binding = ws.kernel.enable_user_dma(proc)
+        assert binding.method == "keyed"
+        assert binding.ctx_id == 0
+        assert binding.key is not None and binding.key != 0
+        assert ws.engine.key_table[0] == binding.key
+        assert binding.ctx_page_vaddr == CTX_PAGE_VADDR
+        assert proc.page_table.translate(CTX_PAGE_VADDR, "write") == (
+            ws.engine.layout.context_page_paddr(0))
+
+    def test_extshadow_embeds_ctx_bits(self):
+        ws = ws_with("extshadow")
+        first = ws.kernel.spawn()
+        second = ws.kernel.spawn()
+        b1 = ws.kernel.enable_user_dma(first)
+        b2 = ws.kernel.enable_user_dma(second)
+        assert (b1.shadow_ctx_bits, b2.shadow_ctx_bits) == (0, 1)
+        buf = ws.kernel.alloc_buffer(second, PAGE_SIZE)
+        pte = second.page_table.lookup(shadow_vaddr(buf.vaddr))
+        decoded = ws.engine.layout.decode_paddr(pte.pframe)
+        assert decoded.ctx_id == 1
+
+    def test_plain_methods_need_no_context(self):
+        ws = ws_with("repeated5")
+        proc = ws.kernel.spawn()
+        binding = ws.kernel.enable_user_dma(proc)
+        assert binding.ctx_id is None
+        assert binding.key is None
+
+    def test_context_exhaustion(self):
+        ws = ws_with("keyed", n_contexts=2)
+        for _ in range(2):
+            ws.kernel.enable_user_dma(ws.kernel.spawn())
+        with pytest.raises(KernelError):
+            ws.kernel.enable_user_dma(ws.kernel.spawn())
+
+    def test_release_recycles_context(self):
+        ws = ws_with("keyed", n_contexts=1)
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        ws.kernel.release_user_dma(proc)
+        assert ws.engine.key_table == {}
+        other = ws.kernel.spawn()
+        assert ws.kernel.enable_user_dma(other).ctx_id == 0
+
+    def test_double_enable_rejected(self):
+        ws = ws_with("keyed")
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        with pytest.raises(KernelError):
+            ws.kernel.enable_user_dma(proc)
+
+    def test_kernel_only_machine_rejects(self):
+        ws = ws_with("kernel")
+        with pytest.raises(KernelError):
+            ws.kernel.enable_user_dma(ws.kernel.spawn())
+
+    def test_distinct_processes_get_distinct_keys(self):
+        ws = ws_with("keyed")
+        keys = set()
+        for _ in range(3):
+            proc = ws.kernel.spawn()
+            keys.add(ws.kernel.enable_user_dma(proc).key)
+        assert len(keys) == 3
+
+
+class TestShareBuffer:
+    def test_peer_sees_same_frames(self):
+        ws = ws_with("repeated5")
+        owner = ws.kernel.spawn("owner")
+        peer = ws.kernel.spawn("peer")
+        ws.kernel.enable_user_dma(owner)
+        ws.kernel.enable_user_dma(peer)
+        buffer = ws.kernel.alloc_buffer(owner, PAGE_SIZE)
+        ws.ram.write(buffer.paddr, b"shared")
+        peer_vaddr = ws.kernel.share_buffer(owner, buffer, peer)
+        paddr = peer.page_table.translate(peer_vaddr, "read")
+        assert ws.ram.read(paddr, 6) == b"shared"
+
+    def test_read_only_share(self):
+        from repro.errors import ProtectionFault
+
+        ws = ws_with("repeated5")
+        owner = ws.kernel.spawn()
+        peer = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(owner)
+        ws.kernel.enable_user_dma(peer)
+        buffer = ws.kernel.alloc_buffer(owner, PAGE_SIZE)
+        vaddr = ws.kernel.share_buffer(owner, buffer, peer,
+                                       perm=Perm.READ)
+        with pytest.raises(ProtectionFault):
+            peer.page_table.translate(vaddr, "write")
+
+    def test_share_unowned_rejected(self):
+        ws = ws_with("repeated5")
+        owner = ws.kernel.spawn()
+        other = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(owner)
+        buffer = ws.kernel.alloc_buffer(owner, PAGE_SIZE)
+        with pytest.raises(KernelError):
+            ws.kernel.share_buffer(other, buffer, owner)
+
+
+class TestSysDma:
+    def run_syscall(self, ws, proc, vsrc, vdst, size):
+        program = assemble([
+            Mov("a0", vsrc), Mov("a1", vdst), Mov("a2", size),
+            Syscall("dma"), Halt()])
+        thread = ws.run_program(proc, program)
+        return thread.reg("v0")
+
+    def test_fig1_path_moves_data(self):
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        src = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        dst = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        ws.ram.write(src.paddr, b"fig1!")
+        status = self.run_syscall(ws, proc, src.vaddr, dst.vaddr, 5)
+        assert not is_rejection(status)
+        ws.drain()
+        assert ws.ram.read(dst.paddr, 5) == b"fig1!"
+
+    def test_costs_about_18_6_us(self):
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        src = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        dst = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        before = ws.now
+        self.run_syscall(ws, proc, src.vaddr, dst.vaddr, 64)
+        elapsed_us = to_us(ws.now - before)
+        assert 16.0 < elapsed_us < 21.0  # Table 1: 18.6 us
+
+    def test_unmapped_address_returns_failure(self):
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        dst = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        status = self.run_syscall(ws, proc, 0xDEAD0000, dst.vaddr, 8)
+        assert status == STATUS_FAILURE
+        assert ws.engine.started_transfers() == []
+
+    def test_read_only_destination_rejected(self):
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        src = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        dst = ws.kernel.alloc_buffer(proc, PAGE_SIZE, perm=Perm.READ)
+        status = self.run_syscall(ws, proc, src.vaddr, dst.vaddr, 8)
+        assert status == STATUS_FAILURE
+
+    def test_zero_size_rejected(self):
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        src = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        dst = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        assert self.run_syscall(ws, proc, src.vaddr, dst.vaddr, 0) == (
+            STATUS_FAILURE)
+
+    def test_range_check_covers_whole_transfer(self):
+        """A transfer overrunning the buffer must fail check_size()."""
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        src = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        dst = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        status = self.run_syscall(ws, proc, src.vaddr, dst.vaddr,
+                                  PAGE_SIZE + 8)
+        # src+size crosses into dst's pages (mapped) but dst+size runs
+        # past the last mapped page -> fault -> failure.
+        assert status == STATUS_FAILURE
+
+
+class TestMapOut:
+    def test_mapout_installs_per_page_entries(self):
+        ws = ws_with("shrimp1")
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        src = ws.kernel.alloc_buffer(proc, 2 * PAGE_SIZE)
+        dst = ws.kernel.alloc_buffer(proc, 2 * PAGE_SIZE)
+        ws.kernel.map_out(proc, src.vaddr, proc, dst.vaddr,
+                          2 * PAGE_SIZE)
+        g = ws.engine.global_address
+        assert ws.engine.mapout_destination(g(src.paddr) + 5) == (
+            g(dst.paddr) + 5)
+        assert ws.engine.mapout_destination(
+            g(src.paddr) + PAGE_SIZE) == g(dst.paddr) + PAGE_SIZE
+
+    def test_mapout_requires_rights(self):
+        from repro.errors import ProtectionFault
+
+        ws = ws_with("shrimp1")
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        src = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        dst = ws.kernel.alloc_buffer(proc, PAGE_SIZE, perm=Perm.READ)
+        with pytest.raises(ProtectionFault):
+            ws.kernel.map_out(proc, src.vaddr, proc, dst.vaddr)
+
+
+class TestRemoteWindow:
+    def test_window_has_shadow_but_no_data_mapping(self):
+        from repro.errors import PageFault
+
+        ws = ws_with("extshadow")
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        window = ws.kernel.map_remote_window(proc, 0x10 << 28, PAGE_SIZE)
+        with pytest.raises(PageFault):
+            proc.page_table.translate(window, "read")
+        shadow_pte = proc.page_table.lookup(shadow_vaddr(window))
+        assert shadow_pte is not None
+
+    def test_window_without_binding_has_no_shadow_mapping(self):
+        """Kernel-method processes get a grant but no shadow pages."""
+        ws = ws_with("extshadow")
+        proc = ws.kernel.spawn()
+        window = ws.kernel.map_remote_window(proc, 0x10 << 28, PAGE_SIZE)
+        assert proc.remote_window_at(window) == 0x10 << 28
+        assert proc.page_table.lookup(shadow_vaddr(window)) is None
+
+    def test_remote_window_resolution_bounds(self):
+        ws = ws_with("extshadow")
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        window = ws.kernel.map_remote_window(proc, 0x10 << 28, PAGE_SIZE)
+        assert proc.remote_window_at(window + 8) == (0x10 << 28) + 8
+        assert proc.remote_window_at(window + PAGE_SIZE) is None
+
+    def test_window_alignment_enforced(self):
+        ws = ws_with("extshadow")
+        proc = ws.kernel.spawn()
+        ws.kernel.enable_user_dma(proc)
+        with pytest.raises(KernelError):
+            ws.kernel.map_remote_window(proc, 0x10 << 28, 100)
+
+
+class TestRemoteWindowBounds:
+    def test_kernel_dma_rejects_overrun_of_remote_window(self):
+        from repro.hw.dma.status import STATUS_FAILURE
+        from repro.hw.isa import Halt, Mov, Syscall, assemble
+
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        src = ws.kernel.alloc_buffer(proc, 2 * PAGE_SIZE)
+        window = ws.kernel.map_remote_window(proc, 0x10 << 28, PAGE_SIZE)
+        program = assemble([
+            Mov("a0", src.vaddr), Mov("a1", window + PAGE_SIZE - 64),
+            Mov("a2", 128),  # runs 64 bytes past the window
+            Syscall("dma"), Halt()])
+        thread = ws.run_program(proc, program)
+        assert thread.reg("v0") == STATUS_FAILURE
+        assert ws.engine.started_transfers() == []
+
+    def test_kernel_dma_within_window_accepted(self):
+        from repro.hw.dma.status import is_rejection
+        from repro.hw.isa import Halt, Mov, Syscall, assemble
+
+        ws = ws_with("kernel")
+        proc = ws.kernel.spawn()
+        src = ws.kernel.alloc_buffer(proc, PAGE_SIZE)
+        window = ws.kernel.map_remote_window(proc, 0x10 << 28, PAGE_SIZE)
+        program = assemble([
+            Mov("a0", src.vaddr), Mov("a1", window), Mov("a2", 64),
+            Syscall("dma"), Halt()])
+        thread = ws.run_program(proc, program)
+        # Node 0x10 does not exist on a standalone machine, so the
+        # engine rejects it — but the KERNEL's window check passed (a
+        # cluster test covers acceptance end-to-end).
+        assert ws.engine.initiations  # reached the engine

@@ -1,0 +1,162 @@
+"""Unit tests for the preemptive scheduler and its hooks."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Workstation
+from repro.errors import SchedulerError
+from repro.hw.isa import Add, Halt, Label, Mov, Bne, assemble
+from repro.os.scheduler import (
+    RandomPreemptionPolicy,
+    RoundRobinPolicy,
+    ScriptedPolicy,
+)
+from repro.sim.rng import make_rng
+
+
+def counting_program(n, reg="t0"):
+    return assemble([
+        Mov(reg, 0),
+        Label("loop"),
+        Add(reg, reg, 1),
+        Bne(reg, n, "loop"),
+        Halt(),
+    ])
+
+
+def make_two_threads(method="repeated5", quantum=None, policy=None):
+    ws = Workstation(MachineConfig(method=method))
+    procs, threads = [], []
+    for name in ("a", "b"):
+        proc = ws.kernel.spawn(name)
+        ws.kernel.enable_user_dma(proc)
+        thread = proc.new_thread(counting_program(10))
+        procs.append(proc)
+        threads.append(thread)
+    chosen = policy or RoundRobinPolicy(quantum or 5)
+    scheduler = ws.make_scheduler(chosen)
+    for proc, thread in zip(procs, threads):
+        scheduler.add(proc, thread)
+    return ws, scheduler, procs, threads
+
+
+def test_round_robin_completes_all():
+    ws, scheduler, _, threads = make_two_threads()
+    switches, completed = scheduler.run()
+    assert all(t.halted for t in threads)
+    assert len(completed) == 2
+    assert switches >= 1
+
+
+def test_quantum_interleaves_threads():
+    ws, scheduler, _, threads = make_two_threads(quantum=3)
+    switches, _ = scheduler.run()
+    # Both make progress before either finishes: many switches.
+    assert switches > 2
+
+
+def test_random_policy_is_seeded_deterministic():
+    results = []
+    for _ in range(2):
+        ws, scheduler, _, threads = make_two_threads(
+            policy=RandomPreemptionPolicy(0.4, make_rng(5, "sched")))
+        switches, completed = scheduler.run()
+        results.append((switches, [t.pid for t in completed]))
+    assert results[0] == results[1]
+
+
+def test_context_switch_costs_time():
+    ws, scheduler, _, _ = make_two_threads(quantum=2)
+    before = ws.now
+    switches, _ = scheduler.run()
+    assert ws.now > before
+    assert scheduler.stats.counter("context_switches").value == switches
+
+
+def test_hooks_fire_on_every_switch():
+    ws, scheduler, _, _ = make_two_threads()
+    seen = []
+    scheduler.install_hook(lambda old, new: seen.append(
+        (old.pid if old else None, new.pid)))
+    switches, _ = scheduler.run()
+    assert len(seen) == switches
+    assert seen[0][0] is None  # first dispatch has no old process
+
+
+def test_pid_mismatch_rejected():
+    ws, scheduler, procs, _ = make_two_threads()
+    rogue = procs[0].new_thread(counting_program(1))
+    rogue.pid = 999
+    with pytest.raises(SchedulerError):
+        scheduler.add(procs[0], rogue)
+
+
+def test_budget_exhaustion_raises():
+    ws, scheduler, _, _ = make_two_threads()
+    with pytest.raises(SchedulerError):
+        scheduler.run(max_instructions=5)
+
+
+def test_scripted_policy_replays_exact_order():
+    ws = Workstation(MachineConfig(method="repeated5"))
+    order = []
+
+    class Probe(RoundRobinPolicy):
+        pass
+
+    procs, threads = [], []
+    for name in ("x", "y"):
+        proc = ws.kernel.spawn(name)
+        ws.kernel.enable_user_dma(proc)
+        thread = proc.new_thread(counting_program(2))
+        procs.append(proc)
+        threads.append(thread)
+    script = [0, 0, 1, 0, 1, 1]
+    policy = ScriptedPolicy(script + [0] * 50)
+    scheduler = ws.make_scheduler(policy)
+    for proc, thread in zip(procs, threads):
+        scheduler.add(proc, thread)
+    scheduler.run()
+    assert all(t.halted for t in threads)
+
+
+def test_flash_hook_updates_engine_pid():
+    ws = Workstation(MachineConfig(method="flash"))
+    procs, threads = [], []
+    for name in ("a", "b"):
+        proc = ws.kernel.spawn(name)
+        ws.kernel.enable_user_dma(proc)
+        threads.append(proc.new_thread(counting_program(5)))
+        procs.append(proc)
+    scheduler = ws.make_scheduler(RoundRobinPolicy(3))
+    for proc, thread in zip(procs, threads):
+        scheduler.add(proc, thread)
+    scheduler.run()
+    # The engine's current-pid register tracked the switches.
+    assert ws.engine.current_pid in (procs[0].pid, procs[1].pid)
+
+
+def test_no_hooks_when_disabled():
+    ws = Workstation(MachineConfig(method="flash"))
+    scheduler = ws.make_scheduler(RoundRobinPolicy(3),
+                                  with_required_hooks=False)
+    assert scheduler.hooks == []
+
+
+def test_required_hook_installed_for_shrimp2():
+    ws = Workstation(MachineConfig(method="shrimp2"))
+    scheduler = ws.make_scheduler(RoundRobinPolicy(3))
+    assert len(scheduler.hooks) == 1
+
+
+def test_no_hook_needed_for_paper_methods():
+    for method in ("keyed", "extshadow", "repeated5", "pal"):
+        ws = Workstation(MachineConfig(method=method))
+        scheduler = ws.make_scheduler(RoundRobinPolicy(3))
+        assert scheduler.hooks == []
+
+
+def test_policy_validation():
+    with pytest.raises(SchedulerError):
+        RoundRobinPolicy(0)
+    with pytest.raises(SchedulerError):
+        RandomPreemptionPolicy(1.5, make_rng(1))

@@ -1,0 +1,91 @@
+"""Property-based tests (hypothesis) for the address/word codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.dma.protocols.keyed import (
+    KEY_FIELD_BITS,
+    pack_key_word,
+    unpack_key_word,
+)
+from repro.hw.dma.shadow import ShadowLayout
+from repro.hw.nic import GlobalAddressMap
+from repro.hw.atomic_unit import AtomicShadowLayout
+
+LAYOUT = ShadowLayout()
+AMAP = GlobalAddressMap()
+ALAYOUT = AtomicShadowLayout()
+
+
+@given(paddr=st.integers(min_value=0,
+                         max_value=LAYOUT.max_argument_paddr - 1),
+       ctx=st.integers(min_value=0, max_value=3))
+def test_shadow_roundtrip(paddr, ctx):
+    ref = LAYOUT.decode_paddr(LAYOUT.shadow_paddr(paddr, ctx))
+    assert (ref.ctx_id, ref.paddr) == (ctx, paddr)
+
+
+@given(paddr=st.integers(min_value=0,
+                         max_value=LAYOUT.max_argument_paddr - 1),
+       ctx=st.integers(min_value=0, max_value=3))
+def test_shadow_addresses_stay_inside_window(paddr, ctx):
+    shadow = LAYOUT.shadow_paddr(paddr, ctx)
+    assert (LAYOUT.window_base <= shadow
+            < LAYOUT.window_base + LAYOUT.window_size)
+
+
+@given(a=st.tuples(st.integers(0, LAYOUT.max_argument_paddr - 1),
+                   st.integers(0, 3)),
+       b=st.tuples(st.integers(0, LAYOUT.max_argument_paddr - 1),
+                   st.integers(0, 3)))
+def test_shadow_encoding_injective(a, b):
+    if a != b:
+        assert LAYOUT.shadow_paddr(*a) != LAYOUT.shadow_paddr(*b)
+
+
+@given(key=st.integers(min_value=0,
+                       max_value=(1 << KEY_FIELD_BITS) - 1),
+       ctx=st.integers(min_value=0, max_value=7),
+       arg=st.integers(min_value=0, max_value=1))
+def test_key_word_roundtrip(key, ctx, arg):
+    assert unpack_key_word(pack_key_word(key, ctx, arg)) == (key, ctx,
+                                                             arg)
+
+
+@given(key=st.integers(min_value=0,
+                       max_value=(1 << KEY_FIELD_BITS) - 1),
+       ctx=st.integers(min_value=0, max_value=7),
+       arg=st.integers(min_value=0, max_value=1))
+def test_key_word_fits_64_bits(key, ctx, arg):
+    assert 0 <= pack_key_word(key, ctx, arg) < (1 << 64)
+
+
+@given(node=st.integers(min_value=0, max_value=63),
+       local=st.integers(min_value=0, max_value=(1 << 28) - 1))
+def test_global_address_roundtrip(node, local):
+    assert AMAP.decode(AMAP.encode(node, local)) == (node, local)
+
+
+@given(node=st.integers(min_value=0, max_value=63),
+       local=st.integers(min_value=0, max_value=(1 << 28) - 1))
+def test_global_encoding_fits_shadow_argument_field(node, local):
+    assert AMAP.encode(node, local) < LAYOUT.max_argument_paddr
+
+
+@given(op=st.integers(min_value=0, max_value=3),
+       ctx=st.integers(min_value=0, max_value=3),
+       paddr=st.integers(min_value=0, max_value=(1 << 28) - 1))
+def test_atomic_shadow_roundtrip(op, ctx, paddr):
+    offset = (ALAYOUT.shadow_paddr(op, paddr, ctx)
+              - ALAYOUT.window_base)
+    assert ALAYOUT.decode_offset(offset) == (op, ctx, paddr)
+
+
+@settings(max_examples=50)
+@given(value=st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_status_signedness(value):
+    from repro.hw.dma.status import to_signed
+
+    signed = to_signed(value)
+    assert -(1 << 63) <= signed < (1 << 63)
+    assert signed % (1 << 64) == value % (1 << 64)

@@ -1,0 +1,125 @@
+"""Property-based tests on simulation-substrate invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.memory import PhysicalMemory
+from repro.hw.pagetable import PAGE_SIZE
+from repro.hw.writebuffer import WriteBuffer
+from repro.sim.engine import Simulator
+from repro.units import kib
+from repro.verify.interleave import interleaving_count
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000),
+                       min_size=1, max_size=30))
+def test_simulator_fires_in_timestamp_order(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=100, deadline=None)
+@given(steps=st.lists(st.integers(min_value=0, max_value=1000),
+                      min_size=1, max_size=50))
+def test_advance_is_additive(steps):
+    sim = Simulator()
+    for step in steps:
+        sim.advance(step)
+    assert sim.now == sum(steps)
+
+
+@settings(max_examples=100, deadline=None)
+@given(writes=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=kib(8) - 8),
+              st.binary(min_size=1, max_size=8)),
+    min_size=1, max_size=40))
+def test_memory_last_writer_wins(writes):
+    ram = PhysicalMemory(kib(8))
+    shadow = bytearray(kib(8))
+    for paddr, data in writes:
+        ram.write(paddr, data)
+        shadow[paddr:paddr + len(data)] = data
+    assert ram.read(0, kib(8)) == bytes(shadow)
+
+
+@settings(max_examples=100, deadline=None)
+@given(stores=st.lists(
+    st.tuples(st.sampled_from([0x100, 0x108, 0x110]),
+              st.integers(min_value=0, max_value=255)),
+    min_size=1, max_size=20))
+def test_write_buffer_drains_every_address_once_when_collapsing(stores):
+    wb = WriteBuffer(capacity=16, collapsing=True)
+    drained = []
+
+    def drain(paddr, value):
+        drained.append((paddr, value))
+        return 1
+
+    for paddr, value in stores:
+        wb.post(paddr, value, drain)
+    wb.flush(drain)
+    # Each address appears at most once, with its last value.
+    seen = {}
+    for paddr, value in drained:
+        assert paddr not in seen
+        seen[paddr] = value
+    last = {}
+    for paddr, value in stores:
+        last[paddr] = value
+    assert seen == last
+
+
+@settings(max_examples=100, deadline=None)
+@given(stores=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=5),
+              st.integers(min_value=0, max_value=255)),
+    min_size=1, max_size=20))
+def test_write_buffer_preserves_order_without_collapsing(stores):
+    wb = WriteBuffer(capacity=4, collapsing=False)
+    drained = []
+
+    def drain(paddr, value):
+        drained.append((paddr, value))
+        return 1
+
+    for paddr, value in stores:
+        wb.post(paddr * 8, value, drain)
+    wb.flush(drain)
+    assert drained == [(p * 8, v) for p, v in stores]
+
+
+@settings(max_examples=60, deadline=None)
+@given(lengths=st.lists(st.integers(min_value=0, max_value=3),
+                        min_size=1, max_size=3))
+def test_interleaving_count_matches_enumeration(lengths):
+    from repro.verify.interleave import (
+        AccessSpec,
+        enumerate_interleavings,
+    )
+
+    streams = [
+        [AccessSpec(pid + 1, "store", i * 8, 0) for i in range(n)]
+        for pid, n in enumerate(lengths)
+    ]
+    count = sum(1 for _ in enumerate_interleavings(streams))
+    assert count == interleaving_count(lengths)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(min_value=1, max_value=50))
+def test_frame_allocator_never_hands_out_same_frame_twice(n):
+    from repro.hw.memory import FrameAllocator
+
+    alloc = FrameAllocator(0, 64 * PAGE_SIZE)
+    frames = set()
+    for _ in range(min(n, 64)):
+        frame = alloc.alloc_frame()
+        assert frame not in frames
+        frames.add(frame)

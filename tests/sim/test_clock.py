@@ -1,0 +1,62 @@
+"""Unit tests for clock domains."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.sim.clock import Clock
+from repro.units import mhz
+
+
+def test_period_of_12_5_mhz_is_80ns():
+    clock = Clock("tc", mhz(12.5))
+    assert clock.period == 80_000  # ps
+
+
+def test_period_of_150_mhz():
+    clock = Clock("cpu", mhz(150))
+    assert clock.period == 6_667  # 6.667 ns rounded
+
+
+def test_cycles_duration():
+    clock = Clock("tc", mhz(12.5))
+    assert clock.cycles(7) == 560_000
+
+
+def test_fractional_cycles():
+    clock = Clock("tc", mhz(10))
+    assert clock.cycles(0.5) == 50_000
+
+
+def test_cycles_in_duration_roundtrip():
+    clock = Clock("x", mhz(100))
+    assert clock.cycles_in(clock.cycles(42)) == pytest.approx(42)
+
+
+def test_align_up_exact_boundary_unchanged():
+    clock = Clock("x", mhz(10))  # period 100_000 ps
+    assert clock.align_up(200_000) == 200_000
+
+
+def test_align_up_rounds_to_next_edge():
+    clock = Clock("x", mhz(10))
+    assert clock.align_up(200_001) == 300_000
+
+
+def test_zero_frequency_rejected():
+    with pytest.raises(ClockError):
+        Clock("bad", 0)
+
+
+def test_negative_cycles_rejected():
+    with pytest.raises(ClockError):
+        Clock("x", mhz(1)).cycles(-1)
+
+
+def test_negative_align_rejected():
+    with pytest.raises(ClockError):
+        Clock("x", mhz(1)).align_up(-1)
+
+
+def test_repr_mentions_name_and_mhz():
+    text = repr(Clock("tc-bus", mhz(12.5)))
+    assert "tc-bus" in text and "12.5" in text

@@ -1,0 +1,152 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_initial_time_is_zero():
+    assert Simulator().now == 0
+
+
+def test_schedule_and_step_fires_in_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, lambda: fired.append("c"))
+    sim.schedule(10, lambda: fired.append("a"))
+    sim.schedule(20, lambda: fired.append("b"))
+    while sim.step():
+        pass
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_same_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    fired = []
+    for label in "abcde":
+        sim.schedule(5, lambda lab=label: fired.append(lab))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_advance_moves_clock():
+    sim = Simulator()
+    sim.advance(1234)
+    assert sim.now == 1234
+
+
+def test_advance_fires_due_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(50, lambda: fired.append(sim.now))
+    sim.advance(100)
+    assert fired == [50]
+    assert sim.now == 100
+
+
+def test_advance_does_not_fire_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(200, lambda: fired.append(True))
+    sim.advance(100)
+    assert fired == []
+    assert sim.pending == 1
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().advance(-1)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-5, lambda: None)
+
+
+def test_call_at_before_now_rejected():
+    sim = Simulator()
+    sim.advance(100)
+    with pytest.raises(SimulationError):
+        sim.call_at(50, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, lambda: fired.append(True))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.pending == 0
+
+
+def test_run_until_deadline_leaves_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: fired.append(10))
+    sim.schedule(1000, lambda: fired.append(1000))
+    sim.run_until(500)
+    assert fired == [10]
+    assert sim.now == 500
+    assert sim.pending == 1
+
+
+def test_run_max_events_budget():
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(1, lambda: None)
+    assert sim.run(max_events=3) == 3
+    assert sim.pending == 7
+
+
+def test_events_scheduled_during_run_fire():
+    sim = Simulator()
+    fired = []
+
+    def chain():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            sim.schedule(10, chain)
+
+    sim.schedule(10, chain)
+    sim.run()
+    assert fired == [10, 20, 30]
+
+
+def test_wait_for_predicate_satisfied_by_event():
+    sim = Simulator()
+    box = {"ready": False}
+    sim.schedule(100, lambda: box.update(ready=True))
+    assert sim.wait_for(lambda: box["ready"])
+    assert sim.now == 100
+
+
+def test_wait_for_timeout_returns_false():
+    sim = Simulator()
+    sim.schedule(10_000, lambda: None)
+    assert not sim.wait_for(lambda: False, timeout=100)
+    assert sim.now == 100
+
+
+def test_wait_for_immediately_true_does_not_advance():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    assert sim.wait_for(lambda: True)
+    assert sim.now == 0
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.events_fired == 4

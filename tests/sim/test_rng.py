@@ -1,0 +1,69 @@
+"""Unit tests for seeded randomness and the key stream."""
+
+import pytest
+
+from repro.sim.rng import (
+    KEY_BITS,
+    guess_probability,
+    make_rng,
+    make_secret_stream,
+)
+
+
+def test_same_seed_same_stream():
+    a = make_rng(7, "x")
+    b = make_rng(7, "x")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_streams_are_independent():
+    a = make_rng(7, "x")
+    b = make_rng(7, "y")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_secret_stream_deterministic():
+    first = [next(make_secret_stream(3)) for _ in range(1)]
+    second = [next(make_secret_stream(3)) for _ in range(1)]
+    assert first == second
+
+
+def test_secret_stream_keys_fit_width_and_nonzero():
+    stream = make_secret_stream(11)
+    for _ in range(100):
+        key = next(stream)
+        assert 0 < key < (1 << KEY_BITS)
+
+
+def test_secret_streams_differ_by_seed():
+    assert next(make_secret_stream(1)) != next(make_secret_stream(2))
+
+
+def test_secret_stream_rarely_repeats():
+    stream = make_secret_stream(5)
+    keys = [next(stream) for _ in range(1000)]
+    assert len(set(keys)) == 1000
+
+
+def test_guess_probability_zero_attempts():
+    assert guess_probability(0) == 0.0
+
+
+def test_guess_probability_is_astronomically_small():
+    # A million guesses against a 60-bit key: ~1e-12.
+    p = guess_probability(1_000_000)
+    assert p < 1e-11
+
+
+def test_guess_probability_monotone():
+    assert guess_probability(10) < guess_probability(1000)
+
+
+def test_guess_probability_small_space_sanity():
+    # 1-bit key, one guess: 50%.
+    assert guess_probability(1, key_bits=1) == pytest.approx(0.5)
+
+
+def test_guess_probability_rejects_negative():
+    with pytest.raises(ValueError):
+        guess_probability(-1)

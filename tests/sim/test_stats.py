@@ -1,0 +1,117 @@
+"""Unit tests for counters and latency statistics."""
+
+import pytest
+
+from repro.sim.stats import Counter, LatencyStat, StatRegistry, merge_snapshots
+from repro.units import us
+
+
+def test_counter_add_and_reset():
+    counter = Counter("x")
+    counter.add()
+    counter.add(4)
+    assert counter.value == 5
+    counter.reset()
+    assert counter.value == 0
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter("x").add(-1)
+
+
+def test_latency_mean():
+    stat = LatencyStat("lat")
+    for sample in (us(1), us(2), us(3)):
+        stat.record(sample)
+    assert stat.mean_us == pytest.approx(2.0)
+    assert stat.count == 3
+
+
+def test_latency_min_max():
+    stat = LatencyStat("lat")
+    stat.record(500)
+    stat.record(100)
+    stat.record(900)
+    assert stat.min == 100
+    assert stat.max == 900
+
+
+def test_latency_stddev_zero_for_constant():
+    stat = LatencyStat("lat")
+    for _ in range(5):
+        stat.record(1000)
+    assert stat.stddev == pytest.approx(0.0, abs=1e-6)
+
+
+def test_latency_stddev_known_value():
+    stat = LatencyStat("lat")
+    for sample in (2, 4, 4, 4, 5, 5, 7, 9):
+        stat.record(sample)
+    assert stat.stddev == pytest.approx(2.0)
+
+
+def test_latency_rejects_negative_sample():
+    with pytest.raises(ValueError):
+        LatencyStat("lat").record(-1)
+
+
+def test_percentiles_require_samples_kept():
+    stat = LatencyStat("lat")
+    stat.record(10)
+    with pytest.raises(ValueError):
+        stat.percentile(50)
+
+
+def test_percentile_median():
+    stat = LatencyStat("lat", keep_samples=True)
+    for sample in (10, 20, 30, 40, 50):
+        stat.record(sample)
+    assert stat.percentile(50) == 30
+    assert stat.percentile(0) == 10
+    assert stat.percentile(100) == 50
+
+
+def test_percentile_interpolates():
+    stat = LatencyStat("lat", keep_samples=True)
+    stat.record(0)
+    stat.record(100)
+    assert stat.percentile(25) == 25
+
+
+def test_percentile_bounds_checked():
+    stat = LatencyStat("lat", keep_samples=True)
+    stat.record(1)
+    with pytest.raises(ValueError):
+        stat.percentile(101)
+
+
+def test_empty_stat_mean_is_zero():
+    assert LatencyStat("lat").mean == 0.0
+
+
+def test_registry_reuses_instances():
+    registry = StatRegistry("dev")
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.latency("l") is registry.latency("l")
+
+
+def test_registry_reset_clears_all():
+    registry = StatRegistry()
+    registry.counter("a").add(3)
+    registry.latency("l").record(100)
+    registry.reset()
+    assert registry.counter("a").value == 0
+    assert registry.latency("l").count == 0
+
+
+def test_registry_snapshot_qualifies_names():
+    registry = StatRegistry("cpu0")
+    registry.counter("instructions").add(7)
+    snap = registry.snapshot()
+    assert snap["cpu0.instructions"] == 7.0
+
+
+def test_merge_snapshots_later_wins():
+    merged = merge_snapshots([{"a": 1.0, "b": 2.0}, {"b": 3.0}])
+    assert merged == {"a": 1.0, "b": 3.0}

@@ -1,0 +1,64 @@
+"""Unit tests for the trace log."""
+
+from repro.sim.trace import TraceLog
+
+
+def test_disabled_log_records_nothing():
+    log = TraceLog(enabled=False)
+    log.emit(0, "cpu", "step", pc=1)
+    assert len(log) == 0
+
+
+def test_enabled_log_records_events():
+    log = TraceLog(enabled=True)
+    log.emit(10, "cpu", "step", pc=1)
+    log.emit(20, "dma", "start", size=64)
+    assert len(log) == 2
+    assert log.kinds() == ["step", "start"]
+
+
+def test_filter_by_source():
+    log = TraceLog(enabled=True)
+    log.emit(1, "cpu", "a")
+    log.emit(2, "dma", "b")
+    log.emit(3, "cpu", "c")
+    assert [e.kind for e in log.events(source="cpu")] == ["a", "c"]
+
+
+def test_filter_by_kind_and_predicate():
+    log = TraceLog(enabled=True)
+    log.emit(1, "dma", "start", size=64)
+    log.emit(2, "dma", "start", size=128)
+    big = log.events(kind="start", where=lambda e: e.detail["size"] > 100)
+    assert len(big) == 1
+    assert big[0].detail["size"] == 128
+
+
+def test_max_events_ring_buffer():
+    log = TraceLog(enabled=True, max_events=3)
+    for index in range(10):
+        log.emit(index, "s", f"k{index}")
+    assert len(log) == 3
+    assert log.kinds() == ["k7", "k8", "k9"]
+
+
+def test_clear():
+    log = TraceLog(enabled=True)
+    log.emit(1, "s", "k")
+    log.clear()
+    assert len(log) == 0
+
+
+def test_format_contains_fields():
+    log = TraceLog(enabled=True)
+    log.emit(1_000_000, "dma", "start", size=64)
+    text = log.dump()
+    assert "dma/start" in text
+    assert "size=64" in text
+
+
+def test_iteration_yields_in_order():
+    log = TraceLog(enabled=True)
+    for when in (5, 10, 15):
+        log.emit(when, "s", "k")
+    assert [e.when for e in log] == [5, 10, 15]

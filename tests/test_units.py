@@ -1,0 +1,115 @@
+"""Unit tests for the time/size/bandwidth unit helpers."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.units import (
+    GIB,
+    KIB,
+    MIB,
+    bandwidth_of,
+    fmt_bandwidth,
+    fmt_time,
+    gbps,
+    gib,
+    ghz,
+    kib,
+    mbps,
+    mhz,
+    mib,
+    ms,
+    ns,
+    period_ps,
+    ps,
+    seconds,
+    to_ms,
+    to_ns,
+    to_seconds,
+    to_us,
+    transfer_time,
+    us,
+)
+
+
+class TestTimeConversions:
+    def test_scale_chain(self):
+        assert ns(1) == 1_000
+        assert us(1) == 1_000_000
+        assert ms(1) == 1_000_000_000
+        assert seconds(1) == 1_000_000_000_000
+        assert ps(123.4) == 123
+
+    def test_roundtrips(self):
+        assert to_ns(ns(42)) == 42.0
+        assert to_us(us(3.5)) == 3.5
+        assert to_ms(ms(2)) == 2.0
+        assert to_seconds(seconds(1)) == 1.0
+
+    def test_fractionals_round(self):
+        assert ns(1.6) == 1_600
+        assert us(0.0005) == 500
+
+
+class TestFrequencies:
+    def test_mhz_ghz(self):
+        assert mhz(150) == 150e6
+        assert ghz(1) == 1e9
+
+    def test_period(self):
+        assert period_ps(mhz(12.5)) == 80_000
+        assert period_ps(ghz(1)) == 1_000
+
+    def test_bad_frequency(self):
+        with pytest.raises(ClockError):
+            period_ps(0)
+        with pytest.raises(ClockError):
+            period_ps(-5)
+
+
+class TestSizes:
+    def test_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024 ** 2
+        assert GIB == 1024 ** 3
+
+    def test_helpers(self):
+        assert kib(2) == 2048
+        assert mib(1.5) == 1_572_864
+        assert gib(1) == GIB
+
+
+class TestBandwidth:
+    def test_transfer_time_basic(self):
+        # 125 bytes = 1000 bits at 1 Mb/s = 1 ms.
+        assert transfer_time(125, mbps(1)) == ms(1)
+
+    def test_transfer_time_gigabit(self):
+        assert transfer_time(125_000_000, gbps(1)) == seconds(1)
+
+    def test_bandwidth_of_inverse(self):
+        elapsed = transfer_time(1_000_000, mbps(155))
+        assert bandwidth_of(1_000_000, elapsed) == pytest.approx(
+            mbps(155), rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ClockError):
+            transfer_time(10, 0)
+        with pytest.raises(ClockError):
+            bandwidth_of(10, 0)
+
+
+class TestFormatting:
+    def test_fmt_time_units(self):
+        assert fmt_time(500) == "500 ps"
+        assert "ns" in fmt_time(ns(5))
+        assert "us" in fmt_time(us(5))
+        assert "ms" in fmt_time(ms(5))
+
+    def test_fmt_time_values(self):
+        assert fmt_time(us(18.6)) == "18.600 us"
+
+    def test_fmt_bandwidth(self):
+        assert fmt_bandwidth(mbps(155)) == "155.00 Mb/s"
+        assert fmt_bandwidth(gbps(1)) == "1.00 Gb/s"
+        assert "kb/s" in fmt_bandwidth(5_000)
+        assert "b/s" in fmt_bandwidth(10)

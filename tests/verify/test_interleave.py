@@ -1,0 +1,120 @@
+"""Unit tests for the interleaving enumerator and replay harness."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.interleave import (
+    AccessSpec,
+    ProtocolHarness,
+    enumerate_interleavings,
+    initiation_stream,
+    interleaving_count,
+)
+from repro.hw.dma.protocols.shrimp2 import PendingPairProtocol
+
+
+def specs(pid, n):
+    return [AccessSpec(pid, "store", i * 8, 0) for i in range(n)]
+
+
+def test_enumeration_count_matches_formula():
+    streams = [specs(1, 3), specs(2, 2)]
+    orders = list(enumerate_interleavings(streams))
+    assert len(orders) == interleaving_count([3, 2]) == 10
+
+
+def test_each_stream_keeps_internal_order():
+    streams = [specs(1, 3), specs(2, 2)]
+    for order in enumerate_interleavings(streams):
+        for pid, length in ((1, 3), (2, 2)):
+            own = [a.paddr for a in order if a.pid == pid]
+            assert own == [i * 8 for i in range(length)]
+
+
+def test_all_orders_distinct():
+    streams = [specs(1, 2), specs(2, 2), specs(3, 1)]
+    orders = list(enumerate_interleavings(streams))
+    assert len(set(orders)) == len(orders) == interleaving_count([2, 2, 1])
+
+
+def test_single_stream_has_one_order():
+    assert len(list(enumerate_interleavings([specs(1, 4)]))) == 1
+
+
+def test_three_way_count():
+    assert interleaving_count([5, 3, 3]) == 9240
+    assert interleaving_count([5, 1, 1, 1, 1]) == 3024
+
+
+def test_replay_resets_between_runs():
+    harness = ProtocolHarness(PendingPairProtocol)
+    stream = initiation_stream("shrimp2", 1, 0, 0x2000, 64)
+    first = harness.replay(stream)
+    second = harness.replay(stream)
+    assert len(first.records) == len(second.records) == 1
+    assert first.records[0].ok and second.records[0].ok
+
+
+def test_replay_collects_final_status():
+    harness = ProtocolHarness(PendingPairProtocol)
+    stream = initiation_stream("shrimp2", 1, 0, 0x2000, 64)
+    evidence = harness.replay(stream)
+    assert evidence.final_status[1] == 64
+
+
+def test_keys_survive_resets():
+    from repro.hw.dma.protocols.keyed import KeyedProtocol
+
+    harness = ProtocolHarness(KeyedProtocol)
+    harness.install_key(0, 0x123)
+    stream = initiation_stream("keyed", 1, 0, 0x2000, 64, key=0x123)
+    for _ in range(3):
+        evidence = harness.replay(stream)
+        assert evidence.final_status[1] == 64
+
+
+def test_unknown_op_rejected():
+    harness = ProtocolHarness(PendingPairProtocol)
+    with pytest.raises(VerificationError):
+        harness.deliver(AccessSpec(1, "poke", 0))
+
+
+def test_stream_builders_cover_all_user_methods():
+    for method in ("shrimp1", "shrimp2", "flash", "pal", "extshadow",
+                   "repeated3", "repeated4", "repeated5"):
+        stream = initiation_stream(method, 1, 0, 0x2000, 64)
+        assert stream, method
+        assert stream[-1].final
+
+    keyed = initiation_stream("keyed", 1, 0, 0x2000, 64, key=5)
+    assert len(keyed) == 4
+
+
+def test_keyed_stream_requires_key():
+    with pytest.raises(VerificationError):
+        initiation_stream("keyed", 1, 0, 0x2000, 64)
+
+
+def test_unknown_method_stream_rejected():
+    with pytest.raises(VerificationError):
+        initiation_stream("vfio", 1, 0, 0, 1)
+
+
+def test_stream_lengths_match_paper_access_counts():
+    lengths = {
+        "shrimp1": 1, "shrimp2": 2, "extshadow": 2,
+        "repeated3": 3, "repeated4": 4, "repeated5": 5,
+    }
+    for method, expected in lengths.items():
+        assert len(initiation_stream(method, 1, 0, 0x2000, 64)) == expected
+
+
+def test_interleaving_cap_enforced():
+    from repro.errors import VerificationError
+    from repro.verify.adversary import fig8_scenario
+    from repro.verify.model_check import check_scenario
+
+    import pytest
+
+    with pytest.raises(VerificationError):
+        check_scenario(fig8_scenario(2), max_interleavings=100)

@@ -1,0 +1,60 @@
+"""Tests for the mechanized §3.3.1 proof."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.verify.adversary import fig8_scenario, pair_race_scenario
+from repro.verify.proof import prove_fig8
+
+
+def test_theorem_holds_with_one_adversary():
+    report = prove_fig8(fig8_scenario(1))
+    assert report.theorem_holds
+    assert report.interleavings == 56
+    assert report.started > 0  # the check is not vacuous
+
+
+def test_theorem_holds_with_two_adversaries():
+    report = prove_fig8(fig8_scenario(2))
+    assert report.theorem_holds
+    assert report.interleavings == 9240
+
+
+def test_theorem_holds_in_worst_case_slots():
+    report = prove_fig8(fig8_scenario(4, accesses_per_adversary=1))
+    assert report.theorem_holds
+    assert report.interleavings == 3024
+
+
+def test_every_lemma_was_exercised():
+    report = prove_fig8(fig8_scenario(1))
+    for lemma in report.lemmas.values():
+        assert lemma.checked == report_checked(report)
+        assert lemma.holds
+
+
+def report_checked(report):
+    return report.lemmas["lemma3"].checked
+
+
+def test_honest_pair_also_proves():
+    report = prove_fig8(pair_race_scenario("repeated5"))
+    assert report.theorem_holds
+    assert report.started > 0
+
+
+def test_wrong_method_rejected():
+    with pytest.raises(VerificationError):
+        prove_fig8(pair_race_scenario("shrimp2"))
+
+
+def test_summary_text():
+    report = prove_fig8(fig8_scenario(1))
+    text = report.summary()
+    assert "lemma1: HOLDS" in text
+    assert "VERIFIED" in text
+
+
+def test_started_counts_are_consistent():
+    report = prove_fig8(fig8_scenario(1))
+    assert 0 < report.started <= report.interleavings

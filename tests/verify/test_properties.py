@@ -1,0 +1,141 @@
+"""Unit tests for the safety properties."""
+
+from repro.hw.dma.engine import InitiationRecord
+from repro.hw.dma.status import STATUS_FAILURE, STATUS_PENDING
+from repro.verify.properties import (
+    ProcessIntent,
+    ReplayEvidence,
+    Rights,
+    check_authorized_start,
+    check_single_issuer,
+    check_truthful_status,
+)
+
+PAGE = 8192
+REJECT = frozenset({STATUS_FAILURE, STATUS_PENDING})
+
+
+def record(psrc, pdst, size=64, issuer=1, ok=True):
+    return InitiationRecord(when=0, psrc=psrc, pdst=pdst, size=size,
+                            issuer=issuer, via="x", ctx_id=None, ok=ok)
+
+
+class TestRights:
+    def test_write_implies_read(self):
+        rights = Rights.over(write_pages=[0])
+        assert rights.can_read(0, 64)
+        assert rights.can_write(0, 64)
+
+    def test_read_only(self):
+        rights = Rights.over(read_pages=[0])
+        assert rights.can_read(100, 8)
+        assert not rights.can_write(100, 8)
+
+    def test_multi_page_span(self):
+        rights = Rights.over(write_pages=[0, PAGE])
+        assert rights.can_write(PAGE - 8, 16)  # crosses the boundary
+        assert not rights.can_write(PAGE, PAGE + 1)  # runs into page 2
+
+    def test_zero_size_denied(self):
+        assert not Rights.over(write_pages=[0]).can_write(0, 0)
+
+    def test_unlisted_page_denied(self):
+        rights = Rights.over(write_pages=[0])
+        assert not rights.can_read(5 * PAGE, 8)
+
+
+class TestAuthorizedStart:
+    def rights(self):
+        return {1: Rights.over(write_pages=[0, PAGE]),
+                2: Rights.over(read_pages=[0], write_pages=[2 * PAGE])}
+
+    def test_legitimate_start_passes(self):
+        evidence = ReplayEvidence(records=[record(0, PAGE, issuer=1)])
+        assert check_authorized_start(evidence, self.rights()) == []
+
+    def test_unwritable_destination_flagged(self):
+        evidence = ReplayEvidence(records=[record(0, PAGE, issuer=2)])
+        violations = check_authorized_start(evidence, self.rights())
+        assert len(violations) == 1
+        assert violations[0].prop == "authorized-start"
+        assert "unwritable" in violations[0].detail
+
+    def test_unreadable_source_flagged(self):
+        evidence = ReplayEvidence(
+            records=[record(2 * PAGE, 2 * PAGE, issuer=1)])
+        violations = check_authorized_start(evidence, self.rights())
+        assert any("unreadable" in v.detail for v in violations)
+
+    def test_failed_starts_ignored(self):
+        evidence = ReplayEvidence(
+            records=[record(5 * PAGE, 6 * PAGE, issuer=2, ok=False)])
+        assert check_authorized_start(evidence, self.rights()) == []
+
+    def test_unknown_issuer_flagged(self):
+        evidence = ReplayEvidence(records=[record(0, PAGE, issuer=99)])
+        violations = check_authorized_start(evidence, self.rights())
+        assert "unknown pid" in violations[0].detail
+
+
+class TestSingleIssuer:
+    def test_uniform_contributors_pass(self):
+        evidence = ReplayEvidence(contributors=[(1, 1, 1, 1, 1)])
+        assert check_single_issuer(evidence) == []
+
+    def test_mixed_contributors_flagged(self):
+        evidence = ReplayEvidence(contributors=[(1, 2, 1, 1, 1)])
+        violations = check_single_issuer(evidence)
+        assert len(violations) == 1
+        assert violations[0].prop == "single-issuer"
+
+    def test_multiple_sequences_checked_independently(self):
+        evidence = ReplayEvidence(
+            contributors=[(1, 1, 1), (2, 2, 2), (1, 2, 3)])
+        assert len(check_single_issuer(evidence)) == 1
+
+
+class TestTruthfulStatus:
+    def intent(self):
+        return ProcessIntent(1, 0, PAGE, 64)
+
+    def test_started_and_reported_ok(self):
+        evidence = ReplayEvidence(records=[record(0, PAGE)],
+                                  final_status={1: 64})
+        assert check_truthful_status(evidence, [self.intent()],
+                                     REJECT) == []
+
+    def test_not_started_and_reported_failure(self):
+        evidence = ReplayEvidence(final_status={1: STATUS_FAILURE})
+        assert check_truthful_status(evidence, [self.intent()],
+                                     REJECT) == []
+
+    def test_pending_counts_as_rejection(self):
+        evidence = ReplayEvidence(final_status={1: STATUS_PENDING})
+        assert check_truthful_status(evidence, [self.intent()],
+                                     REJECT) == []
+
+    def test_started_but_told_failure_flagged(self):
+        """The Fig. 6 harm: the victim retries a DMA that already ran."""
+        evidence = ReplayEvidence(records=[record(0, PAGE, issuer=2)],
+                                  final_status={1: STATUS_FAILURE})
+        violations = check_truthful_status(evidence, [self.intent()],
+                                           REJECT)
+        assert len(violations) == 1
+        assert "told FAILURE" in violations[0].detail
+
+    def test_phantom_success_flagged(self):
+        evidence = ReplayEvidence(final_status={1: 64})
+        violations = check_truthful_status(evidence, [self.intent()],
+                                           REJECT)
+        assert "never" in violations[0].detail
+
+    def test_process_without_final_status_skipped(self):
+        evidence = ReplayEvidence(records=[record(0, PAGE)])
+        assert check_truthful_status(evidence, [self.intent()],
+                                     REJECT) == []
+
+    def test_intent_matching_is_exact(self):
+        other = ProcessIntent(1, 0, PAGE, 128)  # different size
+        evidence = ReplayEvidence(records=[record(0, PAGE, size=64)],
+                                  final_status={1: STATUS_FAILURE})
+        assert check_truthful_status(evidence, [other], REJECT) == []

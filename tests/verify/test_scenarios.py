@@ -1,0 +1,172 @@
+"""The paper's attack and safety scenarios, checked exhaustively.
+
+These are the mechanical counterparts of Figs. 5, 6, and 8 and of the
+§3.1/§3.2 safety claims: the model checker must *find* the published
+attacks and must *fail to find* any attack on the paper's methods.
+"""
+
+import pytest
+
+from repro.verify.adversary import (
+    ADDR_B,
+    ADDR_C,
+    fig5_scenario,
+    fig6_scenario,
+    fig8_scenario,
+    key_guessing_scenario,
+    pair_race_scenario,
+)
+from repro.verify.model_check import check_scenario, replay_interleaving
+
+
+class TestFig5:
+    """The 3-instruction repeated-passing variant is exploitable."""
+
+    def test_exact_figure_interleaving_reproduces_attack(self):
+        scenario, figure_order = fig5_scenario()
+        violations = replay_interleaving(scenario, figure_order)
+        assert any(v.prop == "authorized-start" for v in violations)
+
+    def test_attack_moves_adversary_data_into_victim_page(self):
+        from repro.verify.model_check import make_harness
+
+        scenario, figure_order = fig5_scenario()
+        harness = make_harness(scenario)
+        evidence = harness.replay(figure_order)
+        started = [r for r in evidence.records if r.ok]
+        assert len(started) == 1
+        # C -> B: the adversary's data lands in the victim's page.
+        assert started[0].psrc == ADDR_C
+        assert started[0].pdst == ADDR_B
+        assert started[0].issuer == 2
+
+    def test_exhaustive_search_finds_attacks(self):
+        scenario, _ = fig5_scenario()
+        result = check_scenario(scenario)
+        assert result.attack_found
+        assert result.violations_by_property.get("authorized-start", 0) > 0
+
+    def test_victims_own_interleavings_still_work(self):
+        """With no adversary, every victim-only order succeeds."""
+        scenario, _ = fig5_scenario()
+        solo = type(scenario)(
+            name="fig5-solo", method="repeated3",
+            streams=[scenario.streams[0]], rights=scenario.rights,
+            intents=scenario.intents)
+        result = check_scenario(solo)
+        assert result.safe
+
+
+class TestFig6:
+    """The 4-instruction variant lets an adversary steal the start."""
+
+    def test_exact_figure_interleaving_misinforms_victim(self):
+        scenario, figure_order = fig6_scenario()
+        violations = replay_interleaving(scenario, figure_order)
+        props = {v.prop for v in violations}
+        assert "truthful-status" in props
+
+    def test_adversary_receives_the_start(self):
+        from repro.verify.model_check import make_harness
+
+        scenario, figure_order = fig6_scenario()
+        harness = make_harness(scenario)
+        evidence = harness.replay(figure_order)
+        started = [r for r in evidence.records if r.ok]
+        assert len(started) == 1
+        assert started[0].issuer == 2  # the malicious LOAD fired it
+
+    def test_exhaustive_search_finds_attack(self):
+        scenario, _ = fig6_scenario()
+        result = check_scenario(scenario)
+        assert result.attack_found
+
+    def test_attack_needs_read_access_to_source(self):
+        """Without read access to A the adversary has no legal stream."""
+        scenario, _ = fig6_scenario()
+        # Replace the adversary's load of A with a load of its own page:
+        from repro.verify.interleave import AccessSpec
+
+        blind = type(scenario)(
+            name="fig6-blind", method="repeated4",
+            streams=[scenario.streams[0],
+                     [AccessSpec(2, "load", ADDR_C, final=True)]],
+            rights=scenario.rights, intents=scenario.intents)
+        result = check_scenario(blind)
+        assert result.safe
+
+
+class TestFig8:
+    """§3.3.1: the 5-instruction variant survives every interleaving."""
+
+    @pytest.mark.parametrize("n_adversaries", [1, 2])
+    def test_safe_with_source_reading_adversaries(self, n_adversaries):
+        result = check_scenario(fig8_scenario(n_adversaries))
+        assert result.safe
+        assert result.total_interleavings > 50
+
+    def test_safe_without_source_access(self):
+        result = check_scenario(
+            fig8_scenario(1, adversary_reads_source=False))
+        assert result.safe
+
+    def test_worst_case_every_slot_from_a_different_process(self):
+        """Fig. 8(a): four one-slot adversaries around the victim."""
+        result = check_scenario(
+            fig8_scenario(4, accesses_per_adversary=1))
+        assert result.safe
+        assert result.total_interleavings == 3024  # 9!/5!
+
+
+class TestPairRaces:
+    """Two honest processes racing: who needs the kernel hook?"""
+
+    def test_shrimp2_race_found(self):
+        result = check_scenario(pair_race_scenario("shrimp2"))
+        assert result.attack_found
+        assert "authorized-start" in result.violations_by_property
+
+    def test_flash_without_hook_races_too(self):
+        result = check_scenario(pair_race_scenario("flash"))
+        assert result.attack_found
+
+    @pytest.mark.parametrize("method",
+                             ["keyed", "extshadow", "repeated5"])
+    def test_paper_methods_race_free(self, method):
+        result = check_scenario(pair_race_scenario(method))
+        assert result.safe, result.summary()
+
+    def test_repeated4_honest_pair_race(self):
+        """Even two honest processes can misreport under the 4-variant."""
+        result = check_scenario(pair_race_scenario("repeated4"))
+        # The 4-variant's flaw needs shared read access; honest pairs
+        # with disjoint pages merely fail and retry — either outcome is
+        # a finding worth recording, so just assert determinism here.
+        again = check_scenario(pair_race_scenario("repeated4"))
+        assert result.violating_interleavings == (
+            again.violating_interleavings)
+
+
+class TestKeyGuessing:
+    """§3.1: wrong keys never break anything; the right key would."""
+
+    def test_wrong_guesses_are_harmless(self):
+        scenario = key_guessing_scenario(
+            true_key=0xABCDEF, guesses=[0x111, 0x222, 0x333])
+        result = check_scenario(scenario)
+        assert result.safe
+
+    def test_correct_guess_would_succeed(self):
+        """Confirms the check is not vacuous: knowing the key *does*
+        let the adversary redirect the context."""
+        scenario = key_guessing_scenario(
+            true_key=0xABCDEF, guesses=[0xABCDEF])
+        result = check_scenario(scenario)
+        assert result.attack_found
+
+    def test_summary_strings(self):
+        scenario, _ = fig5_scenario()
+        result = check_scenario(scenario)
+        assert "violate" in result.summary()
+        safe = check_scenario(fig8_scenario(1))
+        assert "SAFE" in safe.summary()

@@ -1,0 +1,86 @@
+"""Whole-machine stress tests: the kernel-modification ablation.
+
+SHRIMP-2 and FLASH corrupt transfers on an unmodified kernel under heavy
+preemption; with their hooks installed — or with any of the paper's
+methods on a *stock* kernel — every audit comes back clean.
+"""
+
+import pytest
+
+from repro.verify.stress import run_stress
+
+
+class TestPaperMethodsAreClean:
+    @pytest.mark.parametrize("method", ["keyed", "extshadow"])
+    def test_clean_under_heavy_preemption(self, method):
+        report = run_stress(method, n_processes=4, dmas_each=10,
+                            preempt_p=0.5, with_hooks=True)
+        assert report.clean, vars(report)
+        assert report.started == report.attempts
+        assert report.reported_ok == report.attempts
+
+    def test_repeated5_with_retry_completes_cleanly(self):
+        report = run_stress("repeated5", n_processes=3, dmas_each=6,
+                            preempt_p=0.3, with_retry=True)
+        assert report.clean
+        assert report.started >= report.attempts  # retries may re-start
+
+    def test_repeated5_without_retry_may_fail_but_never_corrupts(self):
+        report = run_stress("repeated5", n_processes=3, dmas_each=10,
+                            preempt_p=0.5, with_retry=False)
+        assert report.corrupted == 0
+        assert report.misreported == 0
+
+
+class TestBaselinesNeedTheirHooks:
+    def test_shrimp2_with_hook_is_clean(self):
+        report = run_stress("shrimp2", n_processes=4, dmas_each=20,
+                            preempt_p=0.5, with_hooks=True)
+        assert report.corrupted == 0
+        assert report.misreported == 0
+
+    def test_shrimp2_without_hook_corrupts(self):
+        report = run_stress("shrimp2", n_processes=4, dmas_each=20,
+                            preempt_p=0.5, with_hooks=False)
+        assert report.corrupted > 0
+        assert not report.clean
+
+    def test_flash_with_hook_is_clean(self):
+        report = run_stress("flash", n_processes=4, dmas_each=20,
+                            preempt_p=0.5, with_hooks=True)
+        assert report.corrupted == 0
+
+    def test_flash_without_hook_corrupts(self):
+        report = run_stress("flash", n_processes=4, dmas_each=20,
+                            preempt_p=0.5, with_hooks=False)
+        assert report.corrupted > 0
+
+    def test_corruption_grows_with_preemption(self):
+        low = run_stress("shrimp2", n_processes=4, dmas_each=20,
+                         preempt_p=0.05, with_hooks=False)
+        high = run_stress("shrimp2", n_processes=4, dmas_each=20,
+                          preempt_p=0.6, with_hooks=False)
+        assert high.corrupted >= low.corrupted
+
+
+class TestReportMechanics:
+    def test_deterministic_given_seed(self):
+        a = run_stress("shrimp2", preempt_p=0.5, with_hooks=False,
+                       seed=3)
+        b = run_stress("shrimp2", preempt_p=0.5, with_hooks=False,
+                       seed=3)
+        assert vars(a) == vars(b)
+
+    def test_different_seeds_vary(self):
+        reports = {run_stress("shrimp2", preempt_p=0.5,
+                              with_hooks=False,
+                              seed=s).context_switches
+                   for s in range(4)}
+        assert len(reports) > 1
+
+    def test_attempt_accounting(self):
+        report = run_stress("keyed", n_processes=2, dmas_each=5,
+                            preempt_p=0.1)
+        assert report.attempts == 10
+        assert report.method == "keyed"
+        assert report.hooks_installed

@@ -1,0 +1,129 @@
+"""Unit tests for workload patterns and generators."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.workloads.generators import (
+    DmaRequest,
+    RequestGenerator,
+    poisson_arrivals,
+)
+from repro.workloads.patterns import (
+    MessageSizeMix,
+    SMALL_MESSAGE_MIX,
+    UNIFORM_MIX,
+    offsets_random,
+    offsets_sequential,
+    offsets_strided,
+)
+
+
+class TestOffsets:
+    def test_sequential_walks_and_wraps(self):
+        gen = offsets_sequential(256, 64)
+        assert list(itertools.islice(gen, 6)) == [0, 64, 128, 192, 0, 64]
+
+    def test_sequential_rejects_oversized_chunk(self):
+        with pytest.raises(ValueError):
+            next(offsets_sequential(64, 128))
+
+    def test_strided(self):
+        gen = offsets_strided(1024, 8, 256)
+        first = list(itertools.islice(gen, 4))
+        assert first == [0, 256, 512, 768]
+
+    def test_strided_validation(self):
+        with pytest.raises(ValueError):
+            next(offsets_strided(64, 8, 0))
+
+    def test_random_fits_and_aligns(self):
+        rng = random.Random(1)
+        for offset in itertools.islice(
+                offsets_random(4096, 64, rng, align=8), 200):
+            assert 0 <= offset <= 4096 - 64
+            assert offset % 8 == 0
+
+    def test_random_deterministic_by_seed(self):
+        a = list(itertools.islice(
+            offsets_random(4096, 64, random.Random(7)), 10))
+        b = list(itertools.islice(
+            offsets_random(4096, 64, random.Random(7)), 10))
+        assert a == b
+
+
+class TestSizeMix:
+    def test_small_heavy_mean_is_small(self):
+        assert SMALL_MESSAGE_MIX.mean < UNIFORM_MIX.mean
+
+    def test_samples_come_from_sizes(self):
+        rng = random.Random(3)
+        for size in SMALL_MESSAGE_MIX.sample_many(rng, 500):
+            assert size in SMALL_MESSAGE_MIX.sizes
+
+    def test_small_sizes_dominate(self):
+        rng = random.Random(5)
+        samples = SMALL_MESSAGE_MIX.sample_many(rng, 4000)
+        small = sum(1 for s in samples if s <= 256)
+        assert small / len(samples) > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessageSizeMix("bad", (1, 2), (1.0,))
+        with pytest.raises(ValueError):
+            MessageSizeMix("bad", (), ())
+        with pytest.raises(ValueError):
+            MessageSizeMix("bad", (1,), (-1.0,))
+
+
+class TestRequestGenerator:
+    def test_requests_fit_buffers(self):
+        gen = RequestGenerator(65536, seed=2)
+        for request in gen.requests(300):
+            assert request.src_offset + request.size <= 65536
+            assert request.dst_offset + request.size <= 65536
+
+    def test_deterministic(self):
+        a = RequestGenerator(65536, seed=9).requests(20)
+        b = RequestGenerator(65536, seed=9).requests(20)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = RequestGenerator(65536, seed=1).requests(20)
+        b = RequestGenerator(65536, seed=2).requests(20)
+        assert a != b
+
+    def test_buffer_must_fit_largest_message(self):
+        with pytest.raises(ValueError):
+            RequestGenerator(1024, mix=SMALL_MESSAGE_MIX)
+
+    def test_stream_is_endless(self):
+        gen = RequestGenerator(65536, seed=0)
+        stream = gen.stream()
+        items = [next(stream) for _ in range(5)]
+        assert all(isinstance(i, DmaRequest) for i in items)
+
+
+class TestPoissonArrivals:
+    def test_monotone_increasing(self):
+        times = poisson_arrivals(1000.0, 100, seed=4)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_roughly_matches(self):
+        from repro.units import to_seconds
+
+        times = poisson_arrivals(10_000.0, 2000, seed=4)
+        span = to_seconds(times[-1] - times[0])
+        rate = (len(times) - 1) / span
+        assert rate == pytest.approx(10_000.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 5)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0)
+
+    def test_start_offset(self):
+        times = poisson_arrivals(100.0, 5, seed=1, start=1_000_000)
+        assert times[0] > 1_000_000
