@@ -1,0 +1,97 @@
+"""Checker speed: naive replay oracle vs prefix-sharing incremental DFS.
+
+The incremental checker must (a) return bit-identical
+:class:`~repro.verify.model_check.CheckResult` objects and (b) beat the
+naive oracle by at least 3x on the Fig. 8 worst case (two 3-access
+adversaries against the 5-instruction victim: 9240 interleavings).  The
+parallel fan-out must match the serial results exactly while splitting
+the large scenarios across workers.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import Table
+from repro.verify.adversary import builtin_scenarios, fig8_scenario
+from repro.verify.incremental import CheckStats, check_scenario_incremental
+from repro.verify.model_check import check_scenario
+from repro.verify.parallel import ParallelChecker
+
+
+def test_incremental_speedup_worst_case(record, benchmark):
+    """Fig. 8 worst case: >= 3x over the naive oracle, same result."""
+    scenario = fig8_scenario(2)
+
+    t0 = time.perf_counter()
+    naive = check_scenario(scenario)
+    naive_s = time.perf_counter() - t0
+
+    stats = CheckStats()
+    run = lambda: check_scenario_incremental(scenario, stats=stats)
+    incremental = benchmark.pedantic(run, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    check_scenario_incremental(scenario)
+    inc_s = time.perf_counter() - t0
+
+    speedup = naive_s / inc_s
+    table = Table("Incremental checker vs naive oracle (Fig. 8, 2 adv)",
+                  ["metric", "naive", "incremental"])
+    table.add_row("wall seconds", f"{naive_s:.3f}", f"{inc_s:.3f}")
+    table.add_row("orders/second",
+                  f"{naive.total_interleavings / naive_s:.0f}",
+                  f"{incremental.total_interleavings / inc_s:.0f}")
+    table.add_row("accesses delivered", stats.naive_accesses,
+                  stats.accesses_delivered)
+    table.add_row("speedup", "1.0x", f"{speedup:.1f}x")
+    record("checker_speed", table.render())
+
+    assert incremental == naive
+    assert stats.accesses_delivered < stats.naive_accesses
+    assert speedup >= 3.0
+
+
+def test_incremental_differential_all_builtins(record, benchmark):
+    """Every built-in scenario: incremental == naive, bit for bit."""
+    scenarios = builtin_scenarios()
+
+    def run():
+        return [(check_scenario(s), check_scenario_incremental(s))
+                for s in scenarios]
+
+    pairs = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table("Differential: naive oracle vs incremental checker",
+                  ["scenario", "orders", "violating", "identical"])
+    for scenario, (naive, inc) in zip(scenarios, pairs):
+        table.add_row(scenario.name, naive.total_interleavings,
+                      naive.violating_interleavings,
+                      "yes" if naive == inc else "NO")
+    record("checker_differential", table.render())
+    assert all(naive == inc for naive, inc in pairs)
+
+
+def test_parallel_fanout_matches_serial(record, benchmark):
+    """The multiprocessing fan-out returns exactly the serial results."""
+    scenarios = builtin_scenarios()
+    serial = ParallelChecker(n_workers=1).check_many(scenarios)
+
+    # Force >= 2 workers: even on a single-CPU box this exercises the
+    # real pool and the branch-splitting path; only *correctness* is
+    # asserted here (wall-clock scaling needs real cores).
+    parallel = ParallelChecker(n_workers=max(2, ParallelChecker().n_workers),
+                               split_threshold=2000)
+    report = benchmark.pedantic(lambda: parallel.check_many(scenarios),
+                                rounds=1, iterations=1)
+
+    table = Table("Parallel fan-out (deterministic merge)",
+                  ["metric", "value"])
+    table.add_row("workers", report.n_workers)
+    table.add_row("tasks", report.n_tasks)
+    table.add_row("branch-split scenarios",
+                  ", ".join(report.split_scenarios) or "none")
+    table.add_row("identical to serial",
+                  "yes" if report.results == serial.results else "NO")
+    record("checker_parallel", table.render())
+
+    assert report.results == serial.results
+    assert report.n_tasks >= len(scenarios)

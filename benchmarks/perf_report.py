@@ -1,0 +1,210 @@
+"""Machine-readable checker benchmark: naive vs incremental vs parallel.
+
+Times the naive replay oracle against the prefix-sharing incremental
+checker on the built-in scenarios, asserts their results are identical,
+measures the parallel fan-out, and writes everything as one JSON file
+(``benchmarks/results/BENCH_checker.json`` by default) so CI can track
+orders-per-second without parsing tables.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_report.py            # full
+    PYTHONPATH=src python benchmarks/perf_report.py --quick    # CI smoke
+
+``--no-incremental`` times only the naive oracle (mode "oracle" in the
+JSON) — useful to sanity-check the baseline on a new machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Callable, List, Optional, Tuple
+
+if __package__ in (None, ""):  # `python benchmarks/perf_report.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                           / "src"))
+
+from repro.verify.adversary import builtin_scenarios, fig8_scenario
+from repro.verify.incremental import CheckStats, check_scenario_incremental
+from repro.verify.model_check import CheckResult, Scenario, check_scenario
+from repro.verify.parallel import ParallelChecker
+
+DEFAULT_OUTPUT = (pathlib.Path(__file__).resolve().parent
+                  / "results" / "BENCH_checker.json")
+
+#: The Fig. 8 worst case (9240 interleavings): the acceptance target is
+#: >= 3x single-process speedup here.
+WORST_CASE_NAME = fig8_scenario(2).name
+
+
+def _time(fn: Callable[[], CheckResult],
+          repeats: int) -> Tuple[float, CheckResult]:
+    """Best-of-*repeats* wall time for *fn* plus its (last) result."""
+    best = float("inf")
+    result: Optional[CheckResult] = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    assert result is not None
+    return best, result
+
+
+def bench_scenario(scenario: Scenario, repeats: int,
+                   incremental: bool = True) -> dict:
+    """Benchmark one scenario; returns its JSON record."""
+    naive_s, naive = _time(lambda: check_scenario(scenario), repeats)
+    orders = naive.total_interleavings
+    entry = {
+        "name": scenario.name,
+        "orders": orders,
+        "naive": {
+            "wall_s": round(naive_s, 6),
+            "orders_per_s": round(orders / naive_s, 1) if naive_s else None,
+        },
+    }
+    if not incremental:
+        return entry
+    stats = CheckStats()
+
+    def run() -> CheckResult:
+        nonlocal stats
+        stats = CheckStats()
+        return check_scenario_incremental(scenario, stats=stats)
+
+    inc_s, inc = _time(run, repeats)
+    entry["incremental"] = {
+        "wall_s": round(inc_s, 6),
+        "orders_per_s": round(orders / inc_s, 1) if inc_s else None,
+        "accesses_delivered": stats.accesses_delivered,
+        "naive_accesses": stats.naive_accesses,
+        "accesses_saved": stats.accesses_saved,
+        "delivery_ratio": round(stats.delivery_ratio, 4),
+        "transposition_hits": stats.transposition_hits,
+        "transposition_entries": stats.transposition_entries,
+    }
+    entry["speedup"] = round(naive_s / inc_s, 2) if inc_s else None
+    entry["identical"] = inc == naive
+    return entry
+
+
+def bench_parallel(scenarios: List[Scenario], workers: int,
+                   repeats: int, incremental: bool) -> dict:
+    """Time the fan-out over *scenarios* against the serial equivalent."""
+    serial = ParallelChecker(n_workers=1, incremental=incremental)
+    parallel = ParallelChecker(n_workers=workers, incremental=incremental)
+    serial_s, _ = _time(
+        lambda: serial.check_many(scenarios).results[0], repeats)
+    report = None
+
+    def run() -> CheckResult:
+        nonlocal report
+        report = parallel.check_many(scenarios)
+        return report.results[0]
+
+    parallel_s, _ = _time(run, repeats)
+    serial_results = serial.check_many(scenarios).results
+    assert report is not None
+    return {
+        "workers": report.n_workers,
+        "n_tasks": report.n_tasks,
+        "split_scenarios": report.split_scenarios,
+        "serial_wall_s": round(serial_s, 6),
+        "parallel_wall_s": round(parallel_s, 6),
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+        "identical": report.results == serial_results,
+    }
+
+
+def build_report(quick: bool = False, workers: Optional[int] = None,
+                 incremental: bool = True) -> dict:
+    """Run the full benchmark and return the JSON-ready report dict."""
+    repeats = 1 if quick else 3
+    scenarios = builtin_scenarios()
+    if quick:
+        wanted = {"fig5-repeated3", "fig6-repeated4", WORST_CASE_NAME,
+                  "pair-race-keyed"}
+        scenarios = [s for s in scenarios if s.name in wanted]
+    entries = [bench_scenario(s, repeats, incremental=incremental)
+               for s in scenarios]
+
+    report = {
+        "benchmark": "checker_speed",
+        "generated_by": "benchmarks/perf_report.py",
+        "mode": "incremental" if incremental else "oracle",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "scenarios": entries,
+    }
+    if incremental:
+        worst = next((e for e in entries if e["name"] == WORST_CASE_NAME),
+                     None)
+        if worst is not None:
+            report["worst_case"] = {
+                "name": worst["name"],
+                "orders": worst["orders"],
+                "speedup": worst["speedup"],
+                "target_speedup": 3.0,
+                "meets_target": (worst["speedup"] or 0) >= 3.0,
+            }
+        report["all_identical"] = all(e["identical"] for e in entries)
+    fanout = [s for s in scenarios
+              if s.name.startswith(("fig8", "pair-race"))] or scenarios
+    report["parallel"] = bench_parallel(
+        fanout, workers or ParallelChecker().n_workers,
+        repeats, incremental)
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the interleaving checkers; emit JSON.")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer scenarios, one round")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT,
+                        help=f"output path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel fan-out pool size (default: auto)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="time only the naive oracle")
+    args = parser.parse_args(argv)
+    if args.workers is not None and args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    report = build_report(quick=args.quick, workers=args.workers,
+                          incremental=not args.no_incremental)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for entry in report["scenarios"]:
+        line = (f"{entry['name']:34s} {entry['orders']:7d} orders  "
+                f"naive {entry['naive']['orders_per_s']:>10} ord/s")
+        if "incremental" in entry:
+            line += (f"  incremental {entry['incremental']['orders_per_s']:>10}"
+                     f" ord/s  {entry['speedup']:>6}x"
+                     f"  identical={entry['identical']}")
+        print(line)
+    par = report["parallel"]
+    print(f"parallel fan-out: {par['workers']} workers, {par['n_tasks']} "
+          f"tasks (split: {', '.join(par['split_scenarios']) or 'none'}), "
+          f"{par['speedup']}x vs serial, identical={par['identical']}")
+    if "worst_case" in report:
+        wc = report["worst_case"]
+        print(f"worst case {wc['name']}: {wc['speedup']}x "
+              f"(target >= {wc['target_speedup']}x, "
+              f"{'MET' if wc['meets_target'] else 'MISSED'})")
+    print(f"wrote {args.output}")
+
+    ok = report.get("all_identical", True) and report["parallel"]["identical"]
+    if "worst_case" in report:
+        ok = ok and report["worst_case"]["meets_target"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

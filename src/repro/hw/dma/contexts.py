@@ -64,6 +64,27 @@ class RegisterContext:
         self.transfer = None
         self.failed = False
 
+    def snapshot(self) -> tuple:
+        """Capture all mutable fields (the transfer ref is captured as-is;
+        its own ``completed`` flag is the transfer engine's to restore)."""
+        return (self.src, self.dst, self.size, self.owner_pid,
+                self.transfer, self.failed, self.initiations)
+
+    def restore(self, token: tuple) -> None:
+        """Return to a state captured by :meth:`snapshot`."""
+        (self.src, self.dst, self.size, self.owner_pid,
+         self.transfer, self.failed, self.initiations) = token
+
+    def fingerprint(self) -> tuple:
+        """Hashable value capture (the transfer by value, not identity)."""
+        transfer = self.transfer
+        transfer_value = (None if transfer is None else
+                          (transfer.psrc, transfer.pdst, transfer.size,
+                           transfer.started_at, transfer.duration,
+                           transfer.completed))
+        return (self.src, self.dst, self.size, self.owner_pid,
+                transfer_value, self.failed, self.initiations)
+
     def status_word(self, now: Time) -> int:
         """The value a load from this context page returns (§3.1).
 

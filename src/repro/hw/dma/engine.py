@@ -368,6 +368,75 @@ class DmaEngine(MmioDevice):
             return None
         return base + page_offset(psrc)
 
+    # ------------------------------------------------------------------
+    # Snapshot/restore (the incremental checker's backtracking substrate)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture all engine-owned mutable state.
+
+        Covers the register contexts, privileged tables, control page,
+        initiation records (append-only — captured as a length), the
+        protocol FSM, the transfer engine, and the trace log.  The
+        simulator and RAM are externally owned and snapshot separately
+        (see :meth:`repro.verify.interleave.ProtocolHarness.snapshot`).
+        """
+        return {
+            "contexts": [c.snapshot() for c in self.contexts],
+            "key_table": dict(self.key_table),
+            "mapout_table": dict(self.mapout_table),
+            "current_pid": self.current_pid,
+            "n_initiations": len(self.initiations),
+            "protocol_violations": self.protocol_violations,
+            "control": (self._control_src, self._control_dst,
+                        self._control_status, self._control_transfer,
+                        self._mapout_src_latch),
+            "protocol": self.protocol.snapshot_state(),
+            "transfer_engine": self.transfer_engine.snapshot(),
+            "trace": self.trace.snapshot(),
+        }
+
+    def restore(self, token: dict) -> None:
+        """Return to a state captured by :meth:`snapshot`."""
+        for context, state in zip(self.contexts, token["contexts"]):
+            context.restore(state)
+        self.key_table = dict(token["key_table"])
+        self.mapout_table = dict(token["mapout_table"])
+        self.current_pid = token["current_pid"]
+        del self.initiations[token["n_initiations"]:]
+        self.protocol_violations = token["protocol_violations"]
+        (self._control_src, self._control_dst, self._control_status,
+         self._control_transfer, self._mapout_src_latch) = token["control"]
+        self.protocol.restore_state(token["protocol"])
+        self.transfer_engine.restore(token["transfer_engine"])
+        self.trace.restore(token["trace"])
+
+    def fingerprint(self) -> tuple:
+        """Hashable capture of all behaviour-determining engine state.
+
+        Two engine states with equal fingerprints (plus equal simulator,
+        RAM, and delivered-access positions) behave identically on every
+        future access — the transposition table's merging criterion.
+        """
+        control_transfer = self._control_transfer
+        control_value = (None if control_transfer is None else
+                         (control_transfer.psrc, control_transfer.pdst,
+                          control_transfer.size, control_transfer.started_at,
+                          control_transfer.duration,
+                          control_transfer.completed))
+        return (
+            tuple(c.fingerprint() for c in self.contexts),
+            tuple(sorted(self.key_table.items())),
+            tuple(sorted(self.mapout_table.items())),
+            self.current_pid,
+            tuple(self.initiations),
+            self.protocol_violations,
+            (self._control_src, self._control_dst, self._control_status,
+             control_value, self._mapout_src_latch),
+            self.protocol.state_fingerprint(),
+            self.transfer_engine.fingerprint(),
+        )
+
     def reset(self) -> None:
         """Power-on reset: contexts, tables, protocol state, records."""
         for context in self.contexts:

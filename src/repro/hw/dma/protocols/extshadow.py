@@ -86,3 +86,25 @@ class ExtendedShadowProtocol(InitiationProtocol):
         self.empty_loads = 0
         self._latches = {}
         self._single = None
+
+    def snapshot_state(self):
+        # _Latch instances are never mutated after creation (stores
+        # replace whole entries), so a shallow dict copy suffices.
+        return (dict(self._latches), self._single,
+                self.ctx_mismatches, self.empty_loads)
+
+    def restore_state(self, state) -> None:
+        latches, single, mismatches, empty = state
+        self._latches = dict(latches)
+        self._single = single
+        self.ctx_mismatches = mismatches
+        self.empty_loads = empty
+
+    def state_fingerprint(self):
+        single = (None if self._single is None else
+                  (self._single.pdst, self._single.size,
+                   self._single.ctx_id))
+        return (tuple(sorted(
+                    (ctx_id, latch.pdst, latch.size, latch.ctx_id)
+                    for ctx_id, latch in self._latches.items())),
+                single)

@@ -72,3 +72,15 @@ class FlashProtocol(InitiationProtocol):
         self.pending = None
         self.tag_mismatches = 0
         self.empty_loads = 0
+
+    def snapshot_state(self):
+        # TaggedPending instances are never mutated after creation.
+        return (self.pending, self.tag_mismatches, self.empty_loads)
+
+    def restore_state(self, state) -> None:
+        self.pending, self.tag_mismatches, self.empty_loads = state
+
+    def state_fingerprint(self):
+        if self.pending is None:
+            return None
+        return (self.pending.pdst, self.pending.size, self.pending.tag)

@@ -35,3 +35,13 @@ class KernelOnlyProtocol(InitiationProtocol):
 
     def reset(self) -> None:
         self.ignored_accesses = 0
+
+    def snapshot_state(self):
+        return self.ignored_accesses
+
+    def restore_state(self, state) -> None:
+        self.ignored_accesses = state
+
+    def state_fingerprint(self):
+        # ignored_accesses is a pure statistic: no decision reads it.
+        return ()

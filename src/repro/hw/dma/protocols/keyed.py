@@ -134,3 +134,14 @@ class KeyedProtocol(InitiationProtocol):
 
     def reset(self) -> None:
         self.key_rejections = 0
+
+    def snapshot_state(self):
+        # All decision state lives in the engine's register contexts and
+        # key table, both captured by the engine's own snapshot.
+        return self.key_rejections
+
+    def restore_state(self, state) -> None:
+        self.key_rejections = state
+
+    def state_fingerprint(self):
+        return ()

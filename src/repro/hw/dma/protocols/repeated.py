@@ -212,3 +212,26 @@ class RepeatedPassingProtocol(InitiationProtocol):
     def state_snapshot(self) -> List[Optional[int]]:
         """(pos, src, dst, size) — inspection hook for tests."""
         return [self._pos, self._src, self._dst, self._size]
+
+    # -- snapshot/restore -----------------------------------------------
+
+    def snapshot_state(self):
+        # completed_contributors is append-only: capture its length and
+        # truncate on restore instead of copying the whole list.
+        return (self._pos, self._src, self._dst, self._size,
+                tuple(self._issuers), self.resets,
+                self.sequences_completed, len(self.completed_contributors))
+
+    def restore_state(self, state) -> None:
+        (self._pos, self._src, self._dst, self._size, issuers,
+         self.resets, self.sequences_completed, n_completed) = state
+        self._issuers = list(issuers)
+        del self.completed_contributors[n_completed:]
+
+    def state_fingerprint(self):
+        # The in-progress pattern state and the completed-contributor
+        # history both matter: the former drives future transitions, the
+        # latter feeds the single-issuer property at every leaf.  The
+        # resets/sequences_completed counters are pure statistics.
+        return (self._pos, self._src, self._dst, self._size,
+                tuple(self._issuers), tuple(self.completed_contributors))

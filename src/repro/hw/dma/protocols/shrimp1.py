@@ -45,3 +45,13 @@ class MappedOutProtocol(InitiationProtocol):
 
     def reset(self) -> None:
         self.unmapped_attempts = 0
+
+    def snapshot_state(self):
+        return self.unmapped_attempts
+
+    def restore_state(self, state) -> None:
+        self.unmapped_attempts = state
+
+    def state_fingerprint(self):
+        # unmapped_attempts is a pure statistic: no decision reads it.
+        return ()

@@ -67,3 +67,18 @@ class PendingPairProtocol(InitiationProtocol):
         self.pending = None
         self.aborts = 0
         self.empty_loads = 0
+
+    def snapshot_state(self):
+        # PendingStore instances are never mutated after creation (stores
+        # replace the whole latch), so capturing the reference is safe.
+        return (self.pending, self.aborts, self.empty_loads)
+
+    def restore_state(self, state) -> None:
+        self.pending, self.aborts, self.empty_loads = state
+
+    def state_fingerprint(self):
+        # The latch is the only state a decision reads; the counters are
+        # pure statistics.
+        if self.pending is None:
+            return None
+        return (self.pending.pdst, self.pending.size, self.pending.issuer)

@@ -125,3 +125,30 @@ class DmaTransferEngine:
         self.sim.schedule(transfer.duration, complete,
                           label=f"dma-complete[{size}B]")
         return transfer
+
+    # -- snapshot/restore -----------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture counters plus the history length and completion flags.
+
+        History is append-only, so a length marker plus the ``completed``
+        flag of each surviving transfer reproduces it exactly; the
+        completion *events* themselves are the simulator's to restore.
+        """
+        return (self.transfers_started, self.bytes_moved, len(self.history),
+                [t.completed for t in self.history])
+
+    def restore(self, token: tuple) -> None:
+        """Return to a state captured by :meth:`snapshot`."""
+        started, moved, length, flags = token
+        self.transfers_started = started
+        self.bytes_moved = moved
+        del self.history[length:]
+        for transfer, completed in zip(self.history, flags):
+            transfer.completed = completed
+
+    def fingerprint(self) -> tuple:
+        """Hashable value capture of every transfer plus the counters."""
+        return (self.transfers_started, self.bytes_moved,
+                tuple((t.psrc, t.pdst, t.size, t.started_at, t.duration,
+                       t.completed) for t in self.history))

@@ -11,7 +11,7 @@ manager.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from ..errors import AddressError, MemoryError_
 from .pagetable import PAGE_MASK, PAGE_SIZE
@@ -34,6 +34,9 @@ class PhysicalMemory:
                 f"RAM size must be a positive page multiple, got {size}")
         self.size = size
         self._data = bytearray(size)
+        # Undo journal for snapshot/restore: None when journaling is off
+        # (the default — zero overhead beyond one branch per mutation).
+        self._journal: Optional[List[Tuple[int, bytes]]] = None
 
     # -- range helpers --------------------------------------------------------
 
@@ -59,6 +62,7 @@ class PhysicalMemory:
     def write(self, paddr: int, data: bytes) -> None:
         """Write *data* starting at *paddr*."""
         self._check_range(paddr, len(data), "write")
+        self._journal_range(paddr, len(data))
         self._data[paddr:paddr + len(data)] = data
 
     def fill(self, paddr: int, nbytes: int, value: int = 0) -> None:
@@ -66,6 +70,7 @@ class PhysicalMemory:
         if not 0 <= value <= 0xFF:
             raise ValueError(f"fill value must be a byte, got {value}")
         self._check_range(paddr, nbytes, "fill")
+        self._journal_range(paddr, nbytes)
         self._data[paddr:paddr + nbytes] = bytes([value]) * nbytes
 
     def copy(self, psrc: int, pdst: int, nbytes: int) -> None:
@@ -75,7 +80,40 @@ class PhysicalMemory:
         """
         self._check_range(psrc, nbytes, "copy-src")
         self._check_range(pdst, nbytes, "copy-dst")
+        self._journal_range(pdst, nbytes)
         self._data[pdst:pdst + nbytes] = self._data[psrc:psrc + nbytes]
+
+    # -- snapshot/restore -----------------------------------------------------
+
+    def _journal_range(self, paddr: int, nbytes: int) -> None:
+        """Record the bytes about to be overwritten (journaling only)."""
+        if self._journal is not None and nbytes > 0:
+            self._journal.append(
+                (paddr, bytes(self._data[paddr:paddr + nbytes])))
+
+    @property
+    def journal_writes(self) -> int:
+        """Mutations recorded since journaling began (0 when off)."""
+        return len(self._journal) if self._journal is not None else 0
+
+    def snapshot(self) -> int:
+        """Capture RAM state as an undo-journal mark (O(1)).
+
+        The first snapshot turns journaling on: from then on every
+        mutation records the bytes it overwrites, so restore costs
+        O(bytes written since the mark), not O(RAM size).
+        """
+        if self._journal is None:
+            self._journal = []
+        return len(self._journal)
+
+    def restore(self, mark: int) -> None:
+        """Undo every mutation made since :meth:`snapshot` returned *mark*."""
+        if self._journal is None:
+            raise MemoryError_("restore without a prior snapshot")
+        for paddr, old in reversed(self._journal[mark:]):
+            self._data[paddr:paddr + len(old)] = old
+        del self._journal[mark:]
 
     # -- word access --------------------------------------------------------------
 

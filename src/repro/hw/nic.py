@@ -157,6 +157,18 @@ class NetworkInterface(DmaEngine):
         self.remote_sends += 1
         self.fabric.send_write(self.node_id, dst_node, dst_local, payload)
 
+    # -- snapshot/restore ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Engine snapshot plus the NIC's own send counter."""
+        token = super().snapshot()
+        token["remote_sends"] = self.remote_sends
+        return token
+
+    def restore(self, token: dict) -> None:
+        super().restore(token)
+        self.remote_sends = token["remote_sends"]
+
     # -- helpers -------------------------------------------------------------------
 
     def global_address(self, local: int) -> int:

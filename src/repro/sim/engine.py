@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from ..errors import SimulationError
 from ..units import Time
@@ -36,7 +36,9 @@ class Event:
 
     Events order by ``(when, seq)``; ``seq`` is assigned by the simulator so
     same-time events fire first-scheduled-first.  Cancelled events stay in
-    the heap but are skipped when popped.
+    the heap but are skipped when popped; the owning simulator is notified
+    through ``on_cancel`` so its live-event count stays exact without
+    scanning the heap.
     """
 
     when: Time
@@ -44,10 +46,16 @@ class Event:
     action: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    on_cancel: Optional[Callable[[], None]] = field(
+        compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()
 
 
 class Simulator:
@@ -62,6 +70,7 @@ class Simulator:
         self._queue: list[Event] = []
         self._seq = 0
         self._events_fired = 0
+        self._live = 0
         self._running = False
 
     # -- scheduling ---------------------------------------------------------
@@ -87,10 +96,15 @@ class Simulator:
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self.now}")
-        event = Event(when=when, seq=self._seq, action=action, label=label)
+        event = Event(when=when, seq=self._seq, action=action, label=label,
+                      on_cancel=self._note_cancelled)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
 
     # -- synchronous time ---------------------------------------------------
 
@@ -131,6 +145,7 @@ class Simulator:
                     f"event {event.label!r} scheduled at {event.when} "
                     f"popped after now={self.now}")
             self.now = event.when
+            self._live -= 1
             self._events_fired += 1
             event.action()
             return True
@@ -201,13 +216,22 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        Maintained as a counter updated on push, pop, and cancel, so the
+        read is O(1) rather than an O(n) heap scan.
+        """
+        return self._live
 
     @property
     def events_fired(self) -> int:
         """Total number of events that have fired."""
         return self._events_fired
+
+    def live_event_signature(self) -> Tuple[Tuple[Time, str], ...]:
+        """(when, label) of every live queued event, in firing order."""
+        return tuple(sorted((e.when, e.label) for e in self._queue
+                            if not e.cancelled))
 
     def _peek(self) -> Optional[Event]:
         """Return the next live event without popping, or None."""
@@ -222,3 +246,29 @@ class Simulator:
             if head is None or head.when > target:
                 return
             self.step()
+
+    # -- snapshot/restore -----------------------------------------------------
+
+    def snapshot(self) -> Tuple[Any, ...]:
+        """Capture clock, counters, and the event queue.
+
+        The queue is captured as a shallow list copy (it is already a
+        valid heap) plus each event's ``cancelled`` flag; the Event
+        objects themselves are immutable apart from that flag, so
+        restoring the list and the flags reproduces the queue exactly —
+        including events that were popped or cancelled after the
+        snapshot was taken.
+        """
+        return (self.now, self._seq, self._events_fired, self._live,
+                list(self._queue), [e.cancelled for e in self._queue])
+
+    def restore(self, token: Tuple[Any, ...]) -> None:
+        """Return to a state captured by :meth:`snapshot`."""
+        now, seq, fired, live, queue, flags = token
+        self.now = now
+        self._seq = seq
+        self._events_fired = fired
+        self._live = live
+        self._queue = list(queue)
+        for event, cancelled in zip(self._queue, flags):
+            event.cancelled = cancelled

@@ -1,0 +1,69 @@
+"""Snapshot/restore support for incremental re-exploration.
+
+The exhaustive interleaving checker (:mod:`repro.verify.incremental`)
+walks the tree of stream choices depth-first and, instead of replaying
+every interleaving from a cold engine, delivers each access **once per
+tree edge**: it snapshots the component stack before the delivery and
+restores the parent state on backtrack.  Every component that holds
+mutable state the checker can touch implements the small
+:class:`Snapshottable` protocol below.
+
+Snapshot discipline (shared by all implementations):
+
+* ``snapshot()`` returns an opaque token capturing the component's
+  mutable state.  Tokens are cheap — append-only structures are
+  captured as *lengths* and truncated on restore, small scalars are
+  copied, and objects that are never mutated after creation (frozen
+  dataclasses, latched argument records) are captured by reference.
+* ``restore(token)`` returns the component to exactly the captured
+  state.  Restoring an older token after a newer one is legal (the DFS
+  backtracks through snapshots in LIFO order, but the tokens themselves
+  are not order-dependent).
+* Tokens are only valid for the component instance that produced them.
+
+:func:`freeze` converts a nest of snapshot-ish values into a hashable
+canonical form — the transposition table uses it to detect that two
+different prefixes converged on the same engine state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """A component whose mutable state can be captured and restored."""
+
+    def snapshot(self) -> Any:
+        """Capture the current mutable state as an opaque token."""
+        ...
+
+    def restore(self, token: Any) -> None:
+        """Return to the state captured by *token*."""
+        ...
+
+
+def freeze(value: Any) -> Any:
+    """Recursively convert *value* into a hashable canonical form.
+
+    Handles the shapes snapshot state is made of: scalars pass through,
+    dicts become sorted item tuples, lists/tuples/sets become tuples,
+    and dataclass instances become ``(type-name, frozen field items)``
+    pairs so two distinct-but-equal latch objects hash identically.
+    """
+    if value is None or isinstance(value, (int, float, str, bool, bytes)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = tuple((f.name, freeze(getattr(value, f.name)))
+                       for f in dataclasses.fields(value))
+        return (type(value).__name__, fields)
+    if isinstance(value, dict):
+        return tuple(sorted((freeze(k), freeze(v))
+                            for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(freeze(item) for item in value))
+    raise TypeError(f"cannot freeze value of type {type(value).__name__}")

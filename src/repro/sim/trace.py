@@ -64,6 +64,24 @@ class TraceLog:
         """Drop all recorded events."""
         self._events.clear()
 
+    def snapshot(self):
+        """Capture the log state for later :meth:`restore`.
+
+        Without a ring-buffer cap the log is append-only, so a length
+        marker suffices; with a cap, old events may be dropped between
+        snapshot and restore, so the full list is copied.
+        """
+        if self.max_events is None:
+            return len(self._events)
+        return list(self._events)
+
+    def restore(self, token) -> None:
+        """Return to a state captured by :meth:`snapshot`."""
+        if isinstance(token, int):
+            del self._events[token:]
+        else:
+            self._events = list(token)
+
     def __len__(self) -> int:
         return len(self._events)
 

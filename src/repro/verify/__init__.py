@@ -12,17 +12,23 @@ executable:
 * :mod:`repro.verify.properties` — the safety properties (authorized
   start, single-issuer sequences, truthful status reporting);
 * :mod:`repro.verify.model_check` — bounded exhaustive checking of a
-  scenario against the properties;
+  scenario against the properties (the naive replay oracle);
+* :mod:`repro.verify.incremental` — the prefix-sharing checker: same
+  results, each access delivered once per choice-tree edge;
+* :mod:`repro.verify.parallel` — multiprocessing fan-out across
+  scenarios and top-level DFS branches, with deterministic merging;
 * :mod:`repro.verify.stress` — whole-machine multiprogrammed stress runs
   under a seeded preemptive scheduler.
 """
 
 from .adversary import (
+    builtin_scenarios,
     fig5_scenario,
     fig6_scenario,
     fig8_scenario,
     pair_race_scenario,
 )
+from .incremental import CheckStats, check_scenario_incremental
 from .interleave import (
     AccessSpec,
     ProtocolHarness,
@@ -31,6 +37,7 @@ from .interleave import (
     interleaving_count,
 )
 from .model_check import CheckResult, Scenario, check_scenario
+from .parallel import ParallelChecker, ParallelReport
 from .proof import LemmaResult, ProofReport, prove_fig8
 from .properties import ProcessIntent, Rights, Violation
 from .stress import StressReport, run_stress
@@ -38,7 +45,10 @@ from .stress import StressReport, run_stress
 __all__ = [
     "AccessSpec",
     "CheckResult",
+    "CheckStats",
     "LemmaResult",
+    "ParallelChecker",
+    "ParallelReport",
     "ProcessIntent",
     "ProofReport",
     "ProtocolHarness",
@@ -46,7 +56,9 @@ __all__ = [
     "Scenario",
     "StressReport",
     "Violation",
+    "builtin_scenarios",
     "check_scenario",
+    "check_scenario_incremental",
     "enumerate_interleavings",
     "fig5_scenario",
     "fig6_scenario",

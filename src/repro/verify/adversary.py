@@ -232,3 +232,29 @@ def _keyed_word(key: int, ctx_id: int) -> int:
     from ..hw.dma.protocols.keyed import ARG_SOURCE, pack_key_word
 
     return pack_key_word(key, ctx_id, ARG_SOURCE)
+
+
+def builtin_scenarios() -> List[Scenario]:
+    """Every built-in scenario, for differential tests and benchmarks.
+
+    Covers both attack-finding scenarios (fig5, fig6, the shrimp2/flash
+    races) and safety scenarios (the fig8 family, the keyed and
+    extended-shadow races, key guessing) so a checker implementation is
+    exercised on violating and violation-free trees alike.
+    """
+    return [
+        fig5_scenario()[0],
+        fig6_scenario()[0],
+        fig8_scenario(1),
+        fig8_scenario(2),
+        fig8_scenario(1, adversary_reads_source=False),
+        fig8_scenario(3, accesses_per_adversary=1),
+        fig8_scenario(4, accesses_per_adversary=1),
+        pair_race_scenario("shrimp2"),
+        pair_race_scenario("flash"),
+        pair_race_scenario("keyed"),
+        pair_race_scenario("extshadow"),
+        pair_race_scenario("repeated5"),
+        pair_race_scenario("shrimp1"),
+        key_guessing_scenario(0xDEADBEE, [0x1, 0x2, 0xDEADBEF]),
+    ]

@@ -1,0 +1,282 @@
+"""Incremental, prefix-sharing exhaustive interleaving checker.
+
+The naive oracle (:func:`repro.verify.model_check.check_scenario`)
+replays every interleaving from a cold engine: O(orders × length)
+accesses, and every order pays a full harness reset.  But interleavings
+share prefixes massively — the orders of a scenario form a tree whose
+leaves are the interleavings and whose edges are single access
+deliveries.  This module walks that tree depth-first, snapshotting the
+harness (simulator + RAM + engine + protocol FSM) before each delivery
+and restoring the parent state on backtrack, so each access is delivered
+**once per tree edge**: O(tree edges) accesses and zero resets.
+
+On top, an optional **transposition table** (partial-order-reduction
+lite) merges converged states: two different prefixes that delivered the
+same per-stream position vector and left behaviour-identical harness
+state (same FSM state, same initiation records, same latched transfers,
+same final statuses) have identical subtrees, so the second visit reuses
+the first visit's subtree summary instead of re-exploring.
+
+Child subtrees are visited in stream-index order — exactly the order
+:func:`~repro.verify.interleave.enumerate_interleavings` yields — so the
+resulting :class:`~repro.verify.model_check.CheckResult` (counts *and*
+retained examples) is identical to the naive oracle's, which the
+differential tests assert on every built-in scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import VerificationError
+from ..hw.dma.protocols.repeated import RepeatedPassingProtocol
+from .interleave import AccessSpec, interleaving_count
+from .model_check import (
+    REJECTION_WORDS,
+    CheckResult,
+    Scenario,
+    make_harness,
+)
+from .properties import (
+    ReplayEvidence,
+    Violation,
+    check_authorized_start,
+    check_single_issuer,
+    check_truthful_status,
+)
+
+#: final_status sentinels: "pid had no entry" vs "nothing to undo".
+_MISSING = object()
+_NO_CHANGE = object()
+
+
+@dataclass
+class CheckStats:
+    """Work accounting for one incremental check (perf instrumentation).
+
+    Attributes:
+        leaves: interleavings covered (== naive total_interleavings).
+        accesses_delivered: accesses actually delivered to the engine
+            (== tree edges explored + any forced prefix deliveries).
+        naive_accesses: what the naive replayer would have delivered
+            (leaves × interleaving length).
+        snapshots / restores: backtracking operations performed.
+        transposition_hits: subtrees reused from the table.
+        transposition_entries: distinct states stored in the table.
+    """
+
+    leaves: int = 0
+    accesses_delivered: int = 0
+    naive_accesses: int = 0
+    snapshots: int = 0
+    restores: int = 0
+    transposition_hits: int = 0
+    transposition_entries: int = 0
+
+    @property
+    def accesses_saved(self) -> int:
+        """Engine deliveries avoided relative to the naive replayer."""
+        return self.naive_accesses - self.accesses_delivered
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of naive deliveries actually performed (lower = better)."""
+        if self.naive_accesses == 0:
+            return 1.0
+        return self.accesses_delivered / self.naive_accesses
+
+
+@dataclass
+class _Subtree:
+    """Summary of one choice-tree node's entire subtree.
+
+    ``examples`` holds the first (in DFS order) up-to-``max_examples``
+    violating orders as (suffix-from-this-node, violations) pairs; a
+    parent splices its edge access onto each suffix, so the root's
+    entries are complete interleavings — the same ones the naive oracle
+    retains.
+    """
+
+    leaves: int = 0
+    violating: int = 0
+    by_prop: Dict[str, int] = field(default_factory=dict)
+    examples: List[Tuple[Tuple[AccessSpec, ...], List[Violation]]] = (
+        field(default_factory=list))
+
+
+def check_scenario_incremental(
+        scenario: Scenario,
+        max_examples: int = 5,
+        max_interleavings: Optional[int] = None,
+        use_transposition: bool = True,
+        progress: Optional[Callable[[int], None]] = None,
+        progress_every: int = 1000,
+        stats: Optional[CheckStats] = None,
+        prefix_choices: Optional[Sequence[int]] = None,
+) -> CheckResult:
+    """Check a scenario with prefix sharing; naive-identical results.
+
+    Args:
+        scenario: as for :func:`~repro.verify.model_check.check_scenario`.
+        max_examples: retain at most this many violating examples.
+        max_interleavings: optional safety cap on the order count of the
+            *full* scenario; exceeding it raises.
+        use_transposition: merge converged states (identical position
+            vector + behaviour-identical harness state) by reusing the
+            first visit's subtree summary.  Results are identical either
+            way; the table trades memory for work on scenarios whose
+            streams frequently cancel out.
+        progress: optional liveness callback, invoked with the number of
+            interleavings covered so far, roughly every *progress_every*
+            orders (transposition hits can make it jump).
+        progress_every: callback period in interleavings.
+        stats: optional :class:`CheckStats` to fill with work counters.
+        prefix_choices: optional forced stream-index choices delivered
+            before exploration begins — the parallel checker uses this
+            to hand each worker one top-level DFS branch.  The result
+            then covers (and counts) only that branch's subtree, with
+            examples still being complete interleavings.
+
+    Raises:
+        VerificationError: if the interleaving count exceeds the cap, or
+            a prefix choice names an exhausted/unknown stream.
+    """
+    streams = scenario.streams
+    lengths = [len(s) for s in streams]
+    total_length = sum(lengths)
+    expected = interleaving_count(lengths)
+    if max_interleavings is not None and expected > max_interleavings:
+        raise VerificationError(
+            f"scenario {scenario.name}: {expected} interleavings exceeds "
+            f"cap {max_interleavings}")
+    if stats is None:
+        stats = CheckStats()
+
+    harness = make_harness(scenario)
+    positions = [0] * len(streams)
+    final_status: Dict[int, int] = {}
+    memo: Dict[Any, _Subtree] = {}
+    track = {"leaves": 0, "reported": 0}
+
+    def deliver(access: AccessSpec) -> Any:
+        """Deliver one access; returns the final_status undo token."""
+        stats.accesses_delivered += 1
+        status = harness.deliver(access)
+        if access.final and status is not None:
+            old = final_status.get(access.pid, _MISSING)
+            final_status[access.pid] = status
+            return old
+        return _NO_CHANGE
+
+    def undo_status(access: AccessSpec, old: Any) -> None:
+        if old is _NO_CHANGE:
+            return
+        if old is _MISSING:
+            del final_status[access.pid]
+        else:
+            final_status[access.pid] = old
+
+    def tick(leaves: int) -> None:
+        track["leaves"] += leaves
+        if progress is not None and (
+                track["leaves"] - track["reported"] >= progress_every):
+            track["reported"] = track["leaves"]
+            progress(track["leaves"])
+
+    def leaf() -> _Subtree:
+        evidence = ReplayEvidence()
+        evidence.records = list(harness.engine.initiations)
+        evidence.final_status = dict(final_status)
+        if isinstance(harness.protocol, RepeatedPassingProtocol):
+            evidence.contributors = [
+                tuple(p for p in pids)
+                for pids in harness.protocol.completed_contributors]
+        violations = check_authorized_start(evidence, scenario.rights)
+        violations += check_single_issuer(evidence)
+        if scenario.check_truthfulness:
+            violations += check_truthful_status(
+                evidence, scenario.intents, REJECTION_WORDS)
+        node = _Subtree(leaves=1)
+        if violations:
+            node.violating = 1
+            for prop in {v.prop for v in violations}:
+                node.by_prop[prop] = 1
+            if max_examples > 0:
+                node.examples.append(((), violations))
+        tick(1)
+        return node
+
+    def dfs(remaining: int) -> _Subtree:
+        if remaining == 0:
+            return leaf()
+        key = None
+        if use_transposition:
+            fingerprint = harness.fingerprint()
+            if fingerprint is not None:
+                key = (tuple(positions),
+                       tuple(sorted(final_status.items())),
+                       fingerprint)
+                hit = memo.get(key)
+                if hit is not None:
+                    stats.transposition_hits += 1
+                    tick(hit.leaves)
+                    return hit
+        node = _Subtree()
+        for index, stream in enumerate(streams):
+            pos = positions[index]
+            if pos == lengths[index]:
+                continue
+            access = stream[pos]
+            token = harness.snapshot()
+            stats.snapshots += 1
+            old = deliver(access)
+            positions[index] = pos + 1
+            child = dfs(remaining - 1)
+            positions[index] = pos
+            undo_status(access, old)
+            harness.restore(token)
+            stats.restores += 1
+            node.leaves += child.leaves
+            node.violating += child.violating
+            for prop, count in child.by_prop.items():
+                node.by_prop[prop] = node.by_prop.get(prop, 0) + count
+            if len(node.examples) < max_examples:
+                for suffix, violations in child.examples:
+                    if len(node.examples) >= max_examples:
+                        break
+                    node.examples.append(((access,) + suffix, violations))
+        if key is not None:
+            memo[key] = node
+        return node
+
+    # Forced prefix (parallel branch fan-out): deliver, no backtracking.
+    prefix_accesses: List[AccessSpec] = []
+    for index in prefix_choices or ():
+        if not 0 <= index < len(streams):
+            raise VerificationError(
+                f"prefix choice {index} out of range for "
+                f"{len(streams)} streams")
+        pos = positions[index]
+        if pos >= lengths[index]:
+            raise VerificationError(
+                f"prefix choice {index} exhausts stream of "
+                f"length {lengths[index]}")
+        access = streams[index][pos]
+        deliver(access)
+        positions[index] = pos + 1
+        prefix_accesses.append(access)
+
+    root = dfs(total_length - len(prefix_accesses))
+    stats.leaves = root.leaves
+    stats.naive_accesses = root.leaves * total_length
+    stats.transposition_entries = len(memo)
+
+    result = CheckResult(scenario=scenario.name)
+    result.total_interleavings = root.leaves
+    result.violating_interleavings = root.violating
+    result.violations_by_property = dict(root.by_prop)
+    prefix = tuple(prefix_accesses)
+    result.examples = [(prefix + suffix, list(violations))
+                       for suffix, violations in root.examples]
+    return result

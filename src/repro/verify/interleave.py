@@ -132,6 +132,38 @@ class ProtocolHarness:
         self._keys[ctx_id] = key
         self.engine.install_key(ctx_id, key)
 
+    # -- snapshot/restore --------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """Capture the whole component stack (sim, RAM, engine, protocol).
+
+        The incremental checker snapshots before each delivery and
+        restores on backtrack, so each access is delivered once per tree
+        edge instead of once per interleaving it appears in.
+        """
+        return (self.sim.snapshot(), self.ram.snapshot(),
+                self.engine.snapshot())
+
+    def restore(self, token: tuple) -> None:
+        """Return the full stack to a state captured by :meth:`snapshot`."""
+        sim_token, ram_mark, engine_token = token
+        self.sim.restore(sim_token)
+        self.ram.restore(ram_mark)
+        self.engine.restore(engine_token)
+
+    def fingerprint(self) -> Optional[tuple]:
+        """Hashable capture of all behaviour-determining harness state.
+
+        Returns None when the state cannot be captured cheaply and
+        soundly (RAM was written since checking began, or tracing is on
+        — a merged subtree would skip its trace emissions), which tells
+        the transposition table to skip memoization for this node.
+        """
+        if self.ram.journal_writes or self.engine.trace.enabled:
+            return None
+        return (self.sim.now, self.sim.live_event_signature(),
+                self.engine.fingerprint())
+
 
 # ----------------------------------------------------------------------
 # interleaving enumeration
@@ -162,6 +194,38 @@ def enumerate_interleavings(
                 prefix.pop()
 
     yield from recurse(tuple(0 for _ in streams), [])
+
+
+def iter_interleavings_shared(
+        streams: Sequence[Sequence[AccessSpec]],
+) -> Iterator[List[AccessSpec]]:
+    """Like :func:`enumerate_interleavings` but yields one *shared* list.
+
+    The same list object is yielded for every interleaving and mutated
+    in place between yields, so no per-order tuple is allocated; callers
+    that retain an order (e.g. as a violation example) must copy it
+    first (``tuple(order)``).  Yield order is identical to
+    :func:`enumerate_interleavings`.
+    """
+    lengths = [len(s) for s in streams]
+    total = sum(lengths)
+    positions = [0] * len(streams)
+    prefix: List[AccessSpec] = []
+
+    def recurse() -> Iterator[List[AccessSpec]]:
+        if len(prefix) == total:
+            yield prefix
+            return
+        for index, stream in enumerate(streams):
+            pos = positions[index]
+            if pos < lengths[index]:
+                prefix.append(stream[pos])
+                positions[index] = pos + 1
+                yield from recurse()
+                positions[index] = pos
+                prefix.pop()
+
+    yield from recurse()
 
 
 def interleaving_count(lengths: Sequence[int]) -> int:

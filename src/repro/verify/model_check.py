@@ -13,14 +13,14 @@ method, and extended shadow addressing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..hw.dma.status import STATUS_FAILURE, STATUS_PENDING
 from .interleave import (
     AccessSpec,
     ProtocolHarness,
-    enumerate_interleavings,
     interleaving_count,
+    iter_interleavings_shared,
 )
 from .properties import (
     ProcessIntent,
@@ -137,14 +137,26 @@ REJECTION_WORDS = frozenset({STATUS_FAILURE, STATUS_PENDING})
 
 
 def check_scenario(scenario: Scenario, max_examples: int = 5,
-                   max_interleavings: Optional[int] = None) -> CheckResult:
+                   max_interleavings: Optional[int] = None,
+                   progress: Optional[Callable[[int], None]] = None,
+                   progress_every: int = 1000) -> CheckResult:
     """Exhaustively check every interleaving of the scenario's streams.
 
+    This is the naive oracle: every order replays from a cold engine.
+    :func:`repro.verify.incremental.check_scenario_incremental` produces
+    identical results while delivering each access once per tree edge.
+
     Args:
-        max_examples: retain at most this many violating examples.
+        max_examples: retain at most this many violating examples (the
+            order tuple is only materialized for retained examples — the
+            enumeration itself reuses one shared buffer).
         max_interleavings: optional safety cap; exceeding it raises so a
             scenario never silently explodes (the built-in scenarios are
             all well under 10^5 orders).
+        progress: optional liveness callback, invoked with the number of
+            interleavings checked so far every *progress_every* orders
+            (long Fig. 8 runs take minutes on the naive path).
+        progress_every: callback period in interleavings.
 
     Raises:
         VerificationError: if the interleaving count exceeds the cap.
@@ -158,7 +170,7 @@ def check_scenario(scenario: Scenario, max_examples: int = 5,
             f"cap {max_interleavings}")
     harness = make_harness(scenario)
     result = CheckResult(scenario=scenario.name)
-    for interleaving in enumerate_interleavings(scenario.streams):
+    for interleaving in iter_interleavings_shared(scenario.streams):
         result.total_interleavings += 1
         violations = replay_interleaving(scenario, interleaving, harness)
         if violations:
@@ -167,5 +179,8 @@ def check_scenario(scenario: Scenario, max_examples: int = 5,
                 result.violations_by_property[prop] = (
                     result.violations_by_property.get(prop, 0) + 1)
             if len(result.examples) < max_examples:
-                result.examples.append((interleaving, violations))
+                result.examples.append((tuple(interleaving), violations))
+        if progress is not None and (
+                result.total_interleavings % progress_every == 0):
+            progress(result.total_interleavings)
     return result

@@ -1,0 +1,190 @@
+"""Parallel scenario fan-out for the exhaustive checker.
+
+:class:`ParallelChecker` spreads verification work across a
+``multiprocessing`` pool with **deterministic merging**: results come
+back in submission order regardless of worker scheduling, so a parallel
+run returns exactly what the equivalent serial run would.
+
+Two axes of parallelism:
+
+* **across scenarios** — :meth:`ParallelChecker.check_many` ships each
+  scenario to a worker (the common case: the verify suite and the
+  benchmarks check many independent scenarios);
+* **within a scenario** — for scenarios above ``split_threshold``
+  interleavings, the top level of the DFS choice tree is split: each
+  worker receives the scenario plus one forced first-stream choice
+  (``prefix_choices``) and explores only that branch.  Branch results
+  merge by summing counts in branch order and concatenating examples in
+  branch order (truncated to ``max_examples``) — which is precisely the
+  DFS order, so the merged result equals the single-process result.
+
+Scenarios and results are plain picklable dataclasses; workers rebuild
+the harness from the scenario's method *name*, so nothing
+function-valued ever crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .incremental import check_scenario_incremental
+from .interleave import interleaving_count
+from .model_check import CheckResult, Scenario, check_scenario
+
+#: One unit of worker work: (scenario, forced top-level choice or None,
+#: incremental flag, transposition flag, example cap).
+_Task = Tuple[Scenario, Optional[int], bool, bool, int]
+
+
+def _run_task(task: _Task) -> CheckResult:
+    """Worker entry point: check one scenario (or one branch of one)."""
+    scenario, branch, incremental, transposition, max_examples = task
+    if branch is None:
+        if incremental:
+            return check_scenario_incremental(
+                scenario, max_examples=max_examples,
+                use_transposition=transposition)
+        return check_scenario(scenario, max_examples=max_examples)
+    return check_scenario_incremental(
+        scenario, max_examples=max_examples,
+        use_transposition=transposition, prefix_choices=[branch])
+
+
+def merge_branch_results(scenario_name: str, parts: Sequence[CheckResult],
+                         max_examples: int = 5) -> CheckResult:
+    """Merge per-branch results, in branch (== DFS) order."""
+    merged = CheckResult(scenario=scenario_name)
+    by_prop: Dict[str, int] = {}
+    for part in parts:
+        merged.total_interleavings += part.total_interleavings
+        merged.violating_interleavings += part.violating_interleavings
+        for prop, count in part.violations_by_property.items():
+            by_prop[prop] = by_prop.get(prop, 0) + count
+        for example in part.examples:
+            if len(merged.examples) >= max_examples:
+                break
+            merged.examples.append(example)
+    merged.violations_by_property = by_prop
+    return merged
+
+
+@dataclass
+class ParallelReport:
+    """What a fan-out run did, for perf accounting.
+
+    Attributes:
+        results: merged per-scenario results, in input order.
+        n_workers: pool size used.
+        n_tasks: total worker tasks dispatched (> scenarios when
+            branch-splitting kicked in).
+        split_scenarios: names of scenarios that were branch-split.
+    """
+
+    results: List[CheckResult]
+    n_workers: int
+    n_tasks: int
+    split_scenarios: List[str]
+
+
+class ParallelChecker:
+    """Fans exhaustive checks across a process pool, deterministically.
+
+    Args:
+        n_workers: pool size; defaults to ``os.cpu_count()`` (capped at
+            8 — verification scenarios rarely benefit beyond that).
+            ``n_workers=1`` runs everything in-process with no pool,
+            which is also the fallback when a pool cannot be created.
+        incremental: use the prefix-sharing checker in workers (the
+            naive oracle otherwise; branch-splitting requires the
+            incremental checker and is skipped for the oracle).
+        use_transposition: forwarded to the incremental checker.
+        split_threshold: scenarios with at least this many interleavings
+            have their top-level DFS branches fanned out individually.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None,
+                 incremental: bool = True,
+                 use_transposition: bool = True,
+                 split_threshold: int = 2000) -> None:
+        if n_workers is None:
+            n_workers = min(os.cpu_count() or 1, 8)
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.incremental = incremental
+        self.use_transposition = use_transposition
+        self.split_threshold = split_threshold
+
+    # ------------------------------------------------------------------
+
+    def check_scenario(self, scenario: Scenario,
+                       max_examples: int = 5) -> CheckResult:
+        """Check one scenario, branch-splitting it if it is large."""
+        report = self.check_many([scenario], max_examples=max_examples)
+        return report.results[0]
+
+    def check_many(self, scenarios: Sequence[Scenario],
+                   max_examples: int = 5) -> ParallelReport:
+        """Check many scenarios; results return in input order."""
+        tasks: List[_Task] = []
+        # plan[i] = (start, n_branches) slice of `tasks` for scenario i.
+        plan: List[Tuple[int, int]] = []
+        split: List[str] = []
+        for scenario in scenarios:
+            branches = self._branches(scenario)
+            start = len(tasks)
+            if branches is None:
+                tasks.append((scenario, None, self.incremental,
+                              self.use_transposition, max_examples))
+                plan.append((start, 1))
+            else:
+                split.append(scenario.name)
+                for branch in branches:
+                    tasks.append((scenario, branch, self.incremental,
+                                  self.use_transposition, max_examples))
+                plan.append((start, len(branches)))
+
+        outcomes = self._map(tasks)
+
+        results: List[CheckResult] = []
+        for scenario, (start, count) in zip(scenarios, plan):
+            parts = outcomes[start:start + count]
+            if count == 1:
+                results.append(parts[0])
+            else:
+                results.append(merge_branch_results(
+                    scenario.name, parts, max_examples=max_examples))
+        return ParallelReport(results=results, n_workers=self.n_workers,
+                              n_tasks=len(tasks), split_scenarios=split)
+
+    # ------------------------------------------------------------------
+
+    def _branches(self, scenario: Scenario) -> Optional[List[int]]:
+        """Top-level choice indices to split on, or None to keep whole."""
+        if not self.incremental or self.n_workers == 1:
+            return None
+        lengths = [len(s) for s in scenario.streams]
+        nonempty = [i for i, n in enumerate(lengths) if n > 0]
+        if len(nonempty) < 2:
+            return None
+        if interleaving_count(lengths) < self.split_threshold:
+            return None
+        return nonempty
+
+    def _map(self, tasks: List[_Task]) -> List[CheckResult]:
+        """Run tasks, preserving order; serial when a pool is useless."""
+        if self.n_workers == 1 or len(tasks) <= 1:
+            return [_run_task(task) for task in tasks]
+        try:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else None)
+            with context.Pool(min(self.n_workers, len(tasks))) as pool:
+                return pool.map(_run_task, tasks)
+        except (OSError, ValueError):
+            # Sandboxes and exotic platforms may forbid subprocesses;
+            # verification must still complete, just serially.
+            return [_run_task(task) for task in tasks]

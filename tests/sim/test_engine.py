@@ -150,3 +150,60 @@ def test_events_fired_counter():
         sim.schedule(1, lambda: None)
     sim.run()
     assert sim.events_fired == 4
+
+
+def test_pending_excludes_cancelled_events():
+    """`pending` is a live counter, not a scan: cancelled events drop
+    out immediately and double-cancel does not double-count."""
+    sim = Simulator()
+    events = [sim.schedule(10 * (i + 1), lambda: None) for i in range(4)]
+    assert sim.pending == 4
+    events[1].cancel()
+    assert sim.pending == 3
+    events[3].cancel()
+    events[3].cancel()
+    assert sim.pending == 2
+    sim.run()
+    assert sim.pending == 0
+    assert sim.events_fired == 2
+
+
+def test_pending_counts_only_live_events_during_run():
+    sim = Simulator()
+    survivor = []
+    victim = sim.schedule(20, lambda: survivor.append("victim"))
+    sim.schedule(10, victim.cancel)
+    sim.schedule(30, lambda: survivor.append("late"))
+    sim.advance(15)
+    assert sim.pending == 1
+    sim.run()
+    assert survivor == ["late"]
+
+
+def test_snapshot_restore_roundtrip():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, lambda: fired.append("a"))
+    later = sim.schedule(30, lambda: fired.append("b"))
+    sim.advance(15)
+    token = sim.snapshot()
+    later.cancel()
+    sim.advance(100)
+    assert (sim.now, sim.pending) == (115, 0)
+    sim.restore(token)
+    assert (sim.now, sim.pending, sim.events_fired) == (15, 1, 1)
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_snapshot_restore_undoes_cancellation():
+    """Restore revives an event cancelled after the snapshot."""
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10, lambda: fired.append(True))
+    token = sim.snapshot()
+    event.cancel()
+    sim.restore(token)
+    assert sim.pending == 1
+    sim.run()
+    assert fired == [True]

@@ -1,0 +1,82 @@
+"""The parallel fan-out must be invisible: same results, any pool size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.adversary import builtin_scenarios, fig8_scenario
+from repro.verify.incremental import check_scenario_incremental
+from repro.verify.model_check import check_scenario
+from repro.verify.parallel import (
+    ParallelChecker,
+    merge_branch_results,
+)
+
+SMALL = builtin_scenarios()[:4]  # fig5, fig6, fig8(1), fig8(2)
+
+
+def test_serial_worker_matches_direct_calls():
+    checker = ParallelChecker(n_workers=1)
+    report = checker.check_many(SMALL)
+    assert report.n_workers == 1
+    assert report.n_tasks == len(SMALL)
+    assert report.split_scenarios == []
+    assert report.results == [check_scenario_incremental(s) for s in SMALL]
+
+
+def test_pool_matches_serial_results():
+    serial = ParallelChecker(n_workers=1).check_many(SMALL).results
+    pooled = ParallelChecker(n_workers=2,
+                             split_threshold=10**9).check_many(SMALL)
+    assert pooled.results == serial
+    assert pooled.split_scenarios == []
+
+
+def test_branch_split_merges_deterministically():
+    """A split large scenario merges back to the unsplit result."""
+    scenario = fig8_scenario(2)  # 9240 orders, 3 streams
+    whole = check_scenario_incremental(scenario)
+    checker = ParallelChecker(n_workers=2, split_threshold=2000)
+    report = checker.check_many([scenario])
+    assert report.split_scenarios == [scenario.name]
+    assert report.n_tasks == len(scenario.streams)
+    assert report.results == [whole]
+
+
+def test_oracle_mode_uses_naive_checker_and_never_splits():
+    checker = ParallelChecker(n_workers=2, incremental=False,
+                              split_threshold=1)
+    report = checker.check_many(SMALL)
+    assert report.split_scenarios == []
+    assert report.results == [check_scenario(s) for s in SMALL]
+
+
+def test_check_scenario_convenience():
+    scenario = SMALL[0]
+    assert (ParallelChecker(n_workers=2).check_scenario(scenario)
+            == check_scenario_incremental(scenario))
+
+
+def test_results_keep_input_order():
+    scenarios = list(reversed(SMALL))
+    report = ParallelChecker(n_workers=2).check_many(scenarios)
+    assert [r.scenario for r in report.results] == [s.name
+                                                    for s in scenarios]
+
+
+def test_merge_branch_results_caps_examples():
+    scenario = builtin_scenarios()[0]  # fig5: violating
+    parts = [check_scenario_incremental(scenario, prefix_choices=[index])
+             for index in range(len(scenario.streams))]
+    merged = merge_branch_results(scenario.name, parts, max_examples=2)
+    whole = check_scenario_incremental(scenario, max_examples=2)
+    assert merged.total_interleavings == whole.total_interleavings
+    assert merged.violating_interleavings == whole.violating_interleavings
+    assert merged.violations_by_property == whole.violations_by_property
+    assert len(merged.examples) == 2
+    assert merged.examples == whole.examples
+
+
+def test_invalid_worker_count_rejected():
+    with pytest.raises(ValueError):
+        ParallelChecker(n_workers=0)
