@@ -1,0 +1,89 @@
+"""Compare two checker-benchmark JSON reports for CI regression gating.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CANDIDATE.json \
+        [--max-regression 0.30]
+
+Compares the incremental checker's orders-per-second for every scenario
+name present in **both** reports (the committed baseline is a full run;
+CI candidates use ``--quick``, which covers a subset).  Exits non-zero
+when any common scenario's candidate throughput falls more than
+``--max-regression`` (default 30%) below the baseline.
+
+Throughput on shared CI runners is noisy, hence the generous margin:
+the gate exists to catch algorithmic regressions (an accidental
+quadratic in the checker), not micro-noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+
+def load_rates(path: pathlib.Path) -> Dict[str, float]:
+    """Scenario name -> incremental orders/s (naive as fallback)."""
+    report = json.loads(path.read_text())
+    rates: Dict[str, float] = {}
+    for entry in report.get("scenarios", []):
+        timing = entry.get("incremental") or entry.get("naive") or {}
+        rate = timing.get("orders_per_s")
+        if rate:
+            rates[entry["name"]] = float(rate)
+    return rates
+
+
+def compare(baseline: Dict[str, float], candidate: Dict[str, float],
+            max_regression: float) -> List[str]:
+    """Human-readable failure lines (empty when the gate passes)."""
+    failures: List[str] = []
+    common = sorted(set(baseline) & set(candidate))
+    if not common:
+        return ["no common scenarios between baseline and candidate"]
+    for name in common:
+        base, cand = baseline[name], candidate[name]
+        change = (cand - base) / base
+        status = "OK"
+        if change < -max_regression:
+            status = "REGRESSION"
+            failures.append(
+                f"{name}: {cand:.1f} orders/s is "
+                f"{-change * 100:.1f}% below baseline {base:.1f}")
+        print(f"  {name:40s} base {base:>12.1f}  cand {cand:>12.1f}  "
+              f"{change * +100:+6.1f}%  {status}")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate CI on checker-benchmark throughput.")
+    parser.add_argument("baseline", type=pathlib.Path,
+                        help="committed reference report (full run)")
+    parser.add_argument("candidate", type=pathlib.Path,
+                        help="freshly generated report (usually --quick)")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional slowdown (default 0.30)")
+    args = parser.parse_args(argv)
+    if not 0 < args.max_regression < 1:
+        parser.error("--max-regression must be in (0, 1)")
+
+    baseline = load_rates(args.baseline)
+    candidate = load_rates(args.candidate)
+    print(f"comparing {len(set(baseline) & set(candidate))} common "
+          f"scenarios (allowing {args.max_regression * 100:.0f}% slowdown)")
+    failures = compare(baseline, candidate, args.max_regression)
+    if failures:
+        print("FAIL:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("benchmark gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,9 +121,11 @@ def bench_parallel(scenarios: List[Scenario], workers: int,
 
 
 def build_report(quick: bool = False, workers: Optional[int] = None,
-                 incremental: bool = True) -> dict:
+                 incremental: bool = True,
+                 repeats: Optional[int] = None) -> dict:
     """Run the full benchmark and return the JSON-ready report dict."""
-    repeats = 1 if quick else 3
+    if repeats is None:
+        repeats = 1 if quick else 3
     scenarios = builtin_scenarios()
     if quick:
         wanted = {"fig5-repeated3", "fig6-repeated4", WORST_CASE_NAME,
@@ -172,12 +174,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="parallel fan-out pool size (default: auto)")
     parser.add_argument("--no-incremental", action="store_true",
                         help="time only the naive oracle")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of-N rounds per scenario (default: "
+                             "1 in --quick mode, 3 otherwise)")
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.repeats is not None and args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
 
     report = build_report(quick=args.quick, workers=args.workers,
-                          incremental=not args.no_incremental)
+                          incremental=not args.no_incremental,
+                          repeats=args.repeats)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 

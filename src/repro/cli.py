@@ -6,6 +6,7 @@
     python -m repro methods           # all ten methods
     python -m repro attacks           # Figs. 5 & 6, exact + exhaustive
     python -m repro races             # the honest-race matrix
+    python -m repro faults            # re-verification under faults
     python -m repro fig8              # §3.3.1 exhaustive verification
     python -m repro crossover         # the intro's trend & crossovers
     python -m repro bus               # §3.4 PCI sweep
@@ -96,6 +97,32 @@ def cmd_races(args: argparse.Namespace) -> None:
                       result.violating_interleavings,
                       "yes" if result.safe else "NO")
     print(table.render())
+
+
+def cmd_faults(args: argparse.Namespace) -> None:
+    """Re-verify every initiation method under single-fault schedules."""
+    from .verify.faulted import FAULT_HARDENED_METHODS, run_fault_verification
+
+    reports = run_fault_verification()
+    table = Table("Protection + atomicity under single faults "
+                  "(page-bounded engine)",
+                  ["method", "baseline", "fault variants",
+                   "interleavings", "verdict"])
+    for method, report in reports.items():
+        table.add_row(method,
+                      "safe" if report.baseline_safe else "unsafe",
+                      report.variants_checked,
+                      report.interleavings_checked,
+                      report.verdict)
+    print(table.render())
+    expected_safe = set(FAULT_HARDENED_METHODS)
+    hardened_ok = all(reports[m].verdict == "SAFE" for m in expected_safe)
+    none_newly = all(r.acceptable for r in reports.values())
+    print(f"hardened methods ({', '.join(FAULT_HARDENED_METHODS)}) all "
+          f"SAFE: {'yes' if hardened_ok else 'NO'}")
+    print(f"no method NEWLY-UNSAFE: {'yes' if none_newly else 'NO'}")
+    if not (hardened_ok and none_newly):
+        raise SystemExit(1)
 
 
 def cmd_fig8(args: argparse.Namespace) -> None:
@@ -243,6 +270,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "methods": cmd_methods,
     "attacks": cmd_attacks,
     "races": cmd_races,
+    "faults": cmd_faults,
     "fig8": cmd_fig8,
     "prove": cmd_prove,
     "crossover": cmd_crossover,
@@ -273,9 +301,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     if args.command == "all":
-        for name in ("table1", "methods", "attacks", "races", "fig8",
-                     "prove", "crossover", "bus", "atomics", "generations",
-                     "stress"):
+        for name in ("table1", "methods", "attacks", "races", "faults",
+                     "fig8", "prove", "crossover", "bus", "atomics",
+                     "generations", "stress"):
             print(f"\n===== {name} =====")
             COMMANDS[name](args)
     else:

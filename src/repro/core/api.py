@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..errors import ConfigError, KernelError
+from ..faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from ..hw.cpu import StepStatus, Thread
 from ..hw.dma.status import STATUS_FAILURE, STATUS_PENDING, is_rejection
 from ..hw.dma.transfer import Transfer
@@ -83,6 +84,42 @@ class DmaResult:
                 and self.transfer.completed)
 
 
+@dataclass(frozen=True)
+class ReliableResult:
+    """Outcome of a hardened (retry + fallback) DMA operation.
+
+    Attributes:
+        initiation: the final attempt's initiation result.
+        attempts: total initiation attempts (including the final one
+            and, when ``fell_back``, the kernel-path attempt).
+        fell_back: whether the operation degraded to the kernel syscall
+            path after exhausting user-level retries (§3.2's escape
+            hatch).
+        transfer: the completed transfer when one was tracked
+            (:meth:`DmaChannel.dma_reliable`), else None.
+        recovery_time: simulated time from the first attempt to the
+            final outcome — the recovery latency a fault cost us.
+    """
+
+    initiation: InitiationResult
+    attempts: int
+    fell_back: bool
+    transfer: Optional[Transfer] = None
+    recovery_time: Time = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the operation ultimately succeeded."""
+        if not self.initiation.ok:
+            return False
+        return self.transfer is None or self.transfer.completed
+
+    @property
+    def recovered(self) -> bool:
+        """Succeeded, but only after at least one retry or the fallback."""
+        return self.ok and (self.attempts > 1 or self.fell_back)
+
+
 class DmaChannel:
     """A process's handle for issuing DMA operations.
 
@@ -104,6 +141,7 @@ class DmaChannel:
         self.ws = ws
         self.proc = proc
         self.via = via
+        self._retry_rng = None  # lazily seeded jitter RNG (deterministic)
         if via == "kernel":
             from .methods import get_method
 
@@ -313,6 +351,135 @@ class DmaChannel:
             if wait:
                 self.ws.sim.wait_for(lambda: transfer.completed)
         return DmaResult(initiation=initiation, transfer=transfer)
+
+    # ------------------------------------------------------------------
+    # hardened execution (retry + backoff + kernel fallback)
+    # ------------------------------------------------------------------
+
+    def initiate_reliable(self, vsrc: int, vdst: int, size: int,
+                          policy: Optional[RetryPolicy] = None
+                          ) -> ReliableResult:
+        """Initiation hardened against transient faults.
+
+        Retries a rejected initiation up to ``policy.max_attempts``
+        times with exponential, jittered backoff (simulated-time waits),
+        then degrades to the kernel syscall path.  All activity is
+        counted in ``ws.stats`` (``dma.retries``, ``dma.recoveries``,
+        ``dma.retry_exhausted``, ``dma.kernel_fallbacks``) and emitted
+        to the trace log.
+        """
+        policy = policy if policy is not None else DEFAULT_RETRY_POLICY
+        stats = self.ws.stats
+        rng = self._jitter_rng(policy)
+        start = self.ws.sim.now
+        result = self.initiate(vsrc, vdst, size)
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                result = self.initiate(vsrc, vdst, size)
+            if result.ok:
+                return self._reliable_success(result, attempt, False, None,
+                                              start)
+            stats.counter("dma.retries").add()
+            self.ws.trace.emit(self.ws.sim.now, "api", "dma-retry",
+                               attempt=attempt, via=self.via,
+                               pid=self.proc.pid)
+            if attempt < policy.max_attempts:
+                self.ws.sim.advance(policy.backoff(attempt, rng))
+        stats.counter("dma.retry_exhausted").add()
+        if policy.kernel_fallback and self.via == "user":
+            result = self._kernel_channel().initiate(vsrc, vdst, size)
+            stats.counter("dma.kernel_fallbacks").add()
+            self.ws.trace.emit(self.ws.sim.now, "api", "dma-fallback",
+                               pid=self.proc.pid, ok=result.ok)
+            if result.ok:
+                return self._reliable_success(
+                    result, policy.max_attempts + 1, True, None, start)
+            return ReliableResult(result, policy.max_attempts + 1, True,
+                                  recovery_time=self.ws.sim.now - start)
+        return ReliableResult(result, policy.max_attempts, False,
+                              recovery_time=self.ws.sim.now - start)
+
+    def dma_reliable(self, vsrc: int, vdst: int, size: int,
+                     policy: Optional[RetryPolicy] = None) -> ReliableResult:
+        """A full DMA hardened end to end.
+
+        Like :meth:`dma`, but every wait is bounded: a transfer whose
+        completion never fires (a dropped completion event) is declared
+        lost after ``policy.completion_timeout`` and the whole operation
+        is retried — the §3.3 repeated-DMA idempotence makes re-copying
+        safe.  After user-level retry exhaustion the operation degrades
+        to the kernel path.
+        """
+        policy = policy if policy is not None else DEFAULT_RETRY_POLICY
+        stats = self.ws.stats
+        rng = self._jitter_rng(policy)
+        start = self.ws.sim.now
+        initiation: Optional[InitiationResult] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            initiation, transfer = self._try_once(self, vsrc, vdst, size,
+                                                  policy)
+            if transfer is not None and transfer.completed:
+                return self._reliable_success(initiation, attempt, False,
+                                              transfer, start)
+            if transfer is not None:
+                stats.counter("dma.completion_timeouts").add()
+            stats.counter("dma.retries").add()
+            self.ws.trace.emit(self.ws.sim.now, "api", "dma-retry",
+                               attempt=attempt, via=self.via,
+                               pid=self.proc.pid,
+                               lost_completion=transfer is not None)
+            if attempt < policy.max_attempts:
+                self.ws.sim.advance(policy.backoff(attempt, rng))
+        stats.counter("dma.retry_exhausted").add()
+        if policy.kernel_fallback and self.via == "user":
+            stats.counter("dma.kernel_fallbacks").add()
+            initiation, transfer = self._try_once(
+                self._kernel_channel(), vsrc, vdst, size, policy)
+            self.ws.trace.emit(self.ws.sim.now, "api", "dma-fallback",
+                               pid=self.proc.pid, ok=initiation.ok)
+            if transfer is not None and transfer.completed:
+                return self._reliable_success(
+                    initiation, policy.max_attempts + 1, True, transfer,
+                    start)
+            return ReliableResult(initiation, policy.max_attempts + 1, True,
+                                  transfer=transfer,
+                                  recovery_time=self.ws.sim.now - start)
+        assert initiation is not None
+        return ReliableResult(initiation, policy.max_attempts, False,
+                              recovery_time=self.ws.sim.now - start)
+
+    @staticmethod
+    def _try_once(channel: "DmaChannel", vsrc: int, vdst: int, size: int,
+                  policy: RetryPolicy):
+        """One bounded attempt: initiate, then wait (with timeout)."""
+        history = channel.ws.engine.transfer_engine.history
+        before = len(history)
+        initiation = channel.initiate(vsrc, vdst, size)
+        if not initiation.ok or len(history) <= before:
+            return initiation, None
+        transfer = history[-1]
+        channel.ws.sim.wait_for(lambda: transfer.completed,
+                                timeout=policy.completion_timeout)
+        return initiation, transfer
+
+    def _reliable_success(self, initiation: InitiationResult, attempts: int,
+                          fell_back: bool, transfer: Optional[Transfer],
+                          start: Time) -> ReliableResult:
+        elapsed = self.ws.sim.now - start
+        self.ws.stats.latency("dma.recovery").record(elapsed)
+        if attempts > 1 or fell_back:
+            self.ws.stats.counter("dma.recoveries").add()
+        return ReliableResult(initiation, attempts, fell_back,
+                              transfer=transfer, recovery_time=elapsed)
+
+    def _kernel_channel(self) -> "DmaChannel":
+        return DmaChannel(self.ws, self.proc, via="kernel")
+
+    def _jitter_rng(self, policy: RetryPolicy):
+        if self._retry_rng is None:
+            self._retry_rng = policy.make_rng(
+                self.ws.config.seed * 1_000_003 + self.proc.pid)
+        return self._retry_rng
 
 
 def open_channel(ws: Workstation, proc: Process) -> DmaChannel:

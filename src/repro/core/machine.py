@@ -39,6 +39,7 @@ from ..os.process import SHADOW_VOFFSET, Process
 from ..os.scheduler import Scheduler, SchedulingPolicy
 from ..sim.clock import Clock
 from ..sim.engine import Simulator
+from ..sim.stats import StatRegistry
 from ..sim.trace import TraceLog
 from ..units import Time, mib
 from .methods import get_method, make_protocol
@@ -69,6 +70,10 @@ class MachineConfig:
         data_cache: model a direct-mapped write-through data cache for
             cached RAM accesses (off by default — the calibrated flat
             RAM cost reproduces Table 1; see repro.hw.cache).
+        page_bounded: harden the engine against corrupted size words by
+            rejecting user-level transfers that cross a page boundary
+            (see :class:`repro.hw.dma.engine.DmaEngine`); fault-tolerant
+            configurations enable this.
     """
 
     method: str = "keyed"
@@ -82,6 +87,7 @@ class MachineConfig:
     atomic_mode: Optional[str] = None
     trace_enabled: bool = False
     data_cache: bool = False
+    page_bounded: bool = False
 
 
 class Workstation:
@@ -97,6 +103,9 @@ class Workstation:
 
         self.sim = sim if sim is not None else Simulator()
         self.trace = TraceLog(enabled=cfg.trace_enabled, max_events=100_000)
+        #: Machine-level counters and latencies (retry/fallback activity
+        #: of the reliable DMA paths lands here; see repro.core.api).
+        self.stats = StatRegistry("ws")
         self.cpu_clock = Clock("cpu", timing.cpu_hz)
 
         self.ram = PhysicalMemory(cfg.ram_size)
@@ -110,7 +119,8 @@ class Workstation:
             self.sim, self.ram, protocol, node_id=cfg.node_id,
             fabric=fabric, addr_map=GlobalAddressMap(), layout=layout,
             bandwidth_bps=timing.dma_bandwidth_bps,
-            startup=timing.dma_startup, trace=self.trace)
+            startup=timing.dma_startup, trace=self.trace,
+            page_bounded=cfg.page_bounded)
         self.bus.attach(self.nic, layout.window_base, layout.window_size)
 
         self.atomic_unit: Optional[AtomicUnit] = None

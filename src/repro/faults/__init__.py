@@ -1,0 +1,54 @@
+"""Deterministic fault injection for the user-level DMA path.
+
+The paper's protection and atomicity arguments (§3.1-§3.3) assume that
+stores to shadow addresses arrive intact and in order, and that DMA
+completion events fire.  A production kernel-bypass path must survive
+the classic failure classes — dropped, delayed, duplicated, reordered,
+and bit-flipped accesses, and lost or duplicated completion events.
+
+This package provides:
+
+* :class:`~repro.faults.plan.FaultPlan` — a declarative, seedable fault
+  schedule (which operations to perturb, how, and how often);
+* :class:`~repro.faults.injector.Injector` — wraps a live machine's bus,
+  DMA completion path, and network fabric to apply a plan in simulated
+  time;
+* :class:`~repro.faults.retry.RetryPolicy` — the user-level hardening
+  knobs (bounded attempts, exponential backoff with jitter, completion
+  timeouts) consumed by :meth:`repro.core.api.DmaChannel.dma_reliable`
+  and the message/RPC layers.
+
+The model checker consumes the same fault vocabulary at stream level
+(:mod:`repro.verify.faulted`): instead of probabilistic injection, it
+enumerates every *single* fault on an access stream and re-verifies the
+protection and atomicity properties exhaustively.
+"""
+
+from .injector import Injector
+from .plan import (
+    BITFLIP,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FAULT_KINDS,
+    REORDER,
+    FaultPlan,
+    FaultRule,
+    bernoulli_plan,
+)
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+
+__all__ = [
+    "BITFLIP",
+    "DELAY",
+    "DROP",
+    "DUPLICATE",
+    "REORDER",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultRule",
+    "bernoulli_plan",
+    "Injector",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+]

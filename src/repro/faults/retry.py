@@ -1,0 +1,78 @@
+"""Retry policy: bounded attempts, exponential backoff, jitter.
+
+The user-level hardening knob set.  A :class:`RetryPolicy` is consumed
+by :meth:`repro.core.api.DmaChannel.initiate_reliable` /
+:meth:`~repro.core.api.DmaChannel.dma_reliable` and by the message and
+RPC layers (:mod:`repro.msg`): a failed initiation or a lost completion
+is retried up to ``max_attempts`` times with exponentially growing,
+jittered backoff, then gracefully degraded to the kernel syscall path —
+§3.2's "the rest will have to go through the kernel", repurposed as the
+always-works escape hatch.
+
+Jitter is multiplicative and drawn from a caller-supplied seeded RNG so
+whole experiments stay deterministic and replayable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import Time, us
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for the reliable initiation paths.
+
+    Attributes:
+        max_attempts: user-level tries before degrading to the kernel
+            path (must be >= 1).
+        base_backoff: backoff before the second attempt.
+        multiplier: backoff growth factor per attempt.
+        jitter_frac: backoff is scaled by a uniform factor in
+            ``[1 - jitter_frac, 1 + jitter_frac]``.
+        completion_timeout: how long :meth:`DmaChannel.dma_reliable`
+            waits for a started transfer to complete before declaring
+            the completion lost and retrying.
+        kernel_fallback: degrade to the kernel syscall path after
+            exhausting user-level attempts (False = report failure).
+    """
+
+    max_attempts: int = 4
+    base_backoff: Time = us(2)
+    multiplier: float = 2.0
+    jitter_frac: float = 0.25
+    completion_timeout: Time = us(2_000)
+    kernel_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff < 0 or self.completion_timeout <= 0:
+            raise ConfigError("backoff must be >= 0 and timeout > 0")
+        if self.multiplier < 1.0:
+            raise ConfigError(
+                f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ConfigError(
+                f"jitter_frac must be in [0, 1), got {self.jitter_frac}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> Time:
+        """Jittered backoff after failed attempt number *attempt* (1-based)."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base_backoff * (self.multiplier ** (attempt - 1))
+        if self.jitter_frac:
+            raw *= 1.0 + self.jitter_frac * (2.0 * rng.random() - 1.0)
+        return max(0, round(raw))
+
+    def make_rng(self, seed: int) -> random.Random:
+        """A fresh jitter RNG for one caller (deterministic per seed)."""
+        return random.Random(seed)
+
+
+#: The defaults used when a caller asks for reliability without tuning.
+DEFAULT_RETRY_POLICY = RetryPolicy()

@@ -85,6 +85,16 @@ class DmaEngine(MmioDevice):
         bandwidth_bps: data-mover bandwidth.
         startup: fixed per-transfer latency.
         trace: optional shared trace log.
+        page_bounded: harden user-level initiations against corrupted
+            size words — reject any start whose source or destination
+            range crosses a page boundary, unless it came through the
+            kernel path.  A user-level argument travels as one word on
+            the bus; a bit-flip in its size field could otherwise grow
+            a transfer into a neighbouring process's page even though
+            every *authorized* page the MMU let the process name was
+            fine.  Off by default (the paper's engine trusts the bus);
+            fault-tolerant configurations turn it on and split large
+            transfers per page.
         name: device name.
     """
 
@@ -94,6 +104,7 @@ class DmaEngine(MmioDevice):
                  bandwidth_bps: float = mbps(400.0),
                  startup: Time = ns(200),
                  trace: Optional[TraceLog] = None,
+                 page_bounded: bool = False,
                  name: str = "dma") -> None:
         super().__init__(name)
         self.sim = sim
@@ -111,6 +122,8 @@ class DmaEngine(MmioDevice):
         self.current_pid: int = -1
         self.initiations: List[InitiationRecord] = []
         self.protocol_violations = 0
+        self.page_bounded = page_bounded
+        self.oversize_rejections = 0
         #: Optional software-coherence callback: (pdst, size) invoked
         #: after the mover writes local memory, so a CPU-side cache can
         #: invalidate the destination lines (non-coherent I/O model).
@@ -217,6 +230,11 @@ class DmaEngine(MmioDevice):
         ok = (size > 0
               and self._valid_source(psrc, size)
               and self._valid_endpoint(pdst, size))
+        if ok and self.page_bounded and via_name != "kernel":
+            if (page_base(psrc) != page_base(psrc + size - 1)
+                    or page_base(pdst) != page_base(pdst + size - 1)):
+                self.oversize_rejections += 1
+                ok = False
         self.initiations.append(InitiationRecord(
             when=self.sim.now, psrc=psrc, pdst=pdst, size=size,
             issuer=issuer, via=via_name,
@@ -227,6 +245,7 @@ class DmaEngine(MmioDevice):
             self.trace.emit(self.sim.now, self.name, "start-rejected",
                             psrc=psrc, pdst=pdst, size=size, via=via_name)
             return STATUS_FAILURE
+        self.transfer_engine.last_via = via_name
         transfer = self.transfer_engine.start(psrc, pdst, size)
         if ctx is not None:
             ctx.transfer = transfer
@@ -388,6 +407,7 @@ class DmaEngine(MmioDevice):
             "current_pid": self.current_pid,
             "n_initiations": len(self.initiations),
             "protocol_violations": self.protocol_violations,
+            "oversize_rejections": self.oversize_rejections,
             "control": (self._control_src, self._control_dst,
                         self._control_status, self._control_transfer,
                         self._mapout_src_latch),
@@ -405,6 +425,7 @@ class DmaEngine(MmioDevice):
         self.current_pid = token["current_pid"]
         del self.initiations[token["n_initiations"]:]
         self.protocol_violations = token["protocol_violations"]
+        self.oversize_rejections = token["oversize_rejections"]
         (self._control_src, self._control_dst, self._control_status,
          self._control_transfer, self._mapout_src_latch) = token["control"]
         self.protocol.restore_state(token["protocol"])
@@ -431,6 +452,7 @@ class DmaEngine(MmioDevice):
             self.current_pid,
             tuple(self.initiations),
             self.protocol_violations,
+            self.oversize_rejections,
             (self._control_src, self._control_dst, self._control_status,
              control_value, self._mapout_src_latch),
             self.protocol.state_fingerprint(),
@@ -447,6 +469,7 @@ class DmaEngine(MmioDevice):
         self.current_pid = -1
         self.initiations.clear()
         self.protocol_violations = 0
+        self.oversize_rejections = 0
         self._control_src = 0
         self._control_dst = 0
         self._control_status = 0

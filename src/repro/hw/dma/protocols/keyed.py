@@ -27,7 +27,6 @@ process has the key, and the context page is mapped only in the owner).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Tuple
 
 from ....errors import ConfigError

@@ -14,7 +14,7 @@ returns the bytes still to be transferred, reaching 0 at completion.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from ...errors import ConfigError
 from ...sim.engine import Simulator
@@ -25,6 +25,15 @@ MoverFn = Callable[[int, int, int], None]
 
 #: Invoked after a transfer completes: (transfer) -> None.
 CompletionFn = Callable[["Transfer"], None]
+
+#: Fault-injection hook consulted when a transfer starts; returns None
+#: (no fault) or ("drop" | "delay" | "duplicate", extra_time).
+FaultHookFn = Callable[["Transfer"], Optional[Tuple[str, "Time"]]]
+
+#: Completion time of a dropped completion: effectively never (~13 days
+#: of simulated time), so status polls keep reporting bytes remaining
+#: and bounded waits time out — the observable behaviour of a hung DMA.
+NEVER_DURATION: Time = 1 << 60
 
 
 @dataclass
@@ -91,6 +100,15 @@ class DmaTransferEngine:
         self.transfers_started = 0
         self.bytes_moved = 0
         self.history: List[Transfer] = []
+        #: Optional fault-injection hook (see repro.faults.injector);
+        #: consulted once per started transfer.  Timed-simulation only —
+        #: the checker harness injects faults at stream level instead,
+        #: so snapshot/restore never needs to undo a hook decision.
+        self.fault_hook: Optional[FaultHookFn] = None
+        #: Initiation path of the most recent transfer ("kernel" or a
+        #: user-level method name), set by DmaEngine.try_start so the
+        #: fault hook can honour kernel immunity.
+        self.last_via: Optional[str] = None
 
     def duration_of(self, size: int) -> Time:
         """Modelled duration of a *size*-byte transfer."""
@@ -115,6 +133,15 @@ class DmaTransferEngine:
         self.transfers_started += 1
         self.history.append(transfer)
 
+        fault = (self.fault_hook(transfer)
+                 if self.fault_hook is not None else None)
+        if fault is not None and fault[0] == "drop":
+            # Lost completion: the bytes never move, the status readout
+            # never reaches zero, and no event fires.  Recovery is the
+            # software's job (bounded waits + retry).
+            transfer.duration = NEVER_DURATION
+            return transfer
+
         def complete() -> None:
             self._mover(psrc, pdst, size)
             transfer.completed = True
@@ -122,8 +149,15 @@ class DmaTransferEngine:
             if on_complete is not None:
                 on_complete(transfer)
 
+        if fault is not None and fault[0] == "delay":
+            transfer.duration += fault[1]
         self.sim.schedule(transfer.duration, complete,
                           label=f"dma-complete[{size}B]")
+        if fault is not None and fault[0] == "duplicate":
+            # A second, spurious completion event re-runs the mover (an
+            # idempotent copy) — visible as double-counted bytes_moved.
+            self.sim.schedule(transfer.duration + max(fault[1], 1),
+                              complete, label=f"dma-complete-dup[{size}B]")
         return transfer
 
     # -- snapshot/restore -----------------------------------------------------

@@ -104,6 +104,7 @@ class NetworkInterface(DmaEngine):
                  bandwidth_bps: float = mbps(400.0),
                  startup: Time = ns(200),
                  trace: Optional[TraceLog] = None,
+                 page_bounded: bool = False,
                  name: str = "nic") -> None:
         self.addr_map = addr_map if addr_map is not None else GlobalAddressMap()
         if ram.size > self.addr_map.local_size:
@@ -115,7 +116,7 @@ class NetworkInterface(DmaEngine):
         self.remote_sends = 0
         super().__init__(sim, ram, protocol, layout=layout,
                          bandwidth_bps=bandwidth_bps, startup=startup,
-                         trace=trace, name=name)
+                         trace=trace, page_bounded=page_bounded, name=name)
 
     # -- DmaEngine overrides -----------------------------------------------------
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..core.machine import Workstation
+from ..faults.retry import RetryPolicy
 from ..os.process import Process
 from ..units import Time, us
 from .ring import RingLayout, RingReceiver, RingSender
@@ -29,18 +30,27 @@ class MessageChannel:
     @classmethod
     def create(cls, sender_ws: Workstation, sender_proc: Process,
                receiver_ws: Workstation, receiver_proc: Process,
-               layout: Optional[RingLayout] = None) -> "MessageChannel":
+               layout: Optional[RingLayout] = None,
+               retry_policy: Optional[RetryPolicy] = None,
+               ) -> "MessageChannel":
         """Wire up a channel between two already-spawned processes.
 
         Both processes should already hold DMA bindings (use
         ``kernel.enable_user_dma`` or ``open_channel``); processes
         without one fall back to kernel-initiated transfers, which works
         but pays the Fig. 1 price per message.
+
+        Args:
+            retry_policy: harden every data-path DMA (slot, tail,
+                credit) with bounded retry + backoff — see
+                repro.faults.retry.  None keeps the fail-fast behaviour.
         """
         ring_layout = layout if layout is not None else RingLayout()
-        receiver = RingReceiver(receiver_ws, receiver_proc, ring_layout)
+        receiver = RingReceiver(receiver_ws, receiver_proc, ring_layout,
+                                retry_policy=retry_policy)
         sender = RingSender(sender_ws, sender_proc, ring_layout,
-                            receiver.ring_global_base)
+                            receiver.ring_global_base,
+                            retry_policy=retry_policy)
         receiver.connect_credits(sender.mirror_global)
         return cls(sender, receiver)
 
@@ -84,10 +94,15 @@ class MessageChannel:
 
     @property
     def stats(self) -> dict:
-        """Counters from both endpoints."""
+        """Counters from both endpoints (plus retry/recovery activity)."""
+        sender_stats = self.sender.ws.stats
         return {
             "sent": self.sender.messages_sent,
             "received": self.receiver.messages_received,
             "full_rejections": self.sender.full_rejections,
             "credits": self.sender.credits,
+            "retries": sender_stats.counter("dma.retries").value,
+            "recoveries": sender_stats.counter("dma.recoveries").value,
+            "kernel_fallbacks":
+                sender_stats.counter("dma.kernel_fallbacks").value,
         }

@@ -33,9 +33,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from ..core.api import DmaChannel
+from ..core.api import DmaChannel, InitiationResult
 from ..core.machine import Workstation
 from ..errors import ConfigError
+from ..faults.retry import RetryPolicy
 from ..hw.pagetable import PAGE_SIZE
 from ..os.process import Buffer, Process
 
@@ -85,13 +86,22 @@ class RingLayout:
 
 
 class RingReceiver:
-    """The consumer side: owns the ring, polls it, returns credits."""
+    """The consumer side: owns the ring, polls it, returns credits.
+
+    Args:
+        retry_policy: when given, the credit-return DMA retries with
+            backoff (and optionally degrades to the kernel path) instead
+            of raising on the first rejection — required on faulty
+            hardware (see repro.faults).
+    """
 
     def __init__(self, ws: Workstation, proc: Process,
-                 layout: RingLayout) -> None:
+                 layout: RingLayout,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.ws = ws
         self.proc = proc
         self.layout = layout
+        self.retry_policy = retry_policy
         # The ring itself (local memory, written remotely by the sender;
         # no shadow mappings needed on it).
         self.ring: Buffer = ws.kernel.alloc_buffer(
@@ -150,20 +160,35 @@ class RingReceiver:
         if self._credit_window is None:
             return
         self.ws.ram.write_word(self.credit_buf.paddr, self.head)
-        result = self.chan.initiate(self.credit_buf.vaddr,
-                                    self._credit_window, 8)
+        result: InitiationResult
+        if self.retry_policy is not None:
+            result = self.chan.initiate_reliable(
+                self.credit_buf.vaddr, self._credit_window, 8,
+                policy=self.retry_policy).initiation
+        else:
+            result = self.chan.initiate(self.credit_buf.vaddr,
+                                        self._credit_window, 8)
         if not result.ok:
             raise ConfigError("credit return DMA rejected")
 
 
 class RingSender:
-    """The producer side: deposits messages by remote DMA."""
+    """The producer side: deposits messages by remote DMA.
+
+    Args:
+        retry_policy: when given, the slot and tail DMAs retry with
+            backoff (and optionally degrade to the kernel path) instead
+            of raising on the first rejection — required on faulty
+            hardware (see repro.faults).
+    """
 
     def __init__(self, ws: Workstation, proc: Process,
-                 layout: RingLayout, ring_global_base: int) -> None:
+                 layout: RingLayout, ring_global_base: int,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.ws = ws
         self.proc = proc
         self.layout = layout
+        self.retry_policy = retry_policy
         # Staging buffer: one slot image plus the tail word (staged on
         # its own page after the slot image); a DMA source, so shadowed.
         slot_pages = (layout.slot_size + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
@@ -215,17 +240,36 @@ class RingSender:
         self.ws.ram.write(self.staging.paddr + _LEN_PREFIX, payload)
         slot_off = self.layout.slot_offset(self.tail)
         image_len = _LEN_PREFIX + len(payload)
-        result = self.chan.dma(self.staging.vaddr,
-                               self.window + slot_off, image_len)
-        if not result.ok:
+        if not self._slot_dma(slot_off, image_len):
             raise ConfigError("slot DMA rejected")
         # Payload has landed (status polled to zero); publish the tail.
         self.tail += 1
         self.ws.ram.write_word(
             self.staging.paddr + self._tail_stage_off, self.tail)
-        tail_result = self.chan.initiate(
-            self.staging.vaddr + self._tail_stage_off, self.window, 8)
-        if not tail_result.ok:
+        if not self._tail_dma():
             raise ConfigError("tail DMA rejected")
         self.messages_sent += 1
         return True
+
+    def _slot_dma(self, slot_off: int, image_len: int) -> bool:
+        """Move one slot image; hardened when a retry policy is set."""
+        if self.retry_policy is not None:
+            return self.chan.dma_reliable(
+                self.staging.vaddr, self.window + slot_off, image_len,
+                policy=self.retry_policy).ok
+        return self.chan.dma(self.staging.vaddr, self.window + slot_off,
+                             image_len).ok
+
+    def _tail_dma(self) -> bool:
+        """Publish the tail word.
+
+        Under a retry policy the tail update is also driven to
+        *completion* (not just accepted initiation): a tail whose bytes
+        never land would strand the message, and re-running the copy is
+        idempotent — the counter value, not an increment, is what moves.
+        """
+        vsrc = self.staging.vaddr + self._tail_stage_off
+        if self.retry_policy is not None:
+            return self.chan.dma_reliable(
+                vsrc, self.window, 8, policy=self.retry_policy).ok
+        return self.chan.initiate(vsrc, self.window, 8).ok

@@ -14,9 +14,10 @@ payload.  One :class:`RpcEndpoint` per side, built from a channel pair
 from __future__ import annotations
 
 import struct
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import ConfigError
+from ..faults.retry import RetryPolicy
 from ..units import Time, us
 from .channel import MessageChannel
 from .ring import RingLayout
@@ -39,14 +40,28 @@ def _unpack(message: bytes) -> Tuple[int, bytes]:
 
 
 class RpcClient:
-    """The caller side: sends requests, waits for matching replies."""
+    """The caller side: sends requests, waits for matching replies.
+
+    Args:
+        retry_policy: when given, a call whose reply does not arrive
+            within the (per-attempt) timeout is *retransmitted* up to
+            ``max_attempts`` times, with the policy's backoff between
+            attempts.  Correlation ids make retransmission safe: the
+            server deduplicates and replays its cached reply, so the
+            handler still runs at most once per logical call.
+    """
 
     def __init__(self, requests: MessageChannel,
-                 replies: MessageChannel) -> None:
+                 replies: MessageChannel,
+                 retry_policy: Optional[RetryPolicy] = None) -> None:
         self.requests = requests
         self.replies = replies
+        self.retry_policy = retry_policy
         self._next_correlation = 1
         self.calls_completed = 0
+        self.retransmissions = 0
+        self._rng = (retry_policy.make_rng(0x52504331)  # "RPC1"
+                     if retry_policy is not None else None)
 
     def call(self, payload: bytes, server: "RpcServer",
              timeout: Time = us(50_000)) -> Optional[bytes]:
@@ -55,67 +70,114 @@ class RpcClient:
         The simulation is single-threaded, so the server's polling loop
         is driven explicitly between send and receive (*server*).
 
-        Returns the reply payload, or None on timeout.
+        Returns the reply payload, or None on timeout (after all
+        retransmissions, when a retry policy is set).
         """
         correlation = self._next_correlation
         self._next_correlation += 1
+        attempts = (self.retry_policy.max_attempts
+                    if self.retry_policy is not None else 1)
+        sim = self.requests.sender.ws.sim
+        for attempt in range(1, attempts + 1):
+            reply = self._one_attempt(correlation, payload, server, timeout)
+            if reply is not None:
+                self.calls_completed += 1
+                return reply
+            if attempt < attempts:
+                self.retransmissions += 1
+                self.requests.sender.ws.stats.counter(
+                    "rpc.retransmissions").add()
+                assert self.retry_policy is not None
+                sim.advance(self.retry_policy.backoff(attempt, self._rng))
+        return None
+
+    def _one_attempt(self, correlation: int, payload: bytes,
+                     server: "RpcServer",
+                     timeout: Time) -> Optional[bytes]:
         if not self.requests.send(_pack(correlation, payload)):
             return None  # request ring full
         server.serve_pending(timeout=timeout)
-        deadline_reply = self.replies.recv(timeout=timeout)
-        while deadline_reply is not None:
-            reply_correlation, reply = _unpack(deadline_reply)
+        reply_message = self.replies.recv(timeout=timeout)
+        while reply_message is not None:
+            reply_correlation, reply = _unpack(reply_message)
             if reply_correlation == correlation:
-                self.calls_completed += 1
                 return reply
-            deadline_reply = self.replies.recv(timeout=timeout)
+            reply_message = self.replies.recv(timeout=timeout)
         return None
 
 
 class RpcServer:
-    """The callee side: polls requests, runs the handler, replies."""
+    """The callee side: polls requests, runs the handler, replies.
+
+    Replies are cached by correlation id (a bounded LRU of
+    ``dedupe_window`` entries), so a retransmitted request replays the
+    cached reply instead of re-running the handler — at-most-once
+    execution even when the client retries.
+    """
 
     def __init__(self, requests: MessageChannel,
-                 replies: MessageChannel, handler: Handler) -> None:
+                 replies: MessageChannel, handler: Handler,
+                 dedupe_window: int = 64) -> None:
         self.requests = requests
         self.replies = replies
         self.handler = handler
         self.requests_served = 0
+        self.duplicates_replayed = 0
+        self.dedupe_window = dedupe_window
+        self._replied: Dict[int, bytes] = {}
 
     def serve_pending(self, timeout: Time = us(50_000)) -> int:
         """Serve every request deliverable within *timeout*.
 
-        Returns the number of requests handled.
+        Returns the number of requests handled (replayed duplicates
+        included).
         """
         handled = 0
         message = self.requests.recv(timeout=timeout)
         while message is not None:
             correlation, payload = _unpack(message)
-            reply = self.handler(payload)
+            if correlation in self._replied:
+                reply = self._replied[correlation]
+                self.duplicates_replayed += 1
+            else:
+                reply = self.handler(payload)
+                self._remember(correlation, reply)
+                self.requests_served += 1
             if not self.replies.send(_pack(correlation, reply)):
                 raise ConfigError("reply ring full")
             handled += 1
-            self.requests_served += 1
             message = self.requests.poll()
         return handled
+
+    def _remember(self, correlation: int, reply: bytes) -> None:
+        self._replied[correlation] = reply
+        while len(self._replied) > self.dedupe_window:
+            self._replied.pop(next(iter(self._replied)))
 
 
 def make_rpc_pair(client_ws, client_proc, server_ws, server_proc,
                   handler: Handler,
-                  layout: Optional[RingLayout] = None
+                  layout: Optional[RingLayout] = None,
+                  retry_policy: Optional[RetryPolicy] = None
                   ) -> Tuple[RpcClient, RpcServer]:
     """Wire a client/server RPC pair between two processes.
 
     Builds the two underlying message channels (requests and replies)
     and returns the endpoints.
+
+    Args:
+        retry_policy: harden both channels' DMAs *and* enable
+            client-side retransmission with server-side deduplication.
     """
     ring_layout = layout if layout is not None else RingLayout(
         n_slots=8, slot_size=512)
     requests = MessageChannel.create(client_ws, client_proc,
                                      server_ws, server_proc,
-                                     ring_layout)
+                                     ring_layout,
+                                     retry_policy=retry_policy)
     replies = MessageChannel.create(server_ws, server_proc,
                                     client_ws, client_proc,
-                                    ring_layout)
-    return (RpcClient(requests, replies),
+                                    ring_layout,
+                                    retry_policy=retry_policy)
+    return (RpcClient(requests, replies, retry_policy=retry_policy),
             RpcServer(requests, replies, handler))

@@ -9,8 +9,9 @@ branch per call when disabled.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional
 
 from ..units import Time, fmt_time
 
@@ -50,15 +51,20 @@ class TraceLog:
                  max_events: Optional[int] = None) -> None:
         self.enabled = enabled
         self.max_events = max_events
-        self._events: List[TraceEvent] = []
+        # A bounded deque makes the cap drop O(1) per emit; the unbounded
+        # case stays a deque too so every other method is shape-agnostic.
+        self._events: Deque[TraceEvent] = deque(maxlen=max_events)
 
     def emit(self, when: Time, source: str, kind: str, **detail: Any) -> None:
-        """Append an event if tracing is enabled."""
+        """Append an event if tracing is enabled.
+
+        With a ``max_events`` cap the oldest event is evicted in O(1)
+        (deque ring buffer) — a capped log on a hot path costs the same
+        as an uncapped one.
+        """
         if not self.enabled:
             return
         self._events.append(TraceEvent(when, source, kind, detail))
-        if self.max_events is not None and len(self._events) > self.max_events:
-            del self._events[: len(self._events) - self.max_events]
 
     def clear(self) -> None:
         """Drop all recorded events."""
@@ -78,9 +84,10 @@ class TraceLog:
     def restore(self, token) -> None:
         """Return to a state captured by :meth:`snapshot`."""
         if isinstance(token, int):
-            del self._events[token:]
+            while len(self._events) > token:
+                self._events.pop()
         else:
-            self._events = list(token)
+            self._events = deque(token, maxlen=self.max_events)
 
     def __len__(self) -> int:
         return len(self._events)

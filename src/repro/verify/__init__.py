@@ -18,7 +18,10 @@ executable:
 * :mod:`repro.verify.parallel` — multiprocessing fan-out across
   scenarios and top-level DFS branches, with deterministic merging;
 * :mod:`repro.verify.stress` — whole-machine multiprogrammed stress runs
-  under a seeded preemptive scheduler.
+  under a seeded preemptive scheduler;
+* :mod:`repro.verify.faulted` — re-verification of every method under
+  single faults (drop/duplicate/reorder/delay/bitflip applied to the
+  access streams), with SAFE / UNSAFE-BASELINE / NEWLY-UNSAFE verdicts.
 """
 
 from .adversary import (
@@ -27,6 +30,14 @@ from .adversary import (
     fig6_scenario,
     fig8_scenario,
     pair_race_scenario,
+)
+from .faulted import (
+    FAULT_HARDENED_METHODS,
+    FaultSpec,
+    MethodFaultReport,
+    all_acceptable,
+    run_fault_verification,
+    verify_method_under_faults,
 )
 from .incremental import CheckStats, check_scenario_incremental
 from .interleave import (
@@ -46,7 +57,10 @@ __all__ = [
     "AccessSpec",
     "CheckResult",
     "CheckStats",
+    "FAULT_HARDENED_METHODS",
+    "FaultSpec",
     "LemmaResult",
+    "MethodFaultReport",
     "ParallelChecker",
     "ParallelReport",
     "ProcessIntent",
@@ -56,6 +70,7 @@ __all__ = [
     "Scenario",
     "StressReport",
     "Violation",
+    "all_acceptable",
     "builtin_scenarios",
     "check_scenario",
     "check_scenario_incremental",
@@ -67,5 +82,7 @@ __all__ = [
     "interleaving_count",
     "pair_race_scenario",
     "prove_fig8",
+    "run_fault_verification",
     "run_stress",
+    "verify_method_under_faults",
 ]

@@ -1,0 +1,283 @@
+"""Re-verifying initiation methods *under faults* (model-checker level).
+
+The timed simulation injects faults at runtime (repro.faults.injector);
+here the same fault taxonomy is applied **inside the model checker**, by
+transforming a scenario's access streams before exhaustive interleaving:
+
+* ``drop``      — an access never reaches the engine (lost bus cycle);
+* ``duplicate`` — an access arrives twice (re-issued transaction);
+* ``reorder``   — two adjacent accesses of one stream swap on the bus;
+* ``delay``     — an access is held arbitrarily long (modelled as
+  migrating to the end of its stream — the worst legal reordering);
+* ``bitflip``   — one data bit of a value-carrying access flips.
+
+Each single-fault variant of a scenario is then checked exhaustively for
+the *protection* properties (authorized-start, single-issuer) over every
+interleaving, exactly as §3.3.1 does for the fault-free case.  The
+truthful-status property is deliberately excluded: a dropped store makes
+an honest initiation legitimately fail, so "reported status matches" is
+not expected to survive faults — *no unauthorized transfer ever starts*
+is.
+
+Verdicts per method:
+
+* ``SAFE`` — protection holds in the fault-free scenario and in every
+  single-fault variant;
+* ``UNSAFE-BASELINE`` — the method already violates protection without
+  faults (repeated3 / repeated4: the paper's own Figs. 5-6 attacks;
+  shrimp2 / flash: the §2.5 pair race their kernel hooks exist to fix),
+  so fault-hardening is moot;
+* ``NEWLY-UNSAFE`` — safe without faults but a single fault breaks
+  protection.  **No built-in method may ever earn this verdict** — that
+  is the acceptance criterion CI enforces; the page-bounding engine
+  hardening (:class:`repro.hw.dma.engine.DmaEngine`) exists precisely
+  to keep bit-flipped size words from crossing page boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..faults.plan import BITFLIP, DELAY, DROP, DUPLICATE, REORDER
+from .adversary import fig5_scenario, fig6_scenario, pair_race_scenario
+from .incremental import check_scenario_incremental
+from .model_check import CheckResult, Scenario
+
+#: Bit positions exercised by bitflip variants: low bits (small size
+#: perturbations), bit 4, bit 13 (= PAGE_SHIFT: flips a size word past
+#: the page boundary), and two high bits (wild sizes / corrupt keys).
+FAULT_BITS: Tuple[int, ...] = (0, 1, 4, 13, 40, 63)
+
+#: Access ops that carry a data word worth corrupting.
+DATA_OPS = ("store", "exchange", "ctx-store")
+
+#: Methods expected to keep full protection under any single fault.
+#: (kernel is trivially immune — its path never crosses the faulted
+#: shadow region; pal rides the same two-access stream as shrimp2.)
+FAULT_HARDENED_METHODS: Tuple[str, ...] = (
+    "shrimp1", "keyed", "extshadow", "repeated5")
+
+#: Every method the fault verification covers (all user-level methods
+#: with a stream builder).
+VERIFIABLE_METHODS: Tuple[str, ...] = (
+    "shrimp1", "shrimp2", "flash", "pal", "keyed", "extshadow",
+    "repeated3", "repeated4", "repeated5")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault, located in a scenario's streams.
+
+    Attributes:
+        kind: drop / duplicate / reorder / delay / bitflip.
+        stream: index of the faulted stream.
+        index: index of the faulted access within that stream.
+        bit: data bit to flip (bitflip only).
+    """
+
+    kind: str
+    stream: int
+    index: int
+    bit: Optional[int] = None
+
+    def label(self) -> str:
+        """Compact display form, e.g. ``bitflip[s0.a2.b13]``."""
+        loc = f"s{self.stream}.a{self.index}"
+        if self.bit is not None:
+            loc += f".b{self.bit}"
+        return f"{self.kind}[{loc}]"
+
+
+def enumerate_single_faults(scenario: Scenario) -> List[FaultSpec]:
+    """Every single-fault variant of *scenario*'s streams.
+
+    Drops and duplicates apply to every access; reorders swap each
+    adjacent pair; delays migrate each non-final access to the end of
+    its stream; bitflips cover :data:`FAULT_BITS` on every
+    value-carrying access.
+    """
+    specs: List[FaultSpec] = []
+    for s_index, stream in enumerate(scenario.streams):
+        length = len(stream)
+        for a_index, access in enumerate(stream):
+            specs.append(FaultSpec(DROP, s_index, a_index))
+            specs.append(FaultSpec(DUPLICATE, s_index, a_index))
+            if a_index < length - 1:
+                specs.append(FaultSpec(REORDER, s_index, a_index))
+                specs.append(FaultSpec(DELAY, s_index, a_index))
+            if access.op in DATA_OPS:
+                for bit in FAULT_BITS:
+                    specs.append(FaultSpec(BITFLIP, s_index, a_index,
+                                           bit=bit))
+    return specs
+
+
+def apply_fault(scenario: Scenario, spec: FaultSpec) -> Scenario:
+    """A copy of *scenario* with *spec* applied to its streams.
+
+    The variant always runs with ``check_truthfulness=False`` (an honest
+    initiation may legitimately fail under a fault) and keeps the
+    scenario's page-bounding setting.
+    """
+    streams = [list(s) for s in scenario.streams]
+    target = streams[spec.stream]
+    access = target[spec.index]
+    if spec.kind == DROP:
+        del target[spec.index]
+    elif spec.kind == DUPLICATE:
+        target.insert(spec.index + 1, access)
+    elif spec.kind == REORDER:
+        target[spec.index], target[spec.index + 1] = (
+            target[spec.index + 1], target[spec.index])
+    elif spec.kind == DELAY:
+        del target[spec.index]
+        target.append(access)
+    elif spec.kind == BITFLIP:
+        assert spec.bit is not None
+        target[spec.index] = replace(access,
+                                     data=access.data ^ (1 << spec.bit))
+    else:
+        raise ValueError(f"unknown fault kind {spec.kind!r}")
+    return replace(scenario,
+                   name=f"{scenario.name}+{spec.label()}",
+                   streams=streams,
+                   check_truthfulness=False)
+
+
+@dataclass
+class MethodFaultReport:
+    """Fault-verification outcome for one initiation method.
+
+    Attributes:
+        method: the method name.
+        baseline_safe: protection held with no fault injected.
+        variants_checked: number of single-fault variants replayed.
+        interleavings_checked: total orders across all variants.
+        newly_unsafe: (fault, result) pairs where a variant broke a
+            protection property despite a safe baseline.
+        baseline_results: the fault-free results (pair race, plus the
+            method's canonical attack figure where the paper gives one).
+    """
+
+    method: str
+    baseline_safe: bool
+    variants_checked: int = 0
+    interleavings_checked: int = 0
+    newly_unsafe: List[Tuple[FaultSpec, CheckResult]] = (
+        field(default_factory=list))
+    baseline_results: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        """SAFE / UNSAFE-BASELINE / NEWLY-UNSAFE (see module docstring)."""
+        if not self.baseline_safe:
+            return "UNSAFE-BASELINE"
+        if self.newly_unsafe:
+            return "NEWLY-UNSAFE"
+        return "SAFE"
+
+    @property
+    def acceptable(self) -> bool:
+        """A method is acceptable unless a fault *created* an attack."""
+        return self.verdict != "NEWLY-UNSAFE"
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        base = (f"{self.method}: {self.verdict} "
+                f"({self.variants_checked} fault variants, "
+                f"{self.interleavings_checked} interleavings)")
+        if self.newly_unsafe:
+            worst = self.newly_unsafe[0]
+            base += f"; first break: {worst[0].label()}"
+        return base
+
+
+def method_fault_scenarios(method: str) -> List[Scenario]:
+    """The fault-free scenarios a method is judged on.
+
+    Always the honest §2.5 pair race (page-bounded engine, truthfulness
+    off so baseline and variants measure the same properties), plus the
+    paper's own attack figure for the methods that have one — so the
+    baseline classification matches Figs. 5-6 even if the pair race
+    alone happens not to exhibit the flaw.
+    """
+    scenarios: List[Scenario] = []
+    race = pair_race_scenario(method)
+    race.page_bounded = True
+    race.check_truthfulness = False
+    scenarios.append(race)
+    if method == "repeated3":
+        fig5 = fig5_scenario()[0]
+        fig5.page_bounded = True
+        fig5.check_truthfulness = False
+        scenarios.append(fig5)
+    elif method == "repeated4":
+        fig6 = fig6_scenario()[0]
+        fig6.page_bounded = True
+        fig6.check_truthfulness = False
+        scenarios.append(fig6)
+    return scenarios
+
+
+def verify_method_under_faults(
+        method: str,
+        max_examples: int = 3,
+        max_interleavings: Optional[int] = 200_000,
+        checker: Callable[..., CheckResult] = check_scenario_incremental,
+        progress: Optional[Callable[[str, int, int], None]] = None,
+) -> MethodFaultReport:
+    """Exhaustively re-check *method* under every single fault.
+
+    Args:
+        method: one of :data:`VERIFIABLE_METHODS`.
+        max_examples: violating examples to retain per variant.
+        max_interleavings: per-variant order cap (safety net).
+        checker: the check function (incremental by default; the naive
+            :func:`~repro.verify.model_check.check_scenario` gives
+            identical results).
+        progress: optional callback ``(variant_name, done, total)``.
+    """
+    baselines = method_fault_scenarios(method)
+    baseline_results = [
+        checker(b, max_examples=max_examples,
+                max_interleavings=max_interleavings) for b in baselines]
+    baseline_safe = all(r.safe for r in baseline_results)
+    report = MethodFaultReport(method=method, baseline_safe=baseline_safe,
+                               baseline_results=baseline_results)
+    report.interleavings_checked = sum(
+        r.total_interleavings for r in baseline_results)
+    race = baselines[0]
+    specs = enumerate_single_faults(race)
+    for done, spec in enumerate(specs, start=1):
+        variant = apply_fault(race, spec)
+        result = checker(variant, max_examples=max_examples,
+                         max_interleavings=max_interleavings)
+        report.variants_checked += 1
+        report.interleavings_checked += result.total_interleavings
+        if baseline_safe and result.attack_found:
+            report.newly_unsafe.append((spec, result))
+        if progress is not None:
+            progress(variant.name, done, len(specs))
+    return report
+
+
+def run_fault_verification(
+        methods: Optional[Sequence[str]] = None,
+        max_examples: int = 3,
+        progress: Optional[Callable[[str, int, int], None]] = None,
+) -> Dict[str, MethodFaultReport]:
+    """Fault-verify every (or the given) method; name -> report.
+
+    The acceptance criterion — no method NEWLY-UNSAFE — is
+    :func:`all_acceptable` over the returned reports.
+    """
+    chosen = tuple(methods) if methods is not None else VERIFIABLE_METHODS
+    return {m: verify_method_under_faults(m, max_examples=max_examples,
+                                          progress=progress)
+            for m in chosen}
+
+
+def all_acceptable(reports: Dict[str, MethodFaultReport]) -> bool:
+    """True when no method earned the NEWLY-UNSAFE verdict."""
+    return all(r.acceptable for r in reports.values())

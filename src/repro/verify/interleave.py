@@ -67,10 +67,12 @@ class ProtocolHarness:
     """A bare engine + one protocol, driven access-by-access."""
 
     def __init__(self, protocol_factory, n_contexts: int = 4,
-                 ram_size: int = kib(64)) -> None:
+                 ram_size: int = kib(64),
+                 page_bounded: bool = False) -> None:
         self.protocol_factory = protocol_factory
         self.n_contexts = n_contexts
         self.ram_size = ram_size
+        self.page_bounded = page_bounded
         self._keys: Dict[int, int] = {}
         self.reset()
 
@@ -83,7 +85,8 @@ class ProtocolHarness:
                                    ctx_bits=ctx_bits)
         self.protocol = self.protocol_factory()
         self.engine = DmaEngine(self.sim, self.ram, self.protocol,
-                                layout=self.layout)
+                                layout=self.layout,
+                                page_bounded=self.page_bounded)
         for ctx_id, key in self._keys.items():
             self.engine.install_key(ctx_id, key)
 

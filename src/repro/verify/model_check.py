@@ -46,7 +46,10 @@ class Scenario:
         n_contexts: engine register contexts.
         check_truthfulness: evaluate the truthful-status property (it
             only makes sense when the victim's stream runs to completion
-            in every interleaving, which holds for straight-line streams).
+            in every interleaving, which holds for straight-line streams;
+            fault-injected streams disable it — see repro.verify.faulted).
+        page_bounded: run the engine with the page-bounding hardening
+            (rejects user-level transfers crossing a page boundary).
     """
 
     name: str
@@ -57,6 +60,7 @@ class Scenario:
     keys: Dict[int, int] = field(default_factory=dict)
     n_contexts: int = 4
     check_truthfulness: bool = True
+    page_bounded: bool = False
 
 
 @dataclass
@@ -126,7 +130,8 @@ def replay_interleaving(scenario: Scenario,
 def make_harness(scenario: Scenario) -> ProtocolHarness:
     """Build the harness for a scenario (keys pre-installed)."""
     harness = ProtocolHarness(_protocol_factory(scenario.method),
-                              n_contexts=scenario.n_contexts)
+                              n_contexts=scenario.n_contexts,
+                              page_bounded=scenario.page_bounded)
     for ctx_id, key in scenario.keys.items():
         harness.install_key(ctx_id, key)
     return harness

@@ -155,7 +155,6 @@ def test_pal_method_initiation_is_uninterruptible_by_construction():
     thread = proc.new_thread(program)
     ws.cpu.mmu.activate(thread.page_table, flush=False)
     steps = 0
-    from repro.hw.cpu import StepStatus
 
     while not thread.done and steps < 100:
         ws.cpu.step(thread)

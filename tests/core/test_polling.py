@@ -37,7 +37,6 @@ def test_intermediate_polls_see_decreasing_remaining():
     thread = proc.new_thread(program)
     ws.cpu.mmu.activate(thread.page_table, flush=False)
     readings = []
-    from repro.hw.cpu import StepStatus
     from repro.hw.isa import Load
 
     guard = 0

@@ -1,0 +1,134 @@
+"""Unit tests for fault schedules (FaultRule / FaultPlan)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import (
+    BITFLIP,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FaultPlan,
+    FaultRule,
+    bernoulli_plan,
+)
+
+
+class TestFaultRuleValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind="melt", target="store")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind=DROP, target="cache")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind=DROP, target="store", probability=1.5)
+
+    def test_nth_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind=DROP, target="store", nth=0)
+
+    def test_bit_must_fit_a_word(self):
+        with pytest.raises(ConfigError):
+            FaultRule(kind=BITFLIP, target="store", bit=64)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decision_stream(self):
+        def decisions(seed):
+            plan = FaultPlan(rules=[
+                FaultRule(kind=DROP, target="store", probability=0.3),
+                FaultRule(kind=BITFLIP, target="store", probability=0.3),
+            ], seed=seed)
+            return [plan.decide("store") is not None for _ in range(200)]
+
+        assert decisions(7) == decisions(7)
+        assert decisions(7) != decisions(8)
+
+    def test_reset_replays_exactly(self):
+        plan = FaultPlan(rules=[
+            FaultRule(kind=DROP, target="store", probability=0.5)], seed=3)
+        first = [plan.decide("store") is not None for _ in range(50)]
+        plan.reset()
+        second = [plan.decide("store") is not None for _ in range(50)]
+        assert first == second
+
+    def test_fixed_bit_honoured_and_random_bit_in_range(self):
+        fixed = FaultRule(kind=BITFLIP, target="store", nth=1, bit=13)
+        free = FaultRule(kind=BITFLIP, target="store", nth=2)
+        plan = FaultPlan(rules=[fixed, free], seed=1)
+        assert plan.pick_bit(fixed) == 13
+        assert 0 <= plan.pick_bit(free) < 64
+
+
+class TestTriggers:
+    def test_nth_fires_exactly_once_on_the_nth_match(self):
+        plan = FaultPlan(rules=[
+            FaultRule(kind=DROP, target="store", nth=3, count=1)])
+        hits = [plan.decide("store") for _ in range(6)]
+        assert [h is not None for h in hits] == [
+            False, False, True, False, False, False]
+        assert plan.total_fired == 1
+
+    def test_count_caps_probabilistic_rule(self):
+        rule = FaultRule(kind=DROP, target="store", probability=1.0, count=2)
+        plan = FaultPlan(rules=[rule])
+        fired = sum(plan.decide("store") is not None for _ in range(10))
+        assert fired == 2
+        assert plan.fired(rule) == 2
+
+    def test_first_matching_rule_wins(self):
+        first = FaultRule(kind=DROP, target="store", probability=1.0)
+        second = FaultRule(kind=DELAY, target="store", probability=1.0)
+        plan = FaultPlan(rules=[first, second])
+        chosen = plan.decide("store")
+        assert chosen is first
+        # At most one fault per operation: the shadowed rule never fires.
+        assert plan.fired(second) == 0
+
+    def test_target_mismatch_never_fires(self):
+        plan = FaultPlan(rules=[
+            FaultRule(kind=DROP, target="completion", probability=1.0)])
+        assert plan.decide("store") is None
+        assert plan.decide("completion") is not None
+
+    def test_kernel_immune_by_default(self):
+        plan = FaultPlan(rules=[
+            FaultRule(kind=DROP, target="store", probability=1.0)])
+        assert plan.decide("store", kernel=True) is None
+        assert plan.decide("store", kernel=False) is not None
+
+    def test_kernel_immunity_can_be_disabled(self):
+        plan = FaultPlan(rules=[
+            FaultRule(kind=DROP, target="store", probability=1.0,
+                      kernel_immune=False)])
+        assert plan.decide("store", kernel=True) is not None
+
+    def test_issuer_filter(self):
+        plan = FaultPlan(rules=[
+            FaultRule(kind=DROP, target="store", probability=1.0, issuer=7)])
+        assert plan.decide("store", issuer=8) is None
+        assert plan.decide("store", issuer=7) is not None
+
+
+class TestBernoulliPlan:
+    def test_zero_rate_is_empty(self):
+        assert bernoulli_plan(0.0).rules == []
+
+    def test_rate_split_across_rules(self):
+        plan = bernoulli_plan(0.2)
+        assert len(plan.rules) == 4  # store: drop+bitflip; completion: drop+delay
+        assert all(abs(r.probability - 0.05) < 1e-12 for r in plan.rules)
+        targets = {r.target for r in plan.rules}
+        assert targets == {"store", "completion"}
+
+    def test_kind_selection(self):
+        plan = bernoulli_plan(0.1, kinds=(DUPLICATE,), completion_kinds=())
+        assert [r.kind for r in plan.rules] == [DUPLICATE]
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            bernoulli_plan(1.1)

@@ -1,0 +1,53 @@
+"""Unit tests for RetryPolicy backoff arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from repro.units import us
+
+
+class TestValidation:
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_attempts=0)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(completion_timeout=0)
+
+    def test_multiplier_must_not_shrink(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_jitter_frac_range(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter_frac=1.0)
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(base_backoff=us(2), multiplier=2.0,
+                             jitter_frac=0.0)
+        rng = policy.make_rng(0)
+        assert policy.backoff(1, rng) == us(2)
+        assert policy.backoff(2, rng) == us(4)
+        assert policy.backoff(3, rng) == us(8)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_backoff=us(10), multiplier=1.0,
+                             jitter_frac=0.25)
+        rng = policy.make_rng(42)
+        for _ in range(100):
+            backoff = policy.backoff(1, rng)
+            assert us(7.5) <= backoff <= us(12.5)
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = DEFAULT_RETRY_POLICY
+        a = [policy.backoff(i, policy.make_rng(5)) for i in range(1, 5)]
+        b = [policy.backoff(i, policy.make_rng(5)) for i in range(1, 5)]
+        assert a == b
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_RETRY_POLICY.backoff(0, DEFAULT_RETRY_POLICY.make_rng(0))

@@ -6,7 +6,6 @@ travels the full path: user instructions -> MMU -> write buffer -> bus ->
 engine FSM -> data mover.
 """
 
-import pytest
 
 from repro.core.api import DmaChannel
 from repro.core.machine import MachineConfig, Workstation

@@ -10,7 +10,6 @@ sequence silently falls apart without MBs — and works with them.  On the
 default strongly ordered machine, both variants work.
 """
 
-import pytest
 
 from tests.conftest import ready_channel
 

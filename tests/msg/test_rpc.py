@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.machine import MachineConfig
 from repro.errors import ConfigError
-from repro.msg.rpc import RpcClient, make_rpc_pair, _pack, _unpack
+from repro.msg.rpc import make_rpc_pair, _pack, _unpack
 from repro.net import GIGABIT, Cluster
 from repro.units import to_us
 

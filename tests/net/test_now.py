@@ -6,7 +6,6 @@ from repro.core.api import DmaChannel
 from repro.core.machine import MachineConfig
 from repro.errors import NetworkError
 from repro.net import ATM_155, ATM_622, Cluster
-from repro.units import to_us
 
 
 def two_node_cluster(method="extshadow", link=ATM_155):

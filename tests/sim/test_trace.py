@@ -42,6 +42,51 @@ def test_max_events_ring_buffer():
     assert log.kinds() == ["k7", "k8", "k9"]
 
 
+def test_capped_emit_is_constant_time():
+    # The cap eviction must be O(1) per emit (deque ring buffer), not a
+    # front-of-list delete: emitting far past the cap should cost the
+    # same per event as emitting under it.
+    import timeit
+
+    def fill(log, n):
+        for index in range(n):
+            log.emit(index, "s", "k")
+
+    capped = TraceLog(enabled=True, max_events=1_000)
+    uncapped = TraceLog(enabled=True)
+    n = 50_000
+    capped_s = timeit.timeit(lambda: fill(capped, n), number=1)
+    uncapped_s = timeit.timeit(lambda: fill(uncapped, n), number=1)
+    assert len(capped) == 1_000
+    # Generous bound: the capped path may pay a small eviction constant
+    # but must not scale with how far past the cap we are.
+    assert capped_s < uncapped_s * 5 + 0.05
+
+
+def test_capped_snapshot_restore_roundtrip():
+    log = TraceLog(enabled=True, max_events=4)
+    for index in range(6):
+        log.emit(index, "s", f"k{index}")
+    token = log.snapshot()
+    log.emit(6, "s", "k6")
+    log.emit(7, "s", "k7")
+    log.restore(token)
+    assert log.kinds() == ["k2", "k3", "k4", "k5"]
+    # The restored log still enforces its cap.
+    log.emit(8, "s", "k8")
+    assert log.kinds() == ["k3", "k4", "k5", "k8"]
+
+
+def test_uncapped_snapshot_restore_truncates():
+    log = TraceLog(enabled=True)
+    log.emit(1, "s", "a")
+    token = log.snapshot()
+    log.emit(2, "s", "b")
+    log.emit(3, "s", "c")
+    log.restore(token)
+    assert log.kinds() == ["a"]
+
+
 def test_clear():
     log = TraceLog(enabled=True)
     log.emit(1, "s", "k")
