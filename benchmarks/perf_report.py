@@ -13,6 +13,12 @@ Run from the repo root::
 
 ``--no-incremental`` times only the naive oracle (mode "oracle" in the
 JSON) — useful to sanity-check the baseline on a new machine.
+
+``--profile`` runs one extra (untimed) incremental pass per scenario
+with a :class:`repro.obs.profile.PhaseProfiler` attached and adds the
+per-phase wall-time breakdown (snapshot / restore / deliver / leaf,
+plus expansion and transposition-hit counts) to each scenario's JSON
+record.  The timed passes stay unprofiled so the numbers are clean.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ if __package__ in (None, ""):  # `python benchmarks/perf_report.py`
     sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                            / "src"))
 
+from repro.obs.profile import PhaseProfiler
 from repro.verify.adversary import builtin_scenarios, fig8_scenario
 from repro.verify.incremental import CheckStats, check_scenario_incremental
 from repro.verify.model_check import CheckResult, Scenario, check_scenario
@@ -55,7 +62,8 @@ def _time(fn: Callable[[], CheckResult],
 
 
 def bench_scenario(scenario: Scenario, repeats: int,
-                   incremental: bool = True) -> dict:
+                   incremental: bool = True,
+                   profile: bool = False) -> dict:
     """Benchmark one scenario; returns its JSON record."""
     naive_s, naive = _time(lambda: check_scenario(scenario), repeats)
     orders = naive.total_interleavings
@@ -89,6 +97,11 @@ def bench_scenario(scenario: Scenario, repeats: int,
     }
     entry["speedup"] = round(naive_s / inc_s, 2) if inc_s else None
     entry["identical"] = inc == naive
+    if profile:
+        # Separate untimed pass so profiling never skews the timings.
+        profiler = PhaseProfiler()
+        check_scenario_incremental(scenario, profiler=profiler)
+        entry["profile"] = profiler.report()
     return entry
 
 
@@ -122,7 +135,8 @@ def bench_parallel(scenarios: List[Scenario], workers: int,
 
 def build_report(quick: bool = False, workers: Optional[int] = None,
                  incremental: bool = True,
-                 repeats: Optional[int] = None) -> dict:
+                 repeats: Optional[int] = None,
+                 profile: bool = False) -> dict:
     """Run the full benchmark and return the JSON-ready report dict."""
     if repeats is None:
         repeats = 1 if quick else 3
@@ -131,7 +145,8 @@ def build_report(quick: bool = False, workers: Optional[int] = None,
         wanted = {"fig5-repeated3", "fig6-repeated4", WORST_CASE_NAME,
                   "pair-race-keyed"}
         scenarios = [s for s in scenarios if s.name in wanted]
-    entries = [bench_scenario(s, repeats, incremental=incremental)
+    entries = [bench_scenario(s, repeats, incremental=incremental,
+                              profile=profile and incremental)
                for s in scenarios]
 
     report = {
@@ -139,6 +154,7 @@ def build_report(quick: bool = False, workers: Optional[int] = None,
         "generated_by": "benchmarks/perf_report.py",
         "mode": "incremental" if incremental else "oracle",
         "quick": quick,
+        "profiled": bool(profile and incremental),
         "python": sys.version.split()[0],
         "scenarios": entries,
     }
@@ -177,6 +193,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--repeats", type=int, default=None,
                         help="best-of-N rounds per scenario (default: "
                              "1 in --quick mode, 3 otherwise)")
+    parser.add_argument("--profile", action="store_true",
+                        help="add per-phase wall-time breakdowns "
+                             "(snapshot/restore/deliver/leaf) to the JSON")
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -185,7 +204,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     report = build_report(quick=args.quick, workers=args.workers,
                           incremental=not args.no_incremental,
-                          repeats=args.repeats)
+                          repeats=args.repeats, profile=args.profile)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -197,6 +216,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                      f" ord/s  {entry['speedup']:>6}x"
                      f"  identical={entry['identical']}")
         print(line)
+        if "profile" in entry:
+            detail = ", ".join(
+                f"{name} {info['seconds']:.3f}s/{info['count']}"
+                for name, info in entry["profile"].items())
+            print(f"{'':34s} profile: {detail}")
     par = report["parallel"]
     print(f"parallel fan-out: {par['workers']} workers, {par['n_tasks']} "
           f"tasks (split: {', '.join(par['split_scenarios']) or 'none'}), "

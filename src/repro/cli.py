@@ -12,7 +12,9 @@
     python -m repro bus               # §3.4 PCI sweep
     python -m repro atomics           # §3.5 atomic operations
     python -m repro stress            # kernel-modification ablation
-    python -m repro all               # everything above, in order
+    python -m repro trace             # traced adversary run -> Perfetto
+    python -m repro metrics           # metric time series of that run
+    python -m repro all               # every experiment above, in order
 
 Each command prints the same tables the benchmark suite persists under
 ``benchmarks/results/``.
@@ -265,6 +267,72 @@ def cmd_stress(args: argparse.Namespace) -> None:
     print(table.render())
 
 
+def cmd_trace(args: argparse.Namespace) -> None:
+    """Run the traced two-adversary workload and export its spans."""
+    from .obs.export import (span_summary_table, span_tree_roots,
+                             spans_jsonl, write_chrome_trace)
+    from .obs.runs import traced_adversary_run
+
+    run = traced_adversary_run(seed=args.seed)
+    spans = run.spans()
+    if args.export == "chrome":
+        path = args.output or "trace.json"
+        trace = write_chrome_trace(path, spans,
+                                   events=run.ws.trace.events(),
+                                   metrics=run.ws.metrics)
+        print(f"wrote {path}: {len(trace['traceEvents'])} trace events "
+              f"({len(spans)} spans, {len(run.ws.trace)} log records, "
+              f"{len(run.ws.metrics)} metric samples)")
+        print("open it in https://ui.perfetto.dev or chrome://tracing")
+    elif args.export == "jsonl":
+        text = spans_jsonl(spans)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}: {len(spans)} spans")
+        else:
+            print(text, end="")
+    else:
+        roots = [s for s in span_tree_roots(spans)
+                 if s.name in ("dma", "dma.reliable", "dma.initiate")]
+        outcomes: Dict[str, int] = {}
+        for root in roots:
+            outcome = str(root.attrs.get("outcome", "-"))
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        print(f"{len(roots)} DMA attempt trees: "
+              + ", ".join(f"{k}={v}" for k, v in sorted(outcomes.items())))
+        print(span_summary_table(spans).render())
+
+
+def cmd_metrics(args: argparse.Namespace) -> None:
+    """Run the traced workload and print its metric time series."""
+    import json
+
+    from .obs.runs import traced_adversary_run
+
+    run = traced_adversary_run(seed=args.seed)
+    metrics = run.ws.metrics
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(metrics.to_dict(), handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.output}: {len(metrics)} samples, "
+              f"{len(metrics.names())} series")
+        return
+    table = Table(f"Metric time series ({len(metrics)} samples)",
+                  ["metric", "first", "last", "delta"])
+    for name in metrics.names():
+        series = metrics.series(name)
+        if not series:
+            continue
+        first, last = series[0][1], series[-1][1]
+        if last == 0.0 and first == 0.0:
+            continue
+        table.add_row(name, f"{first:g}", f"{last:g}",
+                      f"{last - first:+g}")
+    print(table.render())
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": cmd_table1,
     "methods": cmd_methods,
@@ -278,6 +346,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "atomics": cmd_atomics,
     "generations": cmd_generations,
     "stress": cmd_stress,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
 }
 
 
@@ -294,6 +364,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="initiations per latency measurement")
     parser.add_argument("--seed", type=int, default=7,
                         help="seed for stochastic experiments")
+    parser.add_argument("--export", choices=("chrome", "jsonl", "summary"),
+                        default="chrome",
+                        help="trace output format (trace command)")
+    parser.add_argument("--output", default=None,
+                        help="output file for trace/metrics exports")
     return parser
 
 

@@ -284,12 +284,27 @@ class DmaChannel:
         program = self.program(vsrc, vdst, size, with_retry=with_retry,
                                with_mb=with_mb)
         thread = self.proc.new_thread(program)
-        start = self.ws.sim.now
-        status = self.ws.run_thread(thread)
-        elapsed = self.ws.sim.now - start
+        ws = self.ws
+        sp = None
+        if ws.spans.enabled:
+            sp = ws.spans.begin("dma.initiate",
+                                track=f"proc{self.proc.pid}",
+                                method=self.method.name, pid=self.proc.pid,
+                                via=self.via, size=size)
+        start = ws.sim.now
+        status = ws.run_thread(thread)
+        elapsed = ws.sim.now - start
         if status is StepStatus.FAULTED:
-            return InitiationResult(STATUS_FAILURE, elapsed, thread)
-        return InitiationResult(int(thread.reg("v0")), elapsed, thread)
+            result = InitiationResult(STATUS_FAILURE, elapsed, thread)
+        else:
+            result = InitiationResult(int(thread.reg("v0")), elapsed, thread)
+        if sp is not None:
+            ws.spans.end(
+                sp, outcome="completed" if result.ok else "aborted",
+                status=result.status)
+        if ws.metrics.enabled:
+            ws.metrics.poll()
+        return result
 
     def polling_program(self, vsrc: int, vdst: int, size: int) -> Program:
         """Initiation followed by a §3.1 completion-polling loop.
@@ -342,15 +357,27 @@ class DmaChannel:
     def dma(self, vsrc: int, vdst: int, size: int,
             wait: bool = True) -> DmaResult:
         """Initiate a transfer and (by default) wait for the data to land."""
-        before = len(self.ws.engine.transfer_engine.history)
+        ws = self.ws
+        sp = None
+        if ws.spans.enabled:
+            sp = ws.spans.begin("dma", track=f"proc{self.proc.pid}",
+                                method=self.method.name, pid=self.proc.pid,
+                                size=size)
+        before = len(ws.engine.transfer_engine.history)
         initiation = self.initiate(vsrc, vdst, size)
         transfer: Optional[Transfer] = None
-        history = self.ws.engine.transfer_engine.history
+        history = ws.engine.transfer_engine.history
         if initiation.ok and len(history) > before:
             transfer = history[-1]
             if wait:
-                self.ws.sim.wait_for(lambda: transfer.completed)
-        return DmaResult(initiation=initiation, transfer=transfer)
+                ws.sim.wait_for(lambda: transfer.completed)
+        result = DmaResult(initiation=initiation, transfer=transfer)
+        if sp is not None:
+            ws.spans.end(
+                sp, outcome="completed" if result.ok else "aborted")
+        if ws.metrics.enabled:
+            ws.metrics.poll()
+        return result
 
     # ------------------------------------------------------------------
     # hardened execution (retry + backoff + kernel fallback)
@@ -371,12 +398,16 @@ class DmaChannel:
         policy = policy if policy is not None else DEFAULT_RETRY_POLICY
         stats = self.ws.stats
         rng = self._jitter_rng(policy)
+        root = self._begin_reliable_span("dma.reliable", size)
         start = self.ws.sim.now
         result = self.initiate(vsrc, vdst, size)
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 result = self.initiate(vsrc, vdst, size)
             if result.ok:
+                self._end_reliable_span(
+                    root, "completed" if attempt == 1 else "retried",
+                    attempt)
                 return self._reliable_success(result, attempt, False, None,
                                               start)
             stats.counter("dma.retries").add()
@@ -384,18 +415,21 @@ class DmaChannel:
                                attempt=attempt, via=self.via,
                                pid=self.proc.pid)
             if attempt < policy.max_attempts:
-                self.ws.sim.advance(policy.backoff(attempt, rng))
+                self._backoff(policy, attempt, rng)
         stats.counter("dma.retry_exhausted").add()
         if policy.kernel_fallback and self.via == "user":
-            result = self._kernel_channel().initiate(vsrc, vdst, size)
+            result = self._fallback_initiate(vsrc, vdst, size)
             stats.counter("dma.kernel_fallbacks").add()
             self.ws.trace.emit(self.ws.sim.now, "api", "dma-fallback",
                                pid=self.proc.pid, ok=result.ok)
+            self._end_reliable_span(root, "fell-back",
+                                    policy.max_attempts + 1)
             if result.ok:
                 return self._reliable_success(
                     result, policy.max_attempts + 1, True, None, start)
             return ReliableResult(result, policy.max_attempts + 1, True,
                                   recovery_time=self.ws.sim.now - start)
+        self._end_reliable_span(root, "aborted", policy.max_attempts)
         return ReliableResult(result, policy.max_attempts, False,
                               recovery_time=self.ws.sim.now - start)
 
@@ -413,12 +447,16 @@ class DmaChannel:
         policy = policy if policy is not None else DEFAULT_RETRY_POLICY
         stats = self.ws.stats
         rng = self._jitter_rng(policy)
+        root = self._begin_reliable_span("dma.reliable", size)
         start = self.ws.sim.now
         initiation: Optional[InitiationResult] = None
         for attempt in range(1, policy.max_attempts + 1):
             initiation, transfer = self._try_once(self, vsrc, vdst, size,
                                                   policy)
             if transfer is not None and transfer.completed:
+                self._end_reliable_span(
+                    root, "completed" if attempt == 1 else "retried",
+                    attempt)
                 return self._reliable_success(initiation, attempt, False,
                                               transfer, start)
             if transfer is not None:
@@ -429,14 +467,23 @@ class DmaChannel:
                                pid=self.proc.pid,
                                lost_completion=transfer is not None)
             if attempt < policy.max_attempts:
-                self.ws.sim.advance(policy.backoff(attempt, rng))
+                self._backoff(policy, attempt, rng)
         stats.counter("dma.retry_exhausted").add()
         if policy.kernel_fallback and self.via == "user":
             stats.counter("dma.kernel_fallbacks").add()
+            fb = None
+            if self.ws.spans.enabled:
+                fb = self.ws.spans.begin("dma.fallback",
+                                         track=f"proc{self.proc.pid}",
+                                         pid=self.proc.pid)
             initiation, transfer = self._try_once(
                 self._kernel_channel(), vsrc, vdst, size, policy)
+            if fb is not None:
+                self.ws.spans.end(fb, ok=initiation.ok)
             self.ws.trace.emit(self.ws.sim.now, "api", "dma-fallback",
                                pid=self.proc.pid, ok=initiation.ok)
+            self._end_reliable_span(root, "fell-back",
+                                    policy.max_attempts + 1)
             if transfer is not None and transfer.completed:
                 return self._reliable_success(
                     initiation, policy.max_attempts + 1, True, transfer,
@@ -445,6 +492,7 @@ class DmaChannel:
                                   transfer=transfer,
                                   recovery_time=self.ws.sim.now - start)
         assert initiation is not None
+        self._end_reliable_span(root, "aborted", policy.max_attempts)
         return ReliableResult(initiation, policy.max_attempts, False,
                               recovery_time=self.ws.sim.now - start)
 
@@ -452,15 +500,62 @@ class DmaChannel:
     def _try_once(channel: "DmaChannel", vsrc: int, vdst: int, size: int,
                   policy: RetryPolicy):
         """One bounded attempt: initiate, then wait (with timeout)."""
-        history = channel.ws.engine.transfer_engine.history
+        ws = channel.ws
+        history = ws.engine.transfer_engine.history
         before = len(history)
         initiation = channel.initiate(vsrc, vdst, size)
         if not initiation.ok or len(history) <= before:
             return initiation, None
         transfer = history[-1]
-        channel.ws.sim.wait_for(lambda: transfer.completed,
-                                timeout=policy.completion_timeout)
+        wsp = None
+        if ws.spans.enabled:
+            wsp = ws.spans.begin("dma.wait",
+                                 track=f"proc{channel.proc.pid}")
+        ws.sim.wait_for(lambda: transfer.completed,
+                        timeout=policy.completion_timeout)
+        if wsp is not None:
+            ws.spans.end(wsp, completed=transfer.completed)
         return initiation, transfer
+
+    # -- span helpers for the hardened paths --------------------------------
+
+    def _begin_reliable_span(self, name: str, size: int):
+        if not self.ws.spans.enabled:
+            return None
+        return self.ws.spans.begin(name, track=f"proc{self.proc.pid}",
+                                   method=self.method.name,
+                                   pid=self.proc.pid, via=self.via,
+                                   size=size)
+
+    def _end_reliable_span(self, root, outcome: str, attempts: int) -> None:
+        if root is not None:
+            self.ws.spans.end(root, outcome=outcome, attempts=attempts)
+        if self.ws.metrics.enabled:
+            self.ws.metrics.poll()
+
+    def _backoff(self, policy: RetryPolicy, attempt: int, rng) -> None:
+        """Wait out the backoff for *attempt*, as a span when tracing."""
+        delay = policy.backoff(attempt, rng)
+        if self.ws.spans.enabled:
+            sp = self.ws.spans.begin("dma.backoff",
+                                     track=f"proc{self.proc.pid}",
+                                     attempt=attempt)
+            self.ws.sim.advance(delay)
+            self.ws.spans.end(sp)
+        else:
+            self.ws.sim.advance(delay)
+
+    def _fallback_initiate(self, vsrc: int, vdst: int,
+                           size: int) -> InitiationResult:
+        """The kernel-path escape hatch, wrapped in a fallback span."""
+        if not self.ws.spans.enabled:
+            return self._kernel_channel().initiate(vsrc, vdst, size)
+        fb = self.ws.spans.begin("dma.fallback",
+                                 track=f"proc{self.proc.pid}",
+                                 pid=self.proc.pid)
+        result = self._kernel_channel().initiate(vsrc, vdst, size)
+        self.ws.spans.end(fb, ok=result.ok)
+        return result
 
     def _reliable_success(self, initiation: InitiationResult, attempts: int,
                           fell_back: bool, transfer: Optional[Transfer],

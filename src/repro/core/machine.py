@@ -33,6 +33,8 @@ from ..hw.mmu import Mmu
 from ..hw.nic import Fabric, GlobalAddressMap, NetworkInterface
 from ..hw.tlb import Tlb
 from ..hw.writebuffer import WriteBuffer
+from ..obs.metrics import MetricsSampler
+from ..obs.spans import SpanTracer
 from ..os.costs import OsCosts
 from ..os.kernel import Kernel
 from ..os.process import SHADOW_VOFFSET, Process
@@ -74,6 +76,11 @@ class MachineConfig:
             rejecting user-level transfers that cross a page boundary
             (see :class:`repro.hw.dma.engine.DmaEngine`); fault-tolerant
             configurations enable this.
+        spans_enabled: record causal spans across the DMA stack (see
+            repro.obs.spans); off by default — disabled tracing costs a
+            single branch on each hot path.
+        metrics_interval: simulated-time cadence for the metrics sampler
+            (see repro.obs.metrics), or None to disable sampling.
     """
 
     method: str = "keyed"
@@ -88,6 +95,8 @@ class MachineConfig:
     trace_enabled: bool = False
     data_cache: bool = False
     page_bounded: bool = False
+    spans_enabled: bool = False
+    metrics_interval: Optional[Time] = None
 
 
 class Workstation:
@@ -106,6 +115,17 @@ class Workstation:
         #: Machine-level counters and latencies (retry/fallback activity
         #: of the reliable DMA paths lands here; see repro.core.api).
         self.stats = StatRegistry("ws")
+        #: Causal span tracer shared by the API layer, the engine, and
+        #: the transfer engine (one tracer → one coherent span tree).
+        self.spans = SpanTracer(clock=self.sim.time_source(),
+                                enabled=cfg.spans_enabled,
+                                max_spans=200_000)
+        #: Time-series sampler over the stat registry and engine gauges;
+        #: pull-based — the API layer calls ``self.metrics.poll()``.
+        self.metrics = MetricsSampler(
+            clock=self.sim.time_source(),
+            sources=[self._stat_gauges, self._engine_gauges],
+            interval=cfg.metrics_interval)
         self.cpu_clock = Clock("cpu", timing.cpu_hz)
 
         self.ram = PhysicalMemory(cfg.ram_size)
@@ -120,7 +140,7 @@ class Workstation:
             fabric=fabric, addr_map=GlobalAddressMap(), layout=layout,
             bandwidth_bps=timing.dma_bandwidth_bps,
             startup=timing.dma_startup, trace=self.trace,
-            page_bounded=cfg.page_bounded)
+            page_bounded=cfg.page_bounded, spans=self.spans)
         self.bus.attach(self.nic, layout.window_base, layout.window_size)
 
         self.atomic_unit: Optional[AtomicUnit] = None
@@ -222,6 +242,28 @@ class Workstation:
             self.sim.run()
         else:
             self.sim.run_until(self.sim.now + timeout)
+
+    # ------------------------------------------------------------------
+    # metrics sources
+    # ------------------------------------------------------------------
+
+    def _stat_gauges(self) -> "dict[str, float]":
+        """Every StatRegistry counter and latency, as sampler gauges."""
+        return self.stats.snapshot()
+
+    def _engine_gauges(self) -> "dict[str, float]":
+        """Engine and simulator activity gauges for the sampler."""
+        return {
+            "engine.transfers_started":
+                float(self.nic.transfer_engine.transfers_started),
+            "engine.bytes_moved":
+                float(self.nic.transfer_engine.bytes_moved),
+            "engine.initiations": float(len(self.nic.initiations)),
+            "engine.protocol_violations":
+                float(self.nic.protocol_violations),
+            "engine.remote_sends": float(self.nic.remote_sends),
+            "sim.events_fired": float(self.sim.events_fired),
+        }
 
     # ------------------------------------------------------------------
 

@@ -97,3 +97,7 @@ class NetworkError(ReproError):
 
 class VerificationError(ReproError):
     """The model checker or stress harness was misconfigured."""
+
+
+class ObservabilityError(ReproError):
+    """The span/metrics layer was misused (e.g. unbalanced span pairs)."""

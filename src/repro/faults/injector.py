@@ -33,6 +33,7 @@ from ..hw.bus import Bus
 from ..hw.device import AccessContext
 from ..hw.dma.status import STATUS_FAILURE
 from ..hw.dma.transfer import DmaTransferEngine, Transfer
+from ..obs.spans import SpanTracer
 from ..sim.engine import Simulator
 from ..sim.stats import StatRegistry
 from ..sim.trace import TraceLog
@@ -50,15 +51,20 @@ class Injector:
         stats: counter registry; a fresh ``StatRegistry("faults")`` by
             default.
         trace: optional trace log for ``faults/...`` events.
+        spans: optional span tracer; each injected fault becomes an
+            instant ``fault.<target>.<kind>`` span on the ``faults``
+            track (taken from the workstation by :meth:`attach`).
     """
 
     def __init__(self, plan: FaultPlan, sim: Simulator,
                  stats: Optional[StatRegistry] = None,
-                 trace: Optional[TraceLog] = None) -> None:
+                 trace: Optional[TraceLog] = None,
+                 spans: Optional[SpanTracer] = None) -> None:
         self.plan = plan
         self.sim = sim
         self.stats = stats if stats is not None else StatRegistry("faults")
         self.trace = trace
+        self.spans = spans
         self._undo: List[Callable[[], None]] = []
         self._held_store: Optional[Tuple[Bus, int, int, AccessContext]] = None
         self._held_packet: Optional[Tuple[Callable[..., None], tuple]] = None
@@ -76,6 +82,8 @@ class Injector:
             self.attach_fabric(fabric)
         if self.trace is None:
             self.trace = ws.trace
+        if self.spans is None:
+            self.spans = getattr(ws, "spans", None)
         return self
 
     def attach_bus(self, bus: Bus) -> None:
@@ -291,3 +299,7 @@ class Injector:
         if self.trace is not None:
             self.trace.emit(self.sim.now, "faults", f"{target}-{kind}",
                             **detail)
+        if self.spans is not None and self.spans.enabled:
+            sp = self.spans.begin(f"fault.{target}.{kind}", track="faults",
+                                  **detail)
+            self.spans.end(sp)

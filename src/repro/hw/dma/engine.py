@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ...errors import ConfigError, DeviceError
+from ...obs.spans import Span, SpanTracer
 from ...sim.engine import Simulator
 from ...sim.trace import TraceLog
 from ...units import Time, mbps, ns
@@ -105,6 +106,7 @@ class DmaEngine(MmioDevice):
                  startup: Time = ns(200),
                  trace: Optional[TraceLog] = None,
                  page_bounded: bool = False,
+                 spans: Optional[SpanTracer] = None,
                  name: str = "dma") -> None:
         super().__init__(name)
         self.sim = sim
@@ -115,6 +117,9 @@ class DmaEngine(MmioDevice):
                 "RAM does not fit in the shadow argument field; "
                 "enlarge ctx_shift or shrink RAM")
         self.trace = trace if trace is not None else TraceLog()
+        #: Causal span tracer (disabled by default; one branch per access).
+        self.spans = spans if spans is not None else SpanTracer(
+            sim.time_source())
         self.contexts = [RegisterContext(i)
                          for i in range(self.layout.n_contexts)]
         self.key_table: Dict[int, int] = {}
@@ -129,7 +134,8 @@ class DmaEngine(MmioDevice):
         #: invalidate the destination lines (non-coherent I/O model).
         self.coherence_hook = None
         self.transfer_engine = DmaTransferEngine(
-            sim, bandwidth_bps, startup, self._move_bytes)
+            sim, bandwidth_bps, startup, self._move_bytes,
+            spans=self.spans)
         self._control_src = 0
         self._control_dst = 0
         self._control_status = 0
@@ -150,15 +156,31 @@ class DmaEngine(MmioDevice):
             self.trace.emit(ctx.when, self.name, "shadow-store",
                             ctx_id=access.ctx_id, paddr=access.paddr,
                             data=value, issuer=ctx.issuer)
-            self.protocol.on_shadow_store(access)
+            if self.spans.enabled:
+                sp = self._access_span("dma.shadow_store", ctx,
+                                       ctx_id=access.ctx_id,
+                                       paddr=access.paddr, data=value)
+                self.protocol.on_shadow_store(access)
+                self.spans.end(sp, state_to=self.protocol.state_label())
+            else:
+                self.protocol.on_shadow_store(access)
             return
         ctx_index = self.layout.context_of_offset(offset)
         if ctx_index is not None:
             access = self._shadow_access("store", ctx_index, 0, value, ctx)
             self.trace.emit(ctx.when, self.name, "context-store",
                             ctx_id=ctx_index, data=value, issuer=ctx.issuer)
-            self.protocol.on_context_store(
-                self.contexts[ctx_index], offset & PAGE_MASK, value, access)
+            if self.spans.enabled:
+                sp = self._access_span("dma.context_store", ctx,
+                                       ctx_id=ctx_index, data=value)
+                self.protocol.on_context_store(
+                    self.contexts[ctx_index], offset & PAGE_MASK, value,
+                    access)
+                self.spans.end(sp, state_to=self.protocol.state_label())
+            else:
+                self.protocol.on_context_store(
+                    self.contexts[ctx_index], offset & PAGE_MASK, value,
+                    access)
             return
         page = offset >> PAGE_SHIFT
         reg = offset & PAGE_MASK
@@ -175,7 +197,15 @@ class DmaEngine(MmioDevice):
         if shadow is not None:
             access = self._shadow_access("load", shadow.ctx_id,
                                          shadow.paddr, 0, ctx)
-            status = self.protocol.on_shadow_load(access)
+            if self.spans.enabled:
+                sp = self._access_span("dma.shadow_load", ctx,
+                                       ctx_id=access.ctx_id,
+                                       paddr=access.paddr)
+                status = self.protocol.on_shadow_load(access)
+                self.spans.end(sp, state_to=self.protocol.state_label(),
+                               status=status)
+            else:
+                status = self.protocol.on_shadow_load(access)
             self.trace.emit(ctx.when, self.name, "shadow-load",
                             ctx_id=access.ctx_id, paddr=access.paddr,
                             status=status, issuer=ctx.issuer)
@@ -183,8 +213,16 @@ class DmaEngine(MmioDevice):
         ctx_index = self.layout.context_of_offset(offset)
         if ctx_index is not None:
             access = self._shadow_access("load", ctx_index, 0, 0, ctx)
-            status = self.protocol.on_context_load(
-                self.contexts[ctx_index], offset & PAGE_MASK, access)
+            if self.spans.enabled:
+                sp = self._access_span("dma.context_load", ctx,
+                                       ctx_id=ctx_index)
+                status = self.protocol.on_context_load(
+                    self.contexts[ctx_index], offset & PAGE_MASK, access)
+                self.spans.end(sp, state_to=self.protocol.state_label(),
+                               status=status)
+            else:
+                status = self.protocol.on_context_load(
+                    self.contexts[ctx_index], offset & PAGE_MASK, access)
             self.trace.emit(ctx.when, self.name, "context-load",
                             ctx_id=ctx_index, status=status,
                             issuer=ctx.issuer)
@@ -207,11 +245,33 @@ class DmaEngine(MmioDevice):
                 f"at offset {offset:#x}")
         access = self._shadow_access("exchange", shadow.ctx_id,
                                      shadow.paddr, value, ctx)
-        status = self.protocol.on_shadow_exchange(access)
+        if self.spans.enabled:
+            sp = self._access_span("dma.shadow_exchange", ctx,
+                                   ctx_id=access.ctx_id, paddr=access.paddr,
+                                   data=value)
+            status = self.protocol.on_shadow_exchange(access)
+            self.spans.end(sp, state_to=self.protocol.state_label(),
+                           status=status)
+        else:
+            status = self.protocol.on_shadow_exchange(access)
         self.trace.emit(ctx.when, self.name, "shadow-exchange",
                         ctx_id=access.ctx_id, paddr=access.paddr,
                         data=value, status=status, issuer=ctx.issuer)
         return status
+
+    def _access_span(self, name: str, ctx: AccessContext,
+                     **attrs) -> Span:
+        """Open a recognizer span for one MMIO access.
+
+        The recognizer state *before* the protocol callback is recorded
+        at begin time; callers add ``state_to`` when ending the span, so
+        every span shows the FSM transition the access caused.
+        """
+        track = (f"proc{ctx.issuer}" if ctx.issuer is not None
+                 else self.name)
+        return self.spans.begin(
+            name, track=track, protocol=self.protocol.name,
+            state_from=self.protocol.state_label(), **attrs)
 
     # ------------------------------------------------------------------
     # Start logic (shared by every protocol and the kernel path)
@@ -244,6 +304,12 @@ class DmaEngine(MmioDevice):
                 ctx.failed = True
             self.trace.emit(self.sim.now, self.name, "start-rejected",
                             psrc=psrc, pdst=pdst, size=size, via=via_name)
+            if self.spans.enabled:
+                # Instant span: begin and end at the same timestamp.
+                sp = self.spans.begin("dma.rejected", track="engine",
+                                      psrc=psrc, pdst=pdst, size=size,
+                                      via=via_name)
+                self.spans.end(sp, outcome="rejected")
             return STATUS_FAILURE
         self.transfer_engine.last_via = via_name
         transfer = self.transfer_engine.start(psrc, pdst, size)
@@ -414,6 +480,7 @@ class DmaEngine(MmioDevice):
             "protocol": self.protocol.snapshot_state(),
             "transfer_engine": self.transfer_engine.snapshot(),
             "trace": self.trace.snapshot(),
+            "spans": self.spans.snapshot(),
         }
 
     def restore(self, token: dict) -> None:
@@ -431,6 +498,7 @@ class DmaEngine(MmioDevice):
         self.protocol.restore_state(token["protocol"])
         self.transfer_engine.restore(token["transfer_engine"])
         self.trace.restore(token["trace"])
+        self.spans.restore(token["spans"])
 
     def fingerprint(self) -> tuple:
         """Hashable capture of all behaviour-determining engine state.

@@ -87,6 +87,15 @@ class ExtendedShadowProtocol(InitiationProtocol):
         self._latches = {}
         self._single = None
 
+    def state_label(self) -> str:
+        """Which contexts currently hold a (destination, size) latch."""
+        if self.per_context:
+            if not self._latches:
+                return "idle"
+            return "latched:" + ",".join(
+                str(ctx_id) for ctx_id in sorted(self._latches))
+        return "latched" if self._single is not None else "idle"
+
     def snapshot_state(self):
         # _Latch instances are never mutated after creation (stores
         # replace whole entries), so a shallow dict copy suffices.

@@ -134,6 +134,18 @@ class KeyedProtocol(InitiationProtocol):
     def reset(self) -> None:
         self.key_rejections = 0
 
+    def state_label(self) -> str:
+        """Which contexts hold partially or fully latched arguments."""
+        parts = []
+        for ctx in self.engine.contexts:
+            if ctx.src is None and ctx.dst is None and ctx.size is None:
+                continue
+            parts.append(f"ctx{ctx.ctx_id}:"
+                         + ("S" if ctx.src is not None else "-")
+                         + ("D" if ctx.dst is not None else "-")
+                         + ("Z" if ctx.size is not None else "-"))
+        return " ".join(parts) if parts else "idle"
+
     def snapshot_state(self):
         # All decision state lives in the engine's register contexts and
         # key table, both captured by the engine's own snapshot.

@@ -213,6 +213,14 @@ class RepeatedPassingProtocol(InitiationProtocol):
         """(pos, src, dst, size) — inspection hook for tests."""
         return [self._pos, self._src, self._dst, self._size]
 
+    def state_label(self) -> str:
+        """Recognizer position plus which arguments are latched."""
+        if self._pos == 0:
+            return "idle"
+        latched = ("S" if self._src is not None else "-") + (
+            "D" if self._dst is not None else "-")
+        return f"pos{self._pos}/{self.length}:{latched}"
+
     # -- snapshot/restore -----------------------------------------------
 
     def snapshot_state(self):

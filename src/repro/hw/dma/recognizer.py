@@ -127,6 +127,18 @@ class InitiationProtocol(ABC):
     def reset(self) -> None:
         """Return to power-on state (also called on attach)."""
 
+    # -- observability ------------------------------------------------------------------
+
+    def state_label(self) -> str:
+        """A short human-readable label of the recognizer's FSM state.
+
+        Used only by the span layer to annotate shadow-access spans with
+        the state transition they caused (``state_from`` / ``state_to``)
+        — never by any protocol decision.  The default names the class;
+        protocols with interesting state override it.
+        """
+        return type(self).__name__
+
     # -- snapshot/restore ---------------------------------------------------------------
 
     def snapshot_state(self) -> Any:

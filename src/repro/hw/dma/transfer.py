@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from ...errors import ConfigError
+from ...obs.spans import SpanTracer
 from ...sim.engine import Simulator
 from ...units import Time, transfer_time
 
@@ -87,7 +88,8 @@ class DmaTransferEngine:
     """
 
     def __init__(self, sim: Simulator, bandwidth_bps: float,
-                 startup: Time, mover: MoverFn) -> None:
+                 startup: Time, mover: MoverFn,
+                 spans: Optional[SpanTracer] = None) -> None:
         if bandwidth_bps <= 0:
             raise ConfigError(
                 f"bandwidth must be positive, got {bandwidth_bps}")
@@ -97,6 +99,9 @@ class DmaTransferEngine:
         self.bandwidth_bps = bandwidth_bps
         self.startup = startup
         self._mover = mover
+        #: Span tracer for per-transfer spans (disabled by default).
+        self.spans = spans if spans is not None else SpanTracer(
+            sim.time_source())
         self.transfers_started = 0
         self.bytes_moved = 0
         self.history: List[Transfer] = []
@@ -133,19 +138,35 @@ class DmaTransferEngine:
         self.transfers_started += 1
         self.history.append(transfer)
 
+        span = None
+        if self.spans.enabled:
+            # Background span: it ends at the completion event, long
+            # after the initiating synchronous code has returned.
+            span = self.spans.begin(
+                "dma.transfer", track="engine", stack=False,
+                psrc=psrc, pdst=pdst, size=size,
+                via=self.last_via or "unknown")
+
         fault = (self.fault_hook(transfer)
                  if self.fault_hook is not None else None)
         if fault is not None and fault[0] == "drop":
             # Lost completion: the bytes never move, the status readout
             # never reaches zero, and no event fires.  Recovery is the
-            # software's job (bounded waits + retry).
+            # software's job (bounded waits + retry).  The span stays
+            # open — exactly the hang the exporters flag.
             transfer.duration = NEVER_DURATION
+            if span is not None:
+                span.set(fault="drop")
             return transfer
 
         def complete() -> None:
             self._mover(psrc, pdst, size)
             transfer.completed = True
             self.bytes_moved += size
+            # A duplicated completion re-runs the mover; the span must
+            # close exactly once.
+            if span is not None and not span.closed:
+                self.spans.end(span, outcome="completed")
             if on_complete is not None:
                 on_complete(transfer)
 

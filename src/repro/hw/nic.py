@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional, Protocol
 
 from ..errors import AddressError, ConfigError, NetworkError
+from ..obs.spans import SpanTracer
 from ..sim.engine import Simulator
 from ..sim.trace import TraceLog
 from ..units import Time, mbps, ns
@@ -105,6 +106,7 @@ class NetworkInterface(DmaEngine):
                  startup: Time = ns(200),
                  trace: Optional[TraceLog] = None,
                  page_bounded: bool = False,
+                 spans: Optional[SpanTracer] = None,
                  name: str = "nic") -> None:
         self.addr_map = addr_map if addr_map is not None else GlobalAddressMap()
         if ram.size > self.addr_map.local_size:
@@ -116,7 +118,8 @@ class NetworkInterface(DmaEngine):
         self.remote_sends = 0
         super().__init__(sim, ram, protocol, layout=layout,
                          bandwidth_bps=bandwidth_bps, startup=startup,
-                         trace=trace, page_bounded=page_bounded, name=name)
+                         trace=trace, page_bounded=page_bounded,
+                         spans=spans, name=name)
 
     # -- DmaEngine overrides -----------------------------------------------------
 

@@ -1,0 +1,30 @@
+"""Observability: causal spans, time-series metrics, exporters, profiling.
+
+The layer is strictly additive — every producer defaults to a disabled
+:class:`~repro.obs.spans.SpanTracer` / :class:`~repro.obs.metrics.MetricsSampler`
+so the hot paths pay a single branch when tracing is off.  See
+``docs/observability.md`` for the span model and export formats.
+"""
+
+from .export import (chrome_trace, ensure_valid_chrome_trace, span_summary_table,
+                     span_tree_roots, spans_jsonl, validate_chrome_trace,
+                     write_chrome_trace)
+from .metrics import MetricsSampler
+from .profile import PhaseProfiler
+from .spans import NULL_SPAN, Span, SpanTracer, disabled_tracer
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "NULL_SPAN",
+    "disabled_tracer",
+    "MetricsSampler",
+    "PhaseProfiler",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "ensure_valid_chrome_trace",
+    "write_chrome_trace",
+    "spans_jsonl",
+    "span_tree_roots",
+    "span_summary_table",
+]

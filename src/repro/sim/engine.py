@@ -228,6 +228,15 @@ class Simulator:
         """Total number of events that have fired."""
         return self._events_fired
 
+    def time_source(self) -> Callable[[], Time]:
+        """A zero-argument callable reading the current simulated time.
+
+        The observability layer (span tracers, metrics samplers) holds
+        this instead of the simulator itself, so it can also be driven
+        by synthetic clocks in tests.
+        """
+        return lambda: self.now
+
     def live_event_signature(self) -> Tuple[Tuple[Time, str], ...]:
         """(when, label) of every live queued event, in firing order."""
         return tuple(sorted((e.when, e.label) for e in self._queue

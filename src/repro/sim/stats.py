@@ -86,19 +86,35 @@ class LatencyStat:
         variance = self._sum_sq / self.count - mean * mean
         return math.sqrt(max(0.0, variance))
 
+    @property
+    def has_samples(self) -> bool:
+        """Whether raw samples are retained and at least one exists."""
+        return bool(self._samples)
+
     def percentile(self, p: float) -> Time:
-        """The *p*-th percentile (0..100) of retained samples.
+        """The *p*-th percentile (0..100) — always a defined value.
+
+        With retained samples the exact interpolated percentile is
+        returned.  Without them (``keep_samples=False``, or nothing
+        recorded yet) the query degrades instead of failing:
+
+        * no samples recorded at all -> 0;
+        * aggregates only -> a coarse estimate interpolated through the
+          running (min, mean, max): min..mean over p in [0, 50], then
+          mean..max over p in (50, 100].
 
         Raises:
-            ValueError: if samples were not retained or none were recorded.
+            ValueError: only for *p* outside [0, 100].
         """
-        if self._samples is None:
-            raise ValueError(
-                f"latency stat {self.name!r} was built without keep_samples")
-        if not self._samples:
-            raise ValueError(f"latency stat {self.name!r} has no samples")
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            if self.count == 0:
+                return 0
+            assert self.min is not None and self.max is not None
+            if p <= 50:
+                return round(self.min + (self.mean - self.min) * (p / 50))
+            return round(self.mean + (self.max - self.mean) * (p - 50) / 50)
         ordered = sorted(self._samples)
         if len(ordered) == 1:
             return ordered[0]

@@ -25,12 +25,16 @@ class TraceEvent:
         source: emitting component (e.g. ``"dma"``, ``"cpu0"``).
         kind: event kind within the source (e.g. ``"shadow-store"``).
         detail: free-form payload fields.
+        seq: monotonic emission number assigned by the owning log —
+            events at equal timestamps sort deterministically by
+            ``(when, seq)`` in dumps and exports.
     """
 
     when: Time
     source: str
     kind: str
     detail: Dict[str, Any] = field(default_factory=dict)
+    seq: int = 0
 
     def format(self) -> str:
         """One-line rendering for dumps."""
@@ -54,40 +58,45 @@ class TraceLog:
         # A bounded deque makes the cap drop O(1) per emit; the unbounded
         # case stays a deque too so every other method is shape-agnostic.
         self._events: Deque[TraceEvent] = deque(maxlen=max_events)
+        self._seq = 0
 
     def emit(self, when: Time, source: str, kind: str, **detail: Any) -> None:
         """Append an event if tracing is enabled.
 
         With a ``max_events`` cap the oldest event is evicted in O(1)
         (deque ring buffer) — a capped log on a hot path costs the same
-        as an uncapped one.
+        as an uncapped one.  Each event gets the next monotonic ``seq``
+        so same-timestamp events keep a deterministic total order.
         """
         if not self.enabled:
             return
-        self._events.append(TraceEvent(when, source, kind, detail))
+        self._events.append(TraceEvent(when, source, kind, detail, self._seq))
+        self._seq += 1
 
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events (the seq counter keeps rising)."""
         self._events.clear()
 
     def snapshot(self):
         """Capture the log state for later :meth:`restore`.
 
         Without a ring-buffer cap the log is append-only, so a length
-        marker suffices; with a cap, old events may be dropped between
-        snapshot and restore, so the full list is copied.
+        marker (plus the seq counter) suffices; with a cap, old events
+        may be dropped between snapshot and restore, so the full list
+        is copied.
         """
         if self.max_events is None:
-            return len(self._events)
-        return list(self._events)
+            return (len(self._events), self._seq)
+        return (list(self._events), self._seq)
 
     def restore(self, token) -> None:
         """Return to a state captured by :meth:`snapshot`."""
-        if isinstance(token, int):
-            while len(self._events) > token:
+        marker, self._seq = token
+        if isinstance(marker, int):
+            while len(self._events) > marker:
                 self._events.pop()
         else:
-            self._events = deque(token, maxlen=self.max_events)
+            self._events = deque(marker, maxlen=self.max_events)
 
     def __len__(self) -> int:
         return len(self._events)

@@ -26,10 +26,12 @@ differential tests assert on every built-in scenario.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import VerificationError
+from ..obs.profile import PhaseProfiler
 from ..hw.dma.protocols.repeated import RepeatedPassingProtocol
 from .interleave import AccessSpec, interleaving_count
 from .model_check import (
@@ -114,6 +116,7 @@ def check_scenario_incremental(
         progress_every: int = 1000,
         stats: Optional[CheckStats] = None,
         prefix_choices: Optional[Sequence[int]] = None,
+        profiler: Optional[PhaseProfiler] = None,
 ) -> CheckResult:
     """Check a scenario with prefix sharing; naive-identical results.
 
@@ -137,6 +140,12 @@ def check_scenario_incremental(
             to hand each worker one top-level DFS branch.  The result
             then covers (and counts) only that branch's subtree, with
             examples still being complete interleavings.
+        profiler: optional :class:`~repro.obs.profile.PhaseProfiler`;
+            when given, accumulates wall time for the ``snapshot``,
+            ``restore``, ``deliver``, and ``leaf`` phases and counts
+            ``expansion`` / ``transposition_hit`` events.  When None
+            (the default) the hot path pays one ``is not None`` test
+            per operation.
 
     Raises:
         VerificationError: if the interleaving count exceeds the cap, or
@@ -162,7 +171,12 @@ def check_scenario_incremental(
     def deliver(access: AccessSpec) -> Any:
         """Deliver one access; returns the final_status undo token."""
         stats.accesses_delivered += 1
-        status = harness.deliver(access)
+        if profiler is not None:
+            t0 = time.perf_counter()
+            status = harness.deliver(access)
+            profiler.add_seconds("deliver", time.perf_counter() - t0)
+        else:
+            status = harness.deliver(access)
         if access.final and status is not None:
             old = final_status.get(access.pid, _MISSING)
             final_status[access.pid] = status
@@ -185,6 +199,7 @@ def check_scenario_incremental(
             progress(track["leaves"])
 
     def leaf() -> _Subtree:
+        t0 = time.perf_counter() if profiler is not None else 0.0
         evidence = ReplayEvidence()
         evidence.records = list(harness.engine.initiations)
         evidence.final_status = dict(final_status)
@@ -205,6 +220,8 @@ def check_scenario_incremental(
             if max_examples > 0:
                 node.examples.append(((), violations))
         tick(1)
+        if profiler is not None:
+            profiler.add_seconds("leaf", time.perf_counter() - t0)
         return node
 
     def dfs(remaining: int) -> _Subtree:
@@ -220,22 +237,36 @@ def check_scenario_incremental(
                 hit = memo.get(key)
                 if hit is not None:
                     stats.transposition_hits += 1
+                    if profiler is not None:
+                        profiler.count("transposition_hit")
                     tick(hit.leaves)
                     return hit
         node = _Subtree()
+        if profiler is not None:
+            profiler.count("expansion")
         for index, stream in enumerate(streams):
             pos = positions[index]
             if pos == lengths[index]:
                 continue
             access = stream[pos]
-            token = harness.snapshot()
+            if profiler is not None:
+                t0 = time.perf_counter()
+                token = harness.snapshot()
+                profiler.add_seconds("snapshot", time.perf_counter() - t0)
+            else:
+                token = harness.snapshot()
             stats.snapshots += 1
             old = deliver(access)
             positions[index] = pos + 1
             child = dfs(remaining - 1)
             positions[index] = pos
             undo_status(access, old)
-            harness.restore(token)
+            if profiler is not None:
+                t0 = time.perf_counter()
+                harness.restore(token)
+                profiler.add_seconds("restore", time.perf_counter() - t0)
+            else:
+                harness.restore(token)
             stats.restores += 1
             node.leaves += child.leaves
             node.violating += child.violating

@@ -1,0 +1,98 @@
+"""Unit tests for the pull-based metrics sampler."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import MetricsSampler
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+def test_disabled_sampler_never_records():
+    clock = FakeClock()
+    sampler = MetricsSampler(clock, sources=[lambda: {"x": 1.0}])
+    assert not sampler.enabled
+    assert sampler.poll() is False
+    assert len(sampler) == 0
+
+
+def test_non_positive_interval_rejected():
+    with pytest.raises(ObservabilityError):
+        MetricsSampler(FakeClock(), interval=0)
+    with pytest.raises(ObservabilityError):
+        MetricsSampler(FakeClock(), interval=-5)
+
+
+def test_poll_records_on_cadence_only():
+    clock = FakeClock()
+    value = {"n": 0.0}
+    sampler = MetricsSampler(clock, sources=[lambda: dict(value)],
+                             interval=100)
+    assert sampler.poll() is True      # t=0 is the first cadence point
+    value["n"] = 1.0
+    clock.now = 50
+    assert sampler.poll() is False     # not due yet
+    clock.now = 100
+    assert sampler.poll() is True
+    assert sampler.series("n") == [(0, 0.0), (100, 1.0)]
+
+
+def test_poll_catches_up_after_time_jump():
+    clock = FakeClock()
+    sampler = MetricsSampler(clock, sources=[lambda: {"x": 1.0}],
+                             interval=10)
+    sampler.poll()
+    clock.now = 1_000   # far past many cadence points
+    sampler.poll()
+    assert len(sampler) == 2           # one sample covers the gap
+    clock.now = 1_005
+    assert sampler.poll() is False     # next due is 1010, not 1010-990
+
+
+def test_sources_merge_later_wins():
+    clock = FakeClock()
+    sampler = MetricsSampler(clock, sources=[lambda: {"a": 1.0, "b": 2.0}],
+                             interval=1)
+    sampler.add_source(lambda: {"b": 9.0, "c": 3.0})
+    sample = sampler.sample_now()
+    assert sample == {"a": 1.0, "b": 9.0, "c": 3.0}
+    assert sampler.names() == ["a", "b", "c"]
+
+
+def test_deltas_of_cumulative_counter():
+    clock = FakeClock()
+    value = {"bytes": 0.0}
+    sampler = MetricsSampler(clock, sources=[lambda: dict(value)],
+                             interval=10)
+    for when, total in ((0, 0.0), (10, 64.0), (20, 192.0)):
+        clock.now = when
+        value["bytes"] = total
+        sampler.poll()
+    assert sampler.deltas("bytes") == [(0, 0.0), (10, 64.0), (20, 128.0)]
+
+
+def test_to_dict_is_json_ready():
+    clock = FakeClock()
+    sampler = MetricsSampler(clock, sources=[lambda: {"x": 2.0}],
+                             interval=1_000_000)  # 1 us in ps
+    sampler.poll()
+    out = sampler.to_dict()
+    assert out["interval_us"] == 1.0
+    assert out["n_samples"] == 1
+    assert out["series"]["x"] == [[0.0, 2.0]]
+
+
+def test_clear_restarts_cadence():
+    clock = FakeClock()
+    sampler = MetricsSampler(clock, sources=[lambda: {"x": 1.0}],
+                             interval=10)
+    sampler.poll()
+    sampler.clear()
+    assert len(sampler) == 0
+    assert sampler.poll() is True      # cadence starts over at t=now

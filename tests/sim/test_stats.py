@@ -56,11 +56,48 @@ def test_latency_rejects_negative_sample():
         LatencyStat("lat").record(-1)
 
 
-def test_percentiles_require_samples_kept():
+def test_percentile_without_samples_estimates_from_aggregates():
+    # keep_samples=False must still return a defined value: the estimate
+    # interpolates min..mean for p<=50 and mean..max above.
+    stat = LatencyStat("lat")
+    for sample in (100, 200, 600):
+        stat.record(sample)
+    assert stat.percentile(0) == 100
+    assert stat.percentile(50) == 300  # the running mean
+    assert stat.percentile(100) == 600
+    assert stat.percentile(25) == 200
+    assert stat.percentile(75) == 450
+
+
+def test_percentile_empty_stat_is_zero():
+    stat = LatencyStat("lat")
+    assert stat.percentile(50) == 0
+    empty_kept = LatencyStat("lat2", keep_samples=True)
+    assert empty_kept.percentile(99) == 0
+
+
+def test_percentile_single_aggregate_sample():
+    stat = LatencyStat("lat")
+    stat.record(10)
+    assert stat.percentile(50) == 10
+    assert not stat.has_samples
+
+
+def test_percentile_bounds_checked_without_samples():
     stat = LatencyStat("lat")
     stat.record(10)
     with pytest.raises(ValueError):
-        stat.percentile(50)
+        stat.percentile(-1)
+    with pytest.raises(ValueError):
+        stat.percentile(101)
+
+
+def test_has_samples_property():
+    assert not LatencyStat("a").has_samples
+    kept = LatencyStat("b", keep_samples=True)
+    assert not kept.has_samples
+    kept.record(5)
+    assert kept.has_samples
 
 
 def test_percentile_median():

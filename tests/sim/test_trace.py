@@ -107,3 +107,40 @@ def test_iteration_yields_in_order():
     for when in (5, 10, 15):
         log.emit(when, "s", "k")
     assert [e.when for e in log] == [5, 10, 15]
+
+
+def test_seq_is_monotonic_and_breaks_timestamp_ties():
+    log = TraceLog(enabled=True)
+    for kind in ("a", "b", "c"):
+        log.emit(100, "s", kind)  # identical timestamps
+    events = list(log)
+    assert [e.seq for e in events] == [0, 1, 2]
+    # Sorting by (when, seq) preserves emission order despite the ties.
+    assert [e.kind for e in sorted(events,
+                                   key=lambda e: (e.when, e.seq))] \
+        == ["a", "b", "c"]
+
+
+def test_seq_survives_cap_eviction():
+    log = TraceLog(enabled=True, max_events=2)
+    for index in range(5):
+        log.emit(index, "s", f"k{index}")
+    assert [e.seq for e in log] == [3, 4]
+
+
+def test_seq_continues_after_clear():
+    log = TraceLog(enabled=True)
+    log.emit(1, "s", "a")
+    log.clear()
+    log.emit(2, "s", "b")
+    assert list(log)[0].seq == 1
+
+
+def test_seq_restored_by_snapshot():
+    log = TraceLog(enabled=True)
+    log.emit(1, "s", "a")
+    token = log.snapshot()
+    log.emit(2, "s", "b")
+    log.restore(token)
+    log.emit(3, "s", "c")
+    assert [e.seq for e in log] == [0, 1]
