@@ -1,0 +1,213 @@
+"""Counterexample-synthesis benchmark: hunt, shrink, k-fault throughput.
+
+Measures the three phases of the synthesis subsystem
+(:mod:`repro.verify.synth`) and writes one JSON report:
+
+* **hunt** — guided-search throughput against the *hardened* methods.
+  Hardened hunts always exhaust their candidate budget, so the work per
+  cell is deterministic and the rate (interleavings model-checked per
+  wall second) is stable enough to gate in CI.
+* **rediscover** — candidates-to-find for the broken variants
+  (repeated3/repeated4).  Informational only: the runs stop at the
+  first violation, so wall time is too small to gate on.
+* **shrink** — delta-debugging throughput on the paper's printed
+  Fig. 5 / Fig. 6 interleavings, in replays per second.
+* **kfault** — exhaustive k=2 campaign throughput on shrimp1.
+
+The report follows the ``compare_bench.py`` contract — gated cells
+carry ``{"incremental": {"orders_per_s": ...}}`` keyed by scenario
+name; informational cells omit it — so the CI gate is::
+
+    python benchmarks/compare_bench.py \
+        benchmarks/results/BENCH_synth.json CANDIDATE.json
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_synth.py           # full
+    PYTHONPATH=src python benchmarks/bench_synth.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+if __package__ in (None, ""):  # `python benchmarks/bench_synth.py`
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                           / "src"))
+
+from repro.verify.adversary import fig5_scenario, fig6_scenario
+from repro.verify.synth import (
+    HuntConfig,
+    hunt_method,
+    shrink_counterexample,
+    verify_method_under_k_faults,
+)
+
+DEFAULT_OUTPUT = (pathlib.Path(__file__).resolve().parent
+                  / "results" / "BENCH_synth.json")
+
+HARDENED = ("shrimp1", "keyed", "extshadow", "repeated5")
+BROKEN = ("repeated3", "repeated4")
+QUICK_HARDENED = ("shrimp1", "extshadow")
+
+FIGURES = {"fig5": fig5_scenario, "fig6": fig6_scenario}
+
+
+def bench_hunt(method: str, candidates: int, seed: int) -> dict:
+    """Hardened-method hunt: fixed budget, rate over checker work."""
+    config = HuntConfig(seed=seed, max_candidates=candidates)
+    t0 = time.perf_counter()
+    report = hunt_method(method, config)
+    wall = time.perf_counter() - t0
+    rate = report.interleavings / wall if wall else 0.0
+    return {
+        "name": f"hunt-{method}",
+        "kind": "hunt",
+        "found": report.found,
+        "candidates": report.candidates,
+        "interleavings": report.interleavings,
+        "accesses_delivered": report.accesses_delivered,
+        "incremental": {
+            "wall_s": round(wall, 6),
+            "orders_per_s": round(rate, 1),
+            "candidates_per_s": round(report.candidates / wall, 1)
+            if wall else 0.0,
+        },
+    }
+
+
+def bench_rediscovery(method: str, candidates: int, seed: int) -> dict:
+    """Broken-variant rediscovery: informational, no gating rate."""
+    config = HuntConfig(seed=seed, max_candidates=candidates)
+    t0 = time.perf_counter()
+    report = hunt_method(method, config)
+    wall = time.perf_counter() - t0
+    return {
+        "name": f"rediscover-{method}",
+        "kind": "rediscovery",
+        "found": report.found,
+        "candidates_to_find": report.candidates,
+        "violated_props": list(report.props),
+        "shrunk_length": len(report.shrunk) if report.shrunk else None,
+        "wall_s": round(wall, 6),
+    }
+
+
+def bench_shrink(figure: str, reps: int) -> dict:
+    """Shrink the printed figure interleaving `reps` times; rate is
+    oracle replays per second (the shrinker's unit of work)."""
+    scenario, printed = FIGURES[figure]()
+    replays = 0
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        core = shrink_counterexample(scenario, printed)
+        replays += core.replays
+    wall = time.perf_counter() - t0
+    return {
+        "name": f"shrink-{figure}",
+        "kind": "shrink",
+        "reps": reps,
+        "core_length": len(core),
+        "replays": replays,
+        "incremental": {
+            "wall_s": round(wall, 6),
+            "orders_per_s": round(replays / wall, 1) if wall else 0.0,
+        },
+    }
+
+
+def bench_kfault(method: str, max_combos: Optional[int],
+                 seed: int) -> dict:
+    """Exhaustive (or capped) k=2 campaign; rate is interleavings/s."""
+    t0 = time.perf_counter()
+    report = verify_method_under_k_faults(method, k=2,
+                                          max_combos=max_combos,
+                                          seed=seed)
+    wall = time.perf_counter() - t0
+    rate = report.interleavings_checked / wall if wall else 0.0
+    return {
+        "name": f"kfault-{method}-k2",
+        "kind": "kfault",
+        "verdict": report.verdict,
+        "sampled": report.sampled,
+        "combos_checked": report.combos_checked,
+        "interleavings": report.interleavings_checked,
+        "incremental": {
+            "wall_s": round(wall, 6),
+            "orders_per_s": round(rate, 1),
+        },
+    }
+
+
+def build_report(quick: bool = False, seed: int = 7) -> dict:
+    """Run every cell and return the JSON-ready report dict."""
+    hardened = QUICK_HARDENED if quick else HARDENED
+    hunt_budget = 60 if quick else 300
+    shrink_reps = 3 if quick else 20
+    kfault_cap = 60 if quick else None
+
+    scenarios: List[dict] = []
+    scenarios += [bench_hunt(m, hunt_budget, seed) for m in hardened]
+    scenarios += [bench_rediscovery(m, hunt_budget, seed)
+                  for m in BROKEN]
+    scenarios += [bench_shrink(fig, shrink_reps) for fig in FIGURES]
+    scenarios.append(bench_kfault("shrimp1", kfault_cap, seed))
+
+    rediscovered = all(c["found"] for c in scenarios
+                       if c["kind"] == "rediscovery")
+    survived = not any(c["found"] for c in scenarios
+                       if c["kind"] == "hunt")
+    return {
+        "benchmark": "counterexample_synthesis",
+        "generated_by": "benchmarks/bench_synth.py",
+        "quick": quick,
+        "python": sys.version.split()[0],
+        "seed": seed,
+        "hunt_budget": hunt_budget,
+        "scenarios": scenarios,
+        "rediscovered": rediscovered,
+        "hardened_survived": survived,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark counterexample synthesis; emit JSON.")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fewer methods, smaller budgets")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="hunt and k-fault sampling seed")
+    parser.add_argument("--output", type=pathlib.Path,
+                        default=DEFAULT_OUTPUT,
+                        help=f"output path (default {DEFAULT_OUTPUT})")
+    args = parser.parse_args(argv)
+
+    report = build_report(quick=args.quick, seed=args.seed)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for cell in report["scenarios"]:
+        timing = cell.get("incremental")
+        rate = (f"{timing['orders_per_s']:>12.1f} orders/s"
+                if timing else "  informational")
+        extra = ""
+        if cell["kind"] == "rediscovery":
+            extra = (f" found after {cell['candidates_to_find']} "
+                     f"candidates" if cell["found"] else " NOT FOUND")
+        elif cell["kind"] == "kfault":
+            extra = f" verdict {cell['verdict']}"
+        print(f"{cell['name']:24s} {rate}{extra}")
+    print(f"broken variants rediscovered: {report['rediscovered']}")
+    print(f"hardened methods survived:    {report['hardened_survived']}")
+    print(f"wrote {args.output}")
+    ok = report["rediscovered"] and report["hardened_survived"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

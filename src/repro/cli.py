@@ -12,6 +12,7 @@
     python -m repro bus               # §3.4 PCI sweep
     python -m repro atomics           # §3.5 atomic operations
     python -m repro stress            # kernel-modification ablation
+    python -m repro hunt              # synthesize counterexamples
     python -m repro trace             # traced adversary run -> Perfetto
     python -m repro metrics           # metric time series of that run
     python -m repro all               # every experiment above, in order
@@ -333,6 +334,99 @@ def cmd_metrics(args: argparse.Namespace) -> None:
     print(table.render())
 
 
+def cmd_hunt(args: argparse.Namespace) -> None:
+    """Synthesize counterexamples (and run the k-fault campaign)."""
+    import itertools
+    import json
+
+    from .obs.profile import PhaseProfiler
+    from .obs.spans import SpanTracer
+    from .verify.faulted import FAULT_HARDENED_METHODS
+    from .verify.synth import HuntConfig, run_hunt, run_k_fault_campaign
+    from .verify.synth.search import HUNT_METHODS
+
+    methods = (tuple(args.methods.split(","))
+               if args.methods else HUNT_METHODS)
+    config = HuntConfig(seed=args.seed, budget_s=args.budget,
+                        max_candidates=args.max_candidates)
+    ticks = itertools.count()
+    tracer = SpanTracer(clock=lambda: next(ticks), enabled=True)
+    profiler = PhaseProfiler()
+    reports = run_hunt(methods, config, tracer=tracer, profiler=profiler)
+    tracer.require_balanced()
+
+    table = Table(f"Counterexample hunt (seed {args.seed})",
+                  ["method", "candidates", "interleavings", "outcome",
+                   "shrunk"])
+    for report in reports:
+        if report.found:
+            outcome = "FOUND: " + ",".join(report.props)
+            shrunk = (str(len(report.shrunk))
+                      if report.shrunk is not None else "-")
+        else:
+            outcome = ("exhausted, safe" if report.exhausted
+                       else "safe within budget")
+            shrunk = "-"
+        table.add_row(report.method, report.candidates,
+                      report.interleavings, outcome, shrunk)
+    print(table.render())
+
+    by_method = {r.method: r for r in reports}
+    broken = [m for m in ("repeated3", "repeated4") if m in by_method]
+    hardened = [m for m in FAULT_HARDENED_METHODS if m in by_method]
+    rediscovered = all(by_method[m].found for m in broken)
+    survived = all(not by_method[m].found for m in hardened)
+    print(f"broken variants rediscovered ({', '.join(broken) or 'none'}): "
+          f"{'yes' if rediscovered else 'NO'}")
+    print(f"hardened methods survived ({', '.join(hardened) or 'none'}): "
+          f"{'yes' if survived else 'NO'}")
+
+    kfault_reports = {}
+    kfault_ok = True
+    if args.k_faults > 0:
+        campaign_methods = [m for m in FAULT_HARDENED_METHODS
+                            if m in by_method] or None
+        kfault_reports = run_k_fault_campaign(
+            campaign_methods, k=args.k_faults, max_combos=args.max_combos,
+            seed=args.seed, profiler=profiler)
+        ktable = Table(f"k-fault campaign (k={args.k_faults})",
+                       ["method", "combos", "skipped", "interleavings",
+                        "verdict"])
+        for method, report in kfault_reports.items():
+            mode = "~" if report.sampled else ""
+            ktable.add_row(method,
+                           f"{mode}{report.combos_checked}"
+                           f"/{report.combos_total}",
+                           report.combos_skipped,
+                           report.interleavings_checked, report.verdict)
+        print(ktable.render())
+        kfault_ok = all(r.verdict == "SAFE"
+                        for r in kfault_reports.values())
+        print(f"all campaigned methods SAFE under k={args.k_faults} "
+              f"faults: {'yes' if kfault_ok else 'NO'}")
+
+    if args.output:
+        payload = {
+            "seed": args.seed,
+            "budget_s": args.budget,
+            "max_candidates": args.max_candidates,
+            "k_faults": args.k_faults,
+            "hunts": [r.to_dict() for r in reports],
+            "kfault": {m: r.to_dict()
+                       for m, r in kfault_reports.items()},
+            "spans": [s.to_dict() for s in tracer.finished()],
+            "phases": profiler.report(),
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.output}: {len(reports)} hunts, "
+              f"{len(kfault_reports)} k-fault campaigns")
+
+    if not (rediscovered and survived and kfault_ok):
+        raise SystemExit(1)
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": cmd_table1,
     "methods": cmd_methods,
@@ -346,6 +440,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "atomics": cmd_atomics,
     "generations": cmd_generations,
     "stress": cmd_stress,
+    "hunt": cmd_hunt,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
 }
@@ -368,7 +463,23 @@ def build_parser() -> argparse.ArgumentParser:
                         default="chrome",
                         help="trace output format (trace command)")
     parser.add_argument("--output", default=None,
-                        help="output file for trace/metrics exports")
+                        help="output file for trace/metrics/hunt exports")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="wall-clock budget per hunted method, "
+                             "seconds (hunt command)")
+    parser.add_argument("--max-candidates", type=int, default=400,
+                        help="adversary streams checked per method "
+                             "(hunt command)")
+    parser.add_argument("--k-faults", type=int, default=0,
+                        help="also run a k-fault campaign on the "
+                             "hardened methods (hunt command; 0 = off)")
+    parser.add_argument("--max-combos", type=int, default=None,
+                        help="cap on fault combinations per method "
+                             "(hunt command; below the space size "
+                             "turns the campaign into a seeded sample)")
+    parser.add_argument("--methods", default=None,
+                        help="comma-separated methods to hunt "
+                             "(hunt command; default: all six)")
     return parser
 
 
@@ -378,7 +489,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "all":
         for name in ("table1", "methods", "attacks", "races", "faults",
                      "fig8", "prove", "crossover", "bus", "atomics",
-                     "generations", "stress"):
+                     "generations", "stress", "hunt"):
             print(f"\n===== {name} =====")
             COMMANDS[name](args)
     else:

@@ -21,7 +21,14 @@ executable:
   under a seeded preemptive scheduler;
 * :mod:`repro.verify.faulted` — re-verification of every method under
   single faults (drop/duplicate/reorder/delay/bitflip applied to the
-  access streams), with SAFE / UNSAFE-BASELINE / NEWLY-UNSAFE verdicts.
+  access streams), with SAFE / UNSAFE-BASELINE / NEWLY-UNSAFE verdicts;
+* :mod:`repro.verify.legality` — the shared MMU page-rights validator:
+  every :class:`~repro.verify.model_check.Scenario` (hand-written or
+  synthesized) is checked at construction time;
+* :mod:`repro.verify.synth` — counterexample *search*: seeded MMU-legal
+  adversary generation, a bandit-guided hunt over
+  :func:`check_scenario_incremental`, delta-debugging shrinking to
+  1-minimal cores, and k-fault campaigns.
 """
 
 from .adversary import (
@@ -47,7 +54,17 @@ from .interleave import (
     initiation_stream,
     interleaving_count,
 )
-from .model_check import CheckResult, Scenario, check_scenario
+from .legality import (
+    access_violation,
+    require_legal_streams,
+    stream_violations,
+)
+from .model_check import (
+    CheckResult,
+    Scenario,
+    check_scenario,
+    replay_interleaving,
+)
 from .parallel import ParallelChecker, ParallelReport
 from .proof import LemmaResult, ProofReport, prove_fig8
 from .properties import ProcessIntent, Rights, Violation
@@ -70,6 +87,7 @@ __all__ = [
     "Scenario",
     "StressReport",
     "Violation",
+    "access_violation",
     "all_acceptable",
     "builtin_scenarios",
     "check_scenario",
@@ -82,7 +100,10 @@ __all__ = [
     "interleaving_count",
     "pair_race_scenario",
     "prove_fig8",
+    "replay_interleaving",
+    "require_legal_streams",
     "run_fault_verification",
     "run_stress",
+    "stream_violations",
     "verify_method_under_faults",
 ]

@@ -9,6 +9,12 @@ Address conventions: one page per named buffer; the victim is pid 1.
 Adversary streams only contain accesses the MMU would let the adversary
 issue — a shadow store needs write permission on the page, a shadow load
 needs read permission (that is the whole protection story of §2.3).
+This is *enforced* at construction time, not merely documented:
+:class:`~repro.verify.model_check.Scenario` runs every stream through
+:mod:`repro.verify.legality` and raises
+:class:`~repro.errors.VerificationError` on an illegal access, so these
+hand-written scenarios and the synthesized streams of
+:mod:`repro.verify.synth` share one validator.
 """
 
 from __future__ import annotations

@@ -145,6 +145,26 @@ def apply_fault(scenario: Scenario, spec: FaultSpec) -> Scenario:
                    check_truthfulness=False)
 
 
+def apply_faults(scenario: Scenario,
+                 specs: Sequence[FaultSpec]) -> Scenario:
+    """A copy of *scenario* with *several* faults applied to its streams.
+
+    Specs are applied in descending ``(stream, index)`` order, so a
+    fault that shortens or lengthens a stream never invalidates the
+    location of a fault at an earlier index.  A combination can still
+    be infeasible — e.g. a reorder whose partner access was dropped by
+    a later-index fault — in which case :class:`IndexError` propagates;
+    the k-fault campaign (:mod:`repro.verify.synth.kfault`) counts such
+    combinations as skipped rather than checked.
+    """
+    ordered = sorted(specs, key=lambda s: (s.stream, s.index),
+                     reverse=True)
+    out = scenario
+    for spec in ordered:
+        out = apply_fault(out, spec)
+    return out
+
+
 @dataclass
 class MethodFaultReport:
     """Fault-verification outcome for one initiation method.

@@ -208,7 +208,7 @@ def check_scenario_incremental(
                 tuple(p for p in pids)
                 for pids in harness.protocol.completed_contributors]
         violations = check_authorized_start(evidence, scenario.rights)
-        violations += check_single_issuer(evidence)
+        violations += check_single_issuer(evidence, scenario.rights)
         if scenario.check_truthfulness:
             violations += check_truthful_status(
                 evidence, scenario.intents, REJECTION_WORDS)

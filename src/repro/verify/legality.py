@@ -1,0 +1,85 @@
+"""MMU legality of scenario access streams — the shared validator.
+
+The whole protection story of §2.3 is that an adversary can only issue
+accesses its own page tables permit: a shadow *store* (or exchange —
+a read-modify-write) needs write permission on the mirrored data page,
+a shadow *load* needs read permission.  The hand-written scenarios in
+:mod:`repro.verify.adversary` have always *documented* this discipline;
+this module makes it checkable, and :class:`~repro.verify.model_check.
+Scenario` enforces it at construction time, so an illegal stream can
+never silently turn into a bogus "attack" — neither in a hand-written
+scenario nor in one synthesized by :mod:`repro.verify.synth`.
+
+Context-page ops (``ctx-store`` / ``ctx-load``) are exempt: the OS maps
+each process's register-context page privately, and the scenarios only
+ever direct a process at its own context (the keyed method's protection
+against a *shared* shadow page is the key word itself, which is exactly
+what the key-guessing scenario probes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import VerificationError
+from .interleave import AccessSpec
+from .properties import Rights
+
+#: Ops that write the mirrored data page (need write permission).
+WRITE_OPS = ("store", "exchange")
+
+#: Ops that read the mirrored data page (need read permission).
+READ_OPS = ("load",)
+
+#: Ops on the process's own register-context page (no data-page rights).
+CTX_OPS = ("ctx-store", "ctx-load")
+
+
+def access_violation(access: AccessSpec,
+                     rights: Dict[int, Rights]) -> Optional[str]:
+    """Why *access* is MMU-illegal under *rights*, or None if legal."""
+    if access.op in CTX_OPS:
+        return None
+    holder = rights.get(access.pid)
+    if holder is None:
+        return (f"pid {access.pid} issues {access.op!r} but has no "
+                f"rights entry")
+    if access.op in WRITE_OPS:
+        if not holder.can_write(access.paddr):
+            return (f"pid {access.pid} {access.op}s shadow({access.paddr:#x})"
+                    f" without write permission on the page")
+        return None
+    if access.op in READ_OPS:
+        if not holder.can_read(access.paddr):
+            return (f"pid {access.pid} loads shadow({access.paddr:#x}) "
+                    f"without read permission on the page")
+        return None
+    return f"pid {access.pid} issues unknown access op {access.op!r}"
+
+
+def stream_violations(streams: Sequence[Sequence[AccessSpec]],
+                      rights: Dict[int, Rights]) -> List[str]:
+    """Every MMU-legality problem in *streams*, located by position."""
+    problems: List[str] = []
+    for s_index, stream in enumerate(streams):
+        for a_index, access in enumerate(stream):
+            problem = access_violation(access, rights)
+            if problem is not None:
+                problems.append(f"stream {s_index} access {a_index}: "
+                                f"{problem}")
+    return problems
+
+
+def require_legal_streams(streams: Sequence[Sequence[AccessSpec]],
+                          rights: Dict[int, Rights],
+                          name: str = "scenario") -> None:
+    """Raise unless every access in *streams* is MMU-legal.
+
+    Raises:
+        VerificationError: naming every illegal access.
+    """
+    problems = stream_violations(streams, rights)
+    if problems:
+        raise VerificationError(
+            f"{name}: {len(problems)} MMU-illegal access(es): "
+            + "; ".join(problems))

@@ -22,6 +22,7 @@ from .interleave import (
     interleaving_count,
     iter_interleavings_shared,
 )
+from .legality import require_legal_streams
 from .properties import (
     ProcessIntent,
     Rights,
@@ -50,6 +51,13 @@ class Scenario:
             fault-injected streams disable it — see repro.verify.faulted).
         page_bounded: run the engine with the page-bounding hardening
             (rejects user-level transfers crossing a page boundary).
+
+    Every stream must be MMU-legal under ``rights`` (stores/exchanges
+    only to writable pages, loads only from readable pages — the §2.3
+    protection premise); construction raises
+    :class:`~repro.errors.VerificationError` otherwise, so hand-written
+    and synthesized scenarios share one validator
+    (:mod:`repro.verify.legality`).
     """
 
     name: str
@@ -61,6 +69,9 @@ class Scenario:
     n_contexts: int = 4
     check_truthfulness: bool = True
     page_bounded: bool = False
+
+    def __post_init__(self) -> None:
+        require_legal_streams(self.streams, self.rights, name=self.name)
 
 
 @dataclass
@@ -120,7 +131,7 @@ def replay_interleaving(scenario: Scenario,
         harness = make_harness(scenario)
     evidence = harness.replay(interleaving)
     violations = check_authorized_start(evidence, scenario.rights)
-    violations += check_single_issuer(evidence)
+    violations += check_single_issuer(evidence, scenario.rights)
     if scenario.check_truthfulness:
         violations += check_truthful_status(evidence, scenario.intents,
                                             REJECTION_WORDS)

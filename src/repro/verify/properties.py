@@ -10,9 +10,14 @@ the engine's initiation records and the per-access status results:
   process could have performed legitimately: readable source, writable
   destination.  (Fig. 5's attack violates this: the malicious process
   starts a transfer *into* a page it cannot write.)
-* **single-issuer** — for sequence-recognizer protocols, every access
-  that contributed to a started DMA came from one process (§3.3.1's
-  claim for the 5-instruction variant).
+* **single-issuer** — for sequence-recognizer protocols, a started DMA
+  assembled from several processes' accesses must not *borrow
+  authority*: the recorded issuer alone must hold the rights the
+  transfer needs (§3.3.1's claim for the 5-instruction variant).
+  Mixed completions whose issuer was already fully authorized are
+  benign — they cost the other party a recognizer reset (liveness),
+  and counterexample synthesis finds them even for the safe 5-access
+  variant.
 * **truthful-status** — a process that is told DMA_FAILURE must not have
   had its DMA started by someone else's access, and a process told
   success must actually have a matching started DMA.  (Fig. 6's attack
@@ -146,15 +151,43 @@ def check_authorized_start(evidence: ReplayEvidence,
     return violations
 
 
-def check_single_issuer(evidence: ReplayEvidence) -> List[Violation]:
-    """All contributing accesses of a started DMA share one issuer."""
+def check_single_issuer(evidence: ReplayEvidence,
+                        rights: Optional[dict] = None) -> List[Violation]:
+    """Mixed-issuer pattern completions must not borrow authority.
+
+    The §3.3.1 hazard is a DMA assembled from several processes'
+    accesses whose recorded issuer could not have started the transfer
+    alone (Fig. 5 / Fig. 6: the adversary borrows the victim's stores).
+    A mixed completion whose issuer already holds the needed rights is
+    excused: the engine started a transfer that issuer could have made
+    legitimately, and the other party merely lost recognizer progress
+    (a liveness nuisance, reported by truthful-status if it misleads).
+    Guided counterexample search finds such benign compositions even
+    for the safe 5-access variant, so the strict reading is *false*
+    for arbitrary MMU-legal access soups.
+
+    Args:
+        rights: pid -> :class:`Rights`.  When omitted — or when no
+            successful initiation record matches a completion — mixed
+            contributors are flagged unconditionally (the strict
+            reading, kept for bare-evidence callers).
+    """
     violations: List[Violation] = []
     for index, pids in enumerate(evidence.contributors):
-        if len(set(pids)) > 1:
-            violations.append(Violation(
-                "single-issuer", None,
-                f"started DMA #{index} assembled from accesses by "
-                f"pids {sorted(set(pids))}"))
+        if len(set(pids)) <= 1:
+            continue
+        record = (evidence.records[index]
+                  if index < len(evidence.records) else None)
+        if rights is not None and record is not None and record.ok:
+            holder: Optional[Rights] = rights.get(record.issuer)
+            if (holder is not None
+                    and holder.can_read(record.psrc, record.size)
+                    and holder.can_write(record.pdst, record.size)):
+                continue  # benign composition: the issuer needed no help
+        violations.append(Violation(
+            "single-issuer", None,
+            f"started DMA #{index} assembled from accesses by "
+            f"pids {sorted(set(pids))}"))
     return violations
 
 

@@ -1,0 +1,137 @@
+"""Seeded, MMU-legal adversary stream generation.
+
+An :class:`AdversaryProfile` fixes what the OS gave the adversary: its
+pid, its page :class:`~repro.verify.properties.Rights`, the shadow
+context it may address, and the data words it can plausibly store
+(transfer sizes, and — against the keyed method — wrong-key words; the
+true key is a 60-bit secret, so a synthesizer that *knew* it would be
+cheating).  From a profile, :func:`access_vocabulary` derives the finite
+alphabet of accesses the MMU would let that adversary issue; every
+stream the search or the random explorer builds is a word over this
+alphabet, so synthesized streams are legal **by construction**, and the
+shared validator (:mod:`repro.verify.legality`) re-checks them when the
+composed :class:`~repro.verify.model_check.Scenario` is built.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ...errors import VerificationError
+from ..interleave import AccessSpec
+from ..legality import access_violation
+from ..properties import Rights
+
+#: One page per named buffer, matching the conventions of
+#: :mod:`repro.verify.adversary` (victim source A, victim destination B,
+#: adversary-owned C and scratch FOO) without importing its streams.
+from ...hw.pagetable import PAGE_SIZE
+
+VICTIM_PID = 1
+ADVERSARY_PID = 2
+
+ADDR_A = 0 * PAGE_SIZE   # victim's source ("possibly public" data)
+ADDR_B = 1 * PAGE_SIZE   # victim's private destination
+ADDR_C = 2 * PAGE_SIZE   # adversary's own data page
+ADDR_FOO = 3 * PAGE_SIZE  # adversary's scratch page
+
+SIZE = 256  # the transfer size used throughout the scenarios
+
+
+@dataclass(frozen=True)
+class AdversaryProfile:
+    """What the OS granted one adversary process.
+
+    Attributes:
+        pid: the adversary's pid.
+        rights: its page rights (the MMU's view).
+        ctx_id: the shadow context its mappings address (its *own*
+            context — extended shadow addressing maps one context page
+            per process, so an adversary can never name another's).
+        data_words: the words its stores/exchanges may carry.
+        with_exchange: include atomic-exchange accesses (the SHRIMP-1
+            initiation primitive) in the vocabulary.
+    """
+
+    pid: int = ADVERSARY_PID
+    rights: Rights = field(default_factory=Rights)
+    ctx_id: int = 0
+    data_words: Tuple[int, ...] = (SIZE,)
+    with_exchange: bool = True
+
+
+def standard_profile(reads_source: bool = True, ctx_id: int = 0,
+                     extra_words: Tuple[int, ...] = ()) -> AdversaryProfile:
+    """The canonical hunt adversary: owns C and FOO, may read A.
+
+    This mirrors the strongest adversary the paper's figures assume —
+    private writable pages plus read access to the victim's "readable by
+    any process" source — without referencing any hand-written stream.
+    """
+    read_pages = [ADDR_A] if reads_source else []
+    return AdversaryProfile(
+        pid=ADVERSARY_PID,
+        rights=Rights.over(read_pages=read_pages,
+                           write_pages=[ADDR_C, ADDR_FOO]),
+        ctx_id=ctx_id,
+        data_words=(SIZE,) + tuple(extra_words))
+
+
+def access_vocabulary(profile: AdversaryProfile) -> List[AccessSpec]:
+    """Every MMU-legal access the profile permits, in canonical order.
+
+    Stores first (one per writable page × data word), then loads (one
+    per readable page), then exchanges — a deterministic order the
+    guided search's tie-breaking relies on.
+
+    Raises:
+        VerificationError: if a derived access fails the shared
+            legality validator (a bug guard — cannot happen for rights
+            built via :meth:`Rights.over`).
+    """
+    vocab: List[AccessSpec] = []
+    for page in sorted(profile.rights.writable):
+        for word in profile.data_words:
+            vocab.append(AccessSpec(profile.pid, "store", page, word,
+                                    ctx_id=profile.ctx_id))
+    for page in sorted(profile.rights.readable):
+        vocab.append(AccessSpec(profile.pid, "load", page,
+                                ctx_id=profile.ctx_id))
+    if profile.with_exchange:
+        for page in sorted(profile.rights.writable):
+            vocab.append(AccessSpec(profile.pid, "exchange", page,
+                                    profile.data_words[0],
+                                    ctx_id=profile.ctx_id))
+    rights = {profile.pid: profile.rights}
+    for access in vocab:
+        problem = access_violation(access, rights)
+        if problem is not None:  # pragma: no cover - bug guard
+            raise VerificationError(
+                f"vocabulary produced an illegal access: {problem}")
+    return vocab
+
+
+def random_stream(rng: random.Random, vocabulary: List[AccessSpec],
+                  max_len: int,
+                  weights: Optional[List[float]] = None) -> Tuple[int, ...]:
+    """Draw one random stream as a tuple of vocabulary indices.
+
+    Args:
+        rng: the hunt's seeded RNG (determinism flows from it alone).
+        vocabulary: the legal alphabet.
+        max_len: streams are 1..max_len accesses long.
+        weights: optional per-access selection weights — the
+            hypothesis-driven exploration mode passes the bandit's
+            current scores here, so random candidates are drawn from
+            the learned distribution rather than uniformly.
+    """
+    if not vocabulary:
+        raise VerificationError("cannot synthesize from an empty vocabulary")
+    length = rng.randint(1, max(1, max_len))
+    indices = range(len(vocabulary))
+    if weights is None:
+        return tuple(rng.choice(range(len(vocabulary)))
+                     for _ in range(length))
+    return tuple(rng.choices(list(indices), weights=weights, k=length))

@@ -1,0 +1,445 @@
+"""The guided hunt: synthesize adversary streams until one breaks a method.
+
+The hunt composes a victim initiation stream (the method's own shadow
+access sequence, from :func:`~repro.verify.interleave.initiation_stream`)
+against candidate adversary streams drawn from the MMU-legal vocabulary
+of :mod:`repro.verify.synth.generator`, and feeds each composition
+through :func:`~repro.verify.incremental.check_scenario_incremental` —
+so every candidate is judged over **all** interleavings, and the first
+violating candidate yields a concrete counterexample interleaving.
+
+Candidate order is guided two ways, interleaved by ``explore_ratio``:
+
+* **Bandit-prioritized DFS** over the stream space: the driver keeps a
+  stack of partial streams and expands children in descending bandit
+  score.  The bandit arms are (recognizer state label, vocabulary
+  index) pairs; after each candidate check, a cheap *probe* replays the
+  victim prefix at every split point and delivers the candidate's
+  accesses one by one, crediting an arm whenever its access advanced
+  the recognizer's :meth:`state_label`.  Accesses that historically
+  move the pattern recognizer get tried first — exactly the accesses
+  that can complete someone else's pattern.
+* **Hypothesis-driven random exploration**: a seeded random stream
+  drawn with the bandit's current scores as selection weights — the
+  "what if the learned distribution is sampled freely" mode that
+  escapes DFS's lexicographic neighborhoods.
+
+Determinism: everything flows from ``HuntConfig.seed`` through
+:func:`~repro.sim.rng.make_rng`; a wall-clock budget (``budget_s``)
+exists for CI smoke runs, but tests pin ``max_candidates`` instead so
+two runs with one seed are byte-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ...errors import VerificationError
+from ...obs.profile import PhaseProfiler
+from ...obs.spans import SpanTracer
+from ...sim.rng import make_rng
+from ..incremental import CheckStats, check_scenario_incremental
+from ..interleave import AccessSpec, initiation_stream
+from ..model_check import Scenario, make_harness
+from ..properties import ProcessIntent, Rights
+from .generator import (
+    ADDR_A,
+    ADDR_B,
+    SIZE,
+    VICTIM_PID,
+    AdversaryProfile,
+    access_vocabulary,
+    random_stream,
+    standard_profile,
+)
+from .shrink import ShrunkCounterexample, describe_access, shrink_counterexample
+
+#: The victim's secret for keyed hunts.  The synthesizer must not know
+#: it — the adversary vocabulary only carries *wrong* guesses — so a
+#: keyed counterexample would mean the protection, not the secrecy, is
+#: broken.
+SECRET_KEY = 0x0D15EA5E
+
+#: Methods the hunt covers by default: the paper's two broken variants
+#: (the rediscovery targets) and the four hardened methods (expected to
+#: survive any budget).
+HUNT_METHODS: Tuple[str, ...] = (
+    "repeated3", "repeated4", "shrimp1", "keyed", "extshadow", "repeated5")
+
+
+@dataclass(frozen=True)
+class HuntConfig:
+    """Search budget and shape.
+
+    Attributes:
+        seed: master seed; all randomness derives from it.
+        budget_s: optional wall-clock budget per method (None = no
+            clock limit; rely on ``max_candidates``).
+        max_candidates: optional cap on scenarios checked per method
+            (None = no cap; rely on ``budget_s``).  At least one of the
+            two budgets must be set.
+        max_stream_len: longest adversary stream synthesized.
+        explore_ratio: fraction of candidates drawn by hypothesis-driven
+            random exploration instead of DFS order.
+        max_interleavings: per-candidate order-count safety cap.
+        shrink: reduce found counterexamples to 1-minimal cores.
+    """
+
+    seed: int = 0
+    budget_s: Optional[float] = None
+    max_candidates: Optional[int] = 400
+    max_stream_len: int = 4
+    explore_ratio: float = 0.25
+    max_interleavings: int = 50_000
+    shrink: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget_s is None and self.max_candidates is None:
+            raise VerificationError(
+                "HuntConfig needs budget_s or max_candidates (or both)")
+        if self.max_stream_len < 1:
+            raise VerificationError("max_stream_len must be >= 1")
+
+
+@dataclass
+class HuntReport:
+    """Outcome of hunting one method.
+
+    Attributes:
+        method: the hunted method.
+        seed: the seed the hunt ran under.
+        found: a violating adversary stream was synthesized.
+        exhausted: the DFS covered every stream up to
+            ``max_stream_len`` without finding one (a bounded-safety
+            statement, stronger than "budget ran out").
+        candidates: scenarios actually checked.
+        duplicates: random-exploration draws skipped as already seen.
+        interleavings: total orders replayed across all candidates.
+        accesses_delivered: engine deliveries spent (incremental-checker
+            accounting, for the benchmark harness).
+        elapsed_s: wall-clock spent on this method.
+        adversary_stream: the violating stream (empty if none found).
+        counterexample: the first violating interleaving (None if safe).
+        props: properties that interleaving violates.
+        shrunk: the 1-minimal core (when ``config.shrink``).
+    """
+
+    method: str
+    seed: int
+    found: bool = False
+    exhausted: bool = False
+    candidates: int = 0
+    duplicates: int = 0
+    interleavings: int = 0
+    accesses_delivered: int = 0
+    elapsed_s: float = 0.0
+    adversary_stream: Tuple[AccessSpec, ...] = ()
+    counterexample: Optional[Tuple[AccessSpec, ...]] = None
+    props: Tuple[str, ...] = ()
+    shrunk: Optional[ShrunkCounterexample] = None
+
+    @property
+    def safe_within_budget(self) -> bool:
+        """No counterexample surfaced before the budget ran out."""
+        return not self.found
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        if self.found:
+            core = (f", shrunk to {len(self.shrunk)}"
+                    if self.shrunk is not None else "")
+            return (f"{self.method}: FOUND after {self.candidates} "
+                    f"candidates ({', '.join(self.props)}{core})")
+        state = "EXHAUSTED" if self.exhausted else "SAFE-WITHIN-BUDGET"
+        return (f"{self.method}: {state} ({self.candidates} candidates, "
+                f"{self.interleavings} interleavings)")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (``repro hunt --output``)."""
+        out: Dict[str, object] = {
+            "method": self.method,
+            "seed": self.seed,
+            "found": self.found,
+            "exhausted": self.exhausted,
+            "candidates": self.candidates,
+            "duplicates": self.duplicates,
+            "interleavings": self.interleavings,
+            "accesses_delivered": self.accesses_delivered,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+        if self.found:
+            out["adversary_stream"] = [describe_access(a)
+                                       for a in self.adversary_stream]
+            out["counterexample"] = [describe_access(a)
+                                     for a in self.counterexample or ()]
+            out["props"] = list(self.props)
+            if self.shrunk is not None:
+                out["shrunk"] = self.shrunk.to_dict()
+        return out
+
+
+# ----------------------------------------------------------------------
+# per-method scenario composition
+# ----------------------------------------------------------------------
+
+
+def _victim_setup(method: str) -> Tuple[List[AccessSpec], Dict[int, int]]:
+    """The victim's initiation stream and any installed keys."""
+    if method == "keyed":
+        stream = initiation_stream("keyed", VICTIM_PID, ADDR_A, ADDR_B,
+                                   SIZE, key=SECRET_KEY, ctx_id=0)
+        return stream, {0: SECRET_KEY}
+    if method == "extshadow":
+        stream = initiation_stream("extshadow", VICTIM_PID, ADDR_A,
+                                   ADDR_B, SIZE, ctx_id=0)
+        return stream, {}
+    return initiation_stream(method, VICTIM_PID, ADDR_A, ADDR_B,
+                             SIZE), {}
+
+
+def adversary_profile_for(method: str) -> AdversaryProfile:
+    """The strongest MMU-legal adversary the method faces.
+
+    * keyed: the shadow page is shared, so the adversary may store —
+      but only *wrong-key* words (the true key is a 60-bit secret);
+    * extshadow: the adversary addresses its **own** context (the OS
+      maps one context page per process — it cannot name the victim's);
+    * everything else: the standard profile (owns C and FOO, reads A).
+    """
+    if method == "keyed":
+        from ...hw.dma.protocols.keyed import (
+            ARG_DESTINATION,
+            ARG_SOURCE,
+            pack_key_word,
+        )
+
+        guesses = (0x1, SECRET_KEY ^ (1 << 13))
+        words = tuple(pack_key_word(guess, 0, arg)
+                      for guess in guesses
+                      for arg in (ARG_SOURCE, ARG_DESTINATION))
+        return standard_profile(extra_words=words)
+    if method == "extshadow":
+        return standard_profile(ctx_id=1)
+    return standard_profile()
+
+
+def compose_scenario(method: str, victim: List[AccessSpec],
+                     keys: Dict[int, int], profile: AdversaryProfile,
+                     adversary: Sequence[AccessSpec],
+                     tag: str) -> Scenario:
+    """One candidate scenario: victim stream vs a synthesized stream."""
+    return Scenario(
+        name=f"hunt-{method}-{tag}",
+        method=method,
+        streams=[list(victim), list(adversary)],
+        rights={
+            VICTIM_PID: Rights.over(write_pages=[ADDR_A, ADDR_B]),
+            profile.pid: profile.rights,
+        },
+        intents=[ProcessIntent(VICTIM_PID, ADDR_A, ADDR_B, SIZE)],
+        keys=dict(keys),
+    )
+
+
+# ----------------------------------------------------------------------
+# the bandit
+# ----------------------------------------------------------------------
+
+
+class _Bandit:
+    """(recognizer state label, vocab index) -> advancement statistics."""
+
+    def __init__(self) -> None:
+        self.arms: Dict[Tuple[str, int], List[int]] = {}
+
+    def credit(self, label: str, index: int, advanced: bool) -> None:
+        stats = self.arms.setdefault((label, index), [0, 0])
+        stats[0] += 1
+        if advanced:
+            stats[1] += 1
+
+    def vocab_scores(self, n: int) -> List[float]:
+        """Per-vocab-index scores aggregated over all state labels.
+
+        Laplace-smoothed advancement rate: untried accesses score 0.5,
+        so nothing starves before the bandit has data.
+        """
+        tries = [0] * n
+        advances = [0] * n
+        for (_, index), (t, a) in self.arms.items():
+            tries[index] += t
+            advances[index] += a
+        return [(1 + advances[i]) / (2 + tries[i]) for i in range(n)]
+
+
+def _state_label(harness) -> str:
+    label = getattr(harness.protocol, "state_label", None)
+    return label() if callable(label) else "-"
+
+
+def _probe(harness, victim: Sequence[AccessSpec],
+           accesses: Sequence[AccessSpec], indices: Sequence[int],
+           bandit: _Bandit) -> None:
+    """Replay victim prefixes + the candidate, crediting bandit arms.
+
+    For every split point of the victim stream, deliver the victim
+    prefix then the candidate's accesses one at a time, recording for
+    each (state label before, vocab index) whether the recognizer's
+    label changed — the signal that this access *participates in* the
+    pattern the recognizer is matching.
+    """
+    for split in range(len(victim) + 1):
+        harness.reset()
+        for access in victim[:split]:
+            harness.deliver(access)
+        for access, index in zip(accesses, indices):
+            before = _state_label(harness)
+            harness.deliver(access)
+            bandit.credit(before, index,
+                          advanced=_state_label(harness) != before)
+
+
+# ----------------------------------------------------------------------
+# the hunt
+# ----------------------------------------------------------------------
+
+
+def hunt_method(method: str, config: HuntConfig,
+                tracer: Optional[SpanTracer] = None,
+                profiler: Optional[PhaseProfiler] = None) -> HuntReport:
+    """Search for a counterexample against one initiation method.
+
+    Stops at the first violating candidate (then optionally shrinks it),
+    when the DFS space up to ``max_stream_len`` is exhausted, or when
+    the budget runs out — whichever comes first.
+    """
+    started = time.monotonic()
+    deadline = (None if config.budget_s is None
+                else started + config.budget_s)
+    rng = make_rng(config.seed, f"hunt/{method}")
+    report = HuntReport(method=method, seed=config.seed)
+
+    victim, keys = _victim_setup(method)
+    profile = adversary_profile_for(method)
+    vocab = access_vocabulary(profile)
+    bandit = _Bandit()
+
+    # One reusable harness for bandit probes (probes never touch the
+    # checker's own harness).
+    probe_scenario = compose_scenario(method, victim, keys, profile,
+                                      [], "probe")
+    probe_harness = make_harness(probe_scenario)
+
+    seen: Set[Tuple[int, ...]] = set()
+    # DFS stack of partial streams (tuples of vocab indices); children
+    # are pushed in ascending score so the best-scored pops first.
+    stack: List[Tuple[int, ...]] = [
+        (i,) for i in _ranked(bandit, len(vocab), reverse=True)]
+
+    span = (tracer.begin("hunt.method", track="hunt", method=method)
+            if tracer is not None else None)
+    try:
+        while True:
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            if (config.max_candidates is not None
+                    and report.candidates >= config.max_candidates):
+                break
+            explore = (config.explore_ratio > 0
+                       and rng.random() < config.explore_ratio)
+            if explore:
+                scores = bandit.vocab_scores(len(vocab))
+                candidate = random_stream(rng, vocab,
+                                          config.max_stream_len,
+                                          weights=scores)
+                if candidate in seen:
+                    report.duplicates += 1
+                    continue
+            elif stack:
+                candidate = stack.pop()
+                # Children go on the stack even when the random explorer
+                # beat us to this node — exhaustion must never prune.
+                if len(candidate) < config.max_stream_len:
+                    for child in _ranked(bandit, len(vocab)):
+                        stack.append(candidate + (child,))
+                if candidate in seen:
+                    continue
+            else:
+                # DFS space exhausted; random draws can only duplicate.
+                report.exhausted = True
+                break
+            seen.add(candidate)
+            accesses = [vocab[i] for i in candidate]
+            scenario = compose_scenario(method, victim, keys, profile,
+                                        accesses,
+                                        tag=str(report.candidates))
+            stats = CheckStats()
+            if profiler is not None:
+                with profiler.phase("check"):
+                    result = check_scenario_incremental(
+                        scenario, max_examples=1,
+                        max_interleavings=config.max_interleavings,
+                        stats=stats)
+            else:
+                result = check_scenario_incremental(
+                    scenario, max_examples=1,
+                    max_interleavings=config.max_interleavings,
+                    stats=stats)
+            report.candidates += 1
+            report.interleavings += result.total_interleavings
+            report.accesses_delivered += stats.accesses_delivered
+            if result.attack_found:
+                order, violations = result.examples[0]
+                report.found = True
+                report.adversary_stream = tuple(accesses)
+                report.counterexample = order
+                report.props = tuple(sorted({v.prop for v in violations}))
+                if config.shrink:
+                    if profiler is not None:
+                        with profiler.phase("shrink"):
+                            report.shrunk = shrink_counterexample(
+                                scenario, order)
+                    else:
+                        report.shrunk = shrink_counterexample(
+                            scenario, order)
+                break
+            if profiler is not None:
+                with profiler.phase("probe"):
+                    _probe(probe_harness, victim, accesses, candidate,
+                           bandit)
+            else:
+                _probe(probe_harness, victim, accesses, candidate, bandit)
+    finally:
+        report.elapsed_s = time.monotonic() - started
+        if tracer is not None and span is not None:
+            tracer.end(span, found=report.found,
+                       candidates=report.candidates)
+    return report
+
+
+def _ranked(bandit: _Bandit, n: int, reverse: bool = False) -> List[int]:
+    """Vocab indices by ascending bandit score (ties by index).
+
+    Ascending is the push order that makes the best-scored index pop
+    first from the DFS stack; ``reverse=True`` gives descending for
+    direct iteration.
+    """
+    scores = bandit.vocab_scores(n)
+    order = sorted(range(n), key=lambda i: (scores[i], -i))
+    if reverse:
+        order.reverse()
+    return order
+
+
+def run_hunt(methods: Optional[Sequence[str]] = None,
+             config: Optional[HuntConfig] = None,
+             tracer: Optional[SpanTracer] = None,
+             profiler: Optional[PhaseProfiler] = None,
+             ) -> List[HuntReport]:
+    """Hunt every (or the given) method; one report per method."""
+    chosen = tuple(methods) if methods is not None else HUNT_METHODS
+    cfg = config if config is not None else HuntConfig()
+    return [hunt_method(m, cfg, tracer=tracer, profiler=profiler)
+            for m in chosen]

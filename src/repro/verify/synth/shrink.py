@@ -1,0 +1,228 @@
+"""Delta-debugging reduction of found counterexamples.
+
+A counterexample is one concrete violating interleaving — a sequence of
+:class:`~repro.verify.interleave.AccessSpec` deliveries.  The shrinker
+reduces it to a **1-minimal** core: removing any single access makes the
+target violation disappear.  Removal is always execution-feasible — a
+subsequence keeps each process's program order (a process may simply
+stop early or never be scheduled again), and MMU legality is untouched
+(the surviving accesses are unchanged).
+
+Reduction runs in three phases:
+
+1. **ddmin** (Zeller's delta debugging) knocks out large chunks first —
+   O(n log n) replays when the core is small;
+2. a **1-minimality sweep** then retries every single removal until a
+   full pass removes nothing;
+3. **canonicalization** projects the surviving accesses back onto
+   per-process streams and replays *every* interleaving of those
+   (the core is tiny, so this is a handful of replays), keeping the
+   first violating order in :func:`~repro.verify.interleave.
+   enumerate_interleavings` order — so equal cores always print the
+   same interleaving regardless of which order the search stumbled on.
+
+Each replay goes through :func:`~repro.verify.model_check.
+replay_interleaving` against the original scenario's rights/intents,
+and the shrink target is a single named property: the shrunk core is
+guaranteed to still violate *the same property* the original did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ...errors import VerificationError
+from ..interleave import AccessSpec, enumerate_interleavings
+from ..model_check import Scenario, replay_interleaving
+
+#: Shrink-target preference when the caller does not name a property:
+#: protection violations are the paper's headline claims, status lies
+#: the corollary.
+PROP_PRIORITY: Tuple[str, ...] = (
+    "authorized-start", "single-issuer", "truthful-status")
+
+
+@dataclass
+class ShrunkCounterexample:
+    """The reduced core of one violating interleaving.
+
+    Attributes:
+        interleaving: the canonical 1-minimal violating order.
+        prop: the property the core still violates (the shrink target).
+        props: every property the canonical core violates.
+        original_length: accesses in the counterexample before
+            shrinking.
+        replays: oracle replays the reduction spent.
+    """
+
+    interleaving: Tuple[AccessSpec, ...]
+    prop: str
+    props: Tuple[str, ...]
+    original_length: int
+    replays: int
+
+    def __len__(self) -> int:
+        return len(self.interleaving)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering (used by ``repro hunt --output``)."""
+        return {
+            "prop": self.prop,
+            "props": list(self.props),
+            "original_length": self.original_length,
+            "length": len(self.interleaving),
+            "replays": self.replays,
+            "interleaving": [describe_access(a) for a in self.interleaving],
+        }
+
+
+def describe_access(access: AccessSpec) -> Dict[str, object]:
+    """Compact JSON form of one access."""
+    out: Dict[str, object] = {"pid": access.pid, "op": access.op,
+                              "paddr": access.paddr}
+    if access.data:
+        out["data"] = access.data
+    if access.ctx_id:
+        out["ctx"] = access.ctx_id
+    return out
+
+
+def violated_props(scenario: Scenario,
+                   order: Sequence[AccessSpec]) -> FrozenSet[str]:
+    """Which properties replaying *order* violates."""
+    return frozenset(v.prop
+                     for v in replay_interleaving(scenario, list(order)))
+
+
+def pick_target_prop(props: FrozenSet[str]) -> str:
+    """The property a shrink defaults to (see :data:`PROP_PRIORITY`)."""
+    for prop in PROP_PRIORITY:
+        if prop in props:
+            return prop
+    if not props:
+        raise VerificationError("cannot shrink a non-violating order")
+    return sorted(props)[0]
+
+
+def shrink_counterexample(scenario: Scenario,
+                          interleaving: Sequence[AccessSpec],
+                          prop: Optional[str] = None,
+                          ) -> ShrunkCounterexample:
+    """Reduce *interleaving* to a canonical 1-minimal violating core.
+
+    Args:
+        scenario: supplies rights, intents, keys, and the engine
+            configuration for the replay oracle.
+        interleaving: a violating order (as found by the checker).
+        prop: the property to preserve; defaults to the highest-priority
+            property the original order violates.
+
+    Raises:
+        VerificationError: if *interleaving* does not violate *prop*.
+    """
+    order = list(interleaving)
+    replays = [0]
+
+    original = violated_props(scenario, order)
+    replays[0] += 1
+    target = prop if prop is not None else pick_target_prop(original)
+    if target not in original:
+        raise VerificationError(
+            f"order does not violate {target!r} (it violates "
+            f"{sorted(original) or 'nothing'})")
+
+    def still_violates(candidate: List[AccessSpec]) -> bool:
+        if not candidate:
+            return False
+        replays[0] += 1
+        return target in violated_props(scenario, candidate)
+
+    order = _ddmin(order, still_violates)
+    order = _one_minimal_sweep(order, still_violates)
+    order = _canonicalize(order, still_violates)
+    final = violated_props(scenario, order)
+    replays[0] += 1
+    return ShrunkCounterexample(
+        interleaving=tuple(order), prop=target,
+        props=tuple(sorted(final)),
+        original_length=len(interleaving), replays=replays[0])
+
+
+def is_one_minimal(scenario: Scenario, order: Sequence[AccessSpec],
+                   prop: str) -> bool:
+    """Whether every single-access removal loses the *prop* violation."""
+    order = list(order)
+    if prop not in violated_props(scenario, order):
+        return False
+    for index in range(len(order)):
+        candidate = order[:index] + order[index + 1:]
+        if candidate and prop in violated_props(scenario, candidate):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# reduction phases
+# ----------------------------------------------------------------------
+
+
+def _ddmin(order: List[AccessSpec], predicate) -> List[AccessSpec]:
+    """Zeller's ddmin: complement-removal with increasing granularity."""
+    granularity = 2
+    while len(order) >= 2:
+        chunk = max(1, len(order) // granularity)
+        reduced = False
+        start = 0
+        while start < len(order):
+            candidate = order[:start] + order[start + chunk:]
+            if predicate(candidate):
+                order = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # restart the sweep on the reduced order
+                start = 0
+                chunk = max(1, len(order) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if granularity >= len(order):
+                break
+            granularity = min(len(order), granularity * 2)
+    return order
+
+
+def _one_minimal_sweep(order: List[AccessSpec],
+                       predicate) -> List[AccessSpec]:
+    """Retry every single removal until a full pass removes nothing."""
+    changed = True
+    while changed and len(order) > 1:
+        changed = False
+        for index in range(len(order)):
+            candidate = order[:index] + order[index + 1:]
+            if predicate(candidate):
+                order = candidate
+                changed = True
+                break
+    return order
+
+
+def _canonicalize(order: List[AccessSpec], predicate) -> List[AccessSpec]:
+    """The first violating interleaving of the core's projected streams.
+
+    Grouping the surviving accesses by pid (keeping their order) and
+    re-enumerating every interleaving of those projections yields a
+    canonical representative: two searches that found the same core via
+    different orders shrink to byte-identical interleavings.
+    """
+    streams: List[List[AccessSpec]] = []
+    by_pid: Dict[int, List[AccessSpec]] = {}
+    for access in order:
+        if access.pid not in by_pid:
+            by_pid[access.pid] = []
+            streams.append(by_pid[access.pid])
+        by_pid[access.pid].append(access)
+    for candidate in enumerate_interleavings(streams):
+        if predicate(list(candidate)):
+            return list(candidate)
+    return order  # pragma: no cover - the original order is enumerated

@@ -80,3 +80,53 @@ def test_crossover_command(capsys):
     out = run_cli(capsys, "crossover", "--iterations", "5")
     assert "Crossover sizes" in out
     assert "gigabit" in out
+
+
+def test_hunt_command_rediscovers_and_gates(capsys):
+    out = run_cli(capsys, "hunt", "--seed", "7",
+                  "--max-candidates", "60",
+                  "--methods", "repeated3,repeated4,shrimp1")
+    assert "FOUND" in out
+    assert "broken variants rediscovered (repeated3, repeated4): yes" in out
+    assert "hardened methods survived (shrimp1): yes" in out
+
+
+def test_hunt_command_k_fault_campaign(capsys):
+    out = run_cli(capsys, "hunt", "--seed", "7",
+                  "--max-candidates", "30",
+                  "--methods", "shrimp1,extshadow",
+                  "--k-faults", "2", "--max-combos", "40")
+    assert "k-fault campaign (k=2)" in out
+    assert "SAFE" in out
+    assert "all campaigned methods SAFE under k=2 faults: yes" in out
+
+
+def test_hunt_command_writes_json_report(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "hunt.json"
+    out = run_cli(capsys, "hunt", "--seed", "7",
+                  "--max-candidates", "40",
+                  "--methods", "repeated3", "--output", str(path))
+    assert f"wrote {path}" in out
+    payload = json.loads(path.read_text())
+    assert payload["seed"] == 7
+    assert payload["hunts"][0]["method"] == "repeated3"
+    assert payload["hunts"][0]["found"] is True
+    assert payload["hunts"][0]["shrunk"]["length"] <= 4
+    assert payload["spans"]  # obs spans were threaded through
+    assert "check" in payload["phases"]
+
+
+def test_hunt_command_missing_attack_fails_gate(capsys, monkeypatch):
+    """If rediscovery fails, the command exits non-zero (the CI gate)."""
+    def never_finds(methods=None, config=None, tracer=None, profiler=None):
+        from repro.verify.synth.search import HuntReport
+
+        return [HuntReport(method=m, seed=0)
+                for m in (methods or ("repeated3",))]
+
+    monkeypatch.setattr("repro.verify.synth.run_hunt", never_finds)
+    with pytest.raises(SystemExit):
+        main(["hunt", "--max-candidates", "5",
+              "--methods", "repeated3"])

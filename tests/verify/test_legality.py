@@ -1,0 +1,140 @@
+"""Construction-time MMU legality of scenario streams.
+
+Hand-written and synthesized scenarios share one validator
+(repro.verify.legality): a stream that stores to a page its issuer
+cannot write — or loads one it cannot read — is rejected when the
+Scenario is built, never silently checked as a bogus "attack".
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.hw.pagetable import PAGE_SIZE
+from repro.verify.interleave import AccessSpec
+from repro.verify.legality import (
+    access_violation,
+    require_legal_streams,
+    stream_violations,
+)
+from repro.verify.model_check import Scenario
+from repro.verify.properties import ProcessIntent, Rights
+
+PAGE0 = 0 * PAGE_SIZE
+PAGE1 = 1 * PAGE_SIZE
+PAGE2 = 2 * PAGE_SIZE
+
+RIGHTS = {
+    1: Rights.over(write_pages=[PAGE0, PAGE1]),
+    2: Rights.over(read_pages=[PAGE0]),
+}
+
+
+class TestAccessViolation:
+    """The per-access oracle."""
+
+    def test_legal_store_and_load(self):
+        assert access_violation(AccessSpec(1, "store", PAGE0, 1),
+                                RIGHTS) is None
+        assert access_violation(AccessSpec(2, "load", PAGE0),
+                                RIGHTS) is None
+
+    def test_write_implies_read(self):
+        assert access_violation(AccessSpec(1, "load", PAGE1),
+                                RIGHTS) is None
+
+    def test_store_needs_write_permission(self):
+        problem = access_violation(AccessSpec(2, "store", PAGE0, 1),
+                                   RIGHTS)
+        assert problem is not None
+        assert "write permission" in problem
+
+    def test_exchange_needs_write_permission(self):
+        problem = access_violation(AccessSpec(2, "exchange", PAGE0, 1),
+                                   RIGHTS)
+        assert problem is not None
+
+    def test_load_needs_read_permission(self):
+        problem = access_violation(AccessSpec(1, "load", PAGE2), RIGHTS)
+        assert problem is not None
+        assert "read permission" in problem
+
+    def test_ctx_ops_are_exempt(self):
+        assert access_violation(AccessSpec(2, "ctx-store", data=3),
+                                RIGHTS) is None
+        assert access_violation(AccessSpec(2, "ctx-load"), RIGHTS) is None
+
+    def test_missing_rights_entry(self):
+        problem = access_violation(AccessSpec(9, "load", PAGE0), RIGHTS)
+        assert problem is not None
+        assert "no rights entry" in problem
+
+    def test_unknown_op(self):
+        problem = access_violation(AccessSpec(1, "poke", PAGE0), RIGHTS)
+        assert problem is not None
+        assert "unknown access op" in problem
+
+
+class TestStreamValidation:
+    """Located diagnostics and the raising wrapper."""
+
+    def test_problems_are_located(self):
+        streams = [
+            [AccessSpec(1, "store", PAGE0, 1)],
+            [AccessSpec(2, "store", PAGE1, 1),
+             AccessSpec(2, "load", PAGE2)],
+        ]
+        problems = stream_violations(streams, RIGHTS)
+        assert len(problems) == 2
+        assert problems[0].startswith("stream 1 access 0:")
+        assert problems[1].startswith("stream 1 access 1:")
+
+    def test_require_legal_streams_raises_with_all_problems(self):
+        streams = [[AccessSpec(2, "store", PAGE1, 1),
+                    AccessSpec(2, "exchange", PAGE2, 1)]]
+        with pytest.raises(VerificationError) as exc:
+            require_legal_streams(streams, RIGHTS, name="bad-scenario")
+        message = str(exc.value)
+        assert "bad-scenario" in message
+        assert "2 MMU-illegal access(es)" in message
+
+    def test_legal_streams_pass_silently(self):
+        require_legal_streams([[AccessSpec(1, "store", PAGE0, 1)],
+                               [AccessSpec(2, "load", PAGE0)]], RIGHTS)
+
+
+class TestScenarioEnforcement:
+    """Scenario construction runs the shared validator."""
+
+    def _scenario(self, streams):
+        return Scenario(name="legality", method="repeated3",
+                        streams=streams, rights=dict(RIGHTS),
+                        intents=[ProcessIntent(1, PAGE0, PAGE1, 64)])
+
+    def test_legal_scenario_constructs(self):
+        scenario = self._scenario([[AccessSpec(1, "load", PAGE0),
+                                    AccessSpec(1, "store", PAGE1, 64)]])
+        assert scenario.name == "legality"
+
+    def test_illegal_store_rejected_at_construction(self):
+        with pytest.raises(VerificationError) as exc:
+            self._scenario([[AccessSpec(2, "store", PAGE1, 64)]])
+        assert "write permission" in str(exc.value)
+
+    def test_illegal_load_rejected_at_construction(self):
+        with pytest.raises(VerificationError):
+            self._scenario([[AccessSpec(2, "load", PAGE2)]])
+
+    def test_builtin_scenarios_are_all_legal(self):
+        """Every hand-written scenario passes its own validator."""
+        from repro.verify.adversary import builtin_scenarios
+
+        assert len(builtin_scenarios()) >= 10
+
+    def test_synthesized_vocabulary_is_all_legal(self):
+        """Generator output and validator agree by construction."""
+        from repro.verify.synth import access_vocabulary, standard_profile
+
+        profile = standard_profile()
+        for access in access_vocabulary(profile):
+            assert access_violation(access,
+                                    {profile.pid: profile.rights}) is None

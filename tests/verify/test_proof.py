@@ -58,3 +58,55 @@ def test_summary_text():
 def test_started_counts_are_consistent():
     report = prove_fig8(fig8_scenario(1))
     assert 0 < report.started <= report.interleavings
+
+
+class TestRefutationPaths:
+    """The failure arms: a broken lemma must render as REFUTED."""
+
+    def _fake_start(self):
+        from types import SimpleNamespace
+
+        return SimpleNamespace(psrc=0x1000, pdst=0x2000, size=64)
+
+    def test_check_lemmas_flags_unwritable_destination(self):
+        from repro.verify.proof import LemmaResult, _check_lemmas
+        from repro.verify.properties import Rights
+
+        lemmas = {name: LemmaResult(name, name)
+                  for name in ("lemma1", "lemma2", "lemma3")}
+        rights = {1: Rights.over(read_pages=[0x1000])}  # cannot write
+        _check_lemmas(0, self._fake_start(), (1, 1, 1, 1, 1), rights,
+                      lemmas)
+        assert not lemmas["lemma1"].holds
+        assert "write access" in lemmas["lemma1"].counterexamples[0][1]
+        assert lemmas["lemma2"].holds  # read on the source is granted
+        assert lemmas["lemma3"].holds
+
+    def test_check_lemmas_flags_unreadable_source_and_unknown_pid(self):
+        from repro.verify.proof import LemmaResult, _check_lemmas
+        from repro.verify.properties import Rights
+
+        lemmas = {name: LemmaResult(name, name)
+                  for name in ("lemma1", "lemma2", "lemma3")}
+        rights = {1: Rights.over(write_pages=[0x2000])}
+        # Slot 2 comes from pid 9, which has no rights entry at all.
+        _check_lemmas(0, self._fake_start(), (1, 9, 1, 1, 1), rights,
+                      lemmas)
+        assert not lemmas["lemma2"].holds
+        assert not lemmas["lemma3"].holds
+        assert "span multiple" in lemmas["lemma3"].counterexamples[0][1]
+
+    def test_summary_renders_refuted_theorem(self):
+        from repro.verify.proof import LemmaResult, ProofReport
+
+        broken = LemmaResult("lemma3", "single issuer", checked=4)
+        broken.counterexamples.append((2, "contributors (1, 2)"))
+        report = ProofReport(
+            scenario="fabricated", interleavings=10, started=4,
+            lemmas={"lemma1": LemmaResult("lemma1", "dst", checked=4),
+                    "lemma3": broken})
+        assert not report.theorem_holds
+        text = report.summary()
+        assert "lemma3: FAILS (1 counterexamples)" in text
+        assert "REFUTED" in text
+        assert "lemma1: HOLDS" in text

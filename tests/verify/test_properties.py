@@ -93,6 +93,42 @@ class TestSingleIssuer:
             contributors=[(1, 1, 1), (2, 2, 2), (1, 2, 3)])
         assert len(check_single_issuer(evidence)) == 1
 
+    def rights(self):
+        return {1: Rights.over(write_pages=[0, PAGE]),
+                2: Rights.over(read_pages=[0],
+                               write_pages=[2 * PAGE])}
+
+    def test_benign_composition_excused_with_rights(self):
+        """Mixed contributors, but the issuer needed no help: pid 2
+        reads page 0 and writes page 2 — the started 0 -> 2*PAGE
+        transfer borrows no authority."""
+        evidence = ReplayEvidence(
+            records=[record(0, 2 * PAGE, issuer=2)],
+            contributors=[(2, 1, 2, 2, 2)])
+        assert check_single_issuer(evidence, self.rights()) == []
+
+    def test_borrowed_authority_still_flagged(self):
+        """Fig. 6 shape: issuer 2 cannot write PAGE, so the mixed
+        completion borrowed the victim's stores."""
+        evidence = ReplayEvidence(
+            records=[record(0, PAGE, issuer=2)],
+            contributors=[(1, 1, 1, 2)])
+        violations = check_single_issuer(evidence, self.rights())
+        assert len(violations) == 1
+        assert "pids [1, 2]" in violations[0].detail
+
+    def test_failed_start_keeps_strict_reading(self):
+        evidence = ReplayEvidence(
+            records=[record(0, 2 * PAGE, issuer=2, ok=False)],
+            contributors=[(2, 1, 2)])
+        assert len(check_single_issuer(evidence, self.rights())) == 1
+
+    def test_unknown_issuer_keeps_strict_reading(self):
+        evidence = ReplayEvidence(
+            records=[record(0, 2 * PAGE, issuer=9)],
+            contributors=[(9, 1, 9)])
+        assert len(check_single_issuer(evidence, self.rights())) == 1
+
 
 class TestTruthfulStatus:
     def intent(self):

@@ -84,3 +84,55 @@ class TestReportMechanics:
         assert report.attempts == 10
         assert report.method == "keyed"
         assert report.hooks_installed
+
+    def test_corrupt_pairs_recorded_one_per_corruption(self):
+        report = run_stress("shrimp2", n_processes=4, dmas_each=20,
+                            preempt_p=0.5, with_hooks=False)
+        assert len(report.corrupt_pairs) == report.corrupted
+        assert report.corrupted > 0
+
+    def test_clean_property_definition(self):
+        from repro.verify.stress import StressReport
+
+        report = StressReport(method="keyed", hooks_installed=True)
+        assert report.clean
+        for attr in ("corrupted", "misreported", "data_errors"):
+            dirty = StressReport(method="keyed", hooks_installed=True,
+                                 **{attr: 1})
+            assert not dirty.clean
+
+
+class TestStressHelpers:
+    """The audit helpers, exercised directly on their edge branches."""
+
+    def test_intent_of_orders_by_source_and_bounds(self):
+        from repro.verify.stress import _intent_of
+
+        intents = {(0x2000, 0x3000, 64), (0x1000, 0x3000, 64)}
+        assert _intent_of(intents, 0) == (0x1000, 0x3000, 64)
+        assert _intent_of(intents, 1) == (0x2000, 0x3000, 64)
+        assert _intent_of(intents, 2) is None
+
+    def test_unique_labels_renames_every_branch_kind(self):
+        from repro.hw.isa import Beq, Bne, Halt, Jump, Label
+        from repro.verify.stress import _unique_labels
+
+        renamed = _unique_labels(
+            [Label("retry"), Beq("a", "b", "retry"),
+             Bne("a", "b", "retry"), Jump("retry"), Halt()], 3)
+        assert renamed[0].name == "retry_3"
+        assert renamed[1].target == "retry_3"
+        assert renamed[2].target == "retry_3"
+        assert renamed[3].target == "retry_3"
+        assert isinstance(renamed[4], Halt)
+
+    def test_statuses_of_unknown_pid_is_empty(self):
+        from repro.verify.stress import _statuses_of
+
+        assert _statuses_of(None, [(1, 0, 2)], pid=99) == []
+
+    def test_single_process_runs_see_no_interference(self):
+        report = run_stress("shrimp2", n_processes=1, dmas_each=4,
+                            preempt_p=0.4, with_hooks=False)
+        assert report.corrupted == 0
+        assert report.clean

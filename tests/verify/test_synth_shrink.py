@@ -1,0 +1,122 @@
+"""Property-based tests for the counterexample shrinker (hypothesis).
+
+The contract of :func:`repro.verify.synth.shrink.shrink_counterexample`,
+checked over randomly synthesized violating interleavings:
+
+* the shrunk core still violates the **same property** the original
+  interleaving did;
+* the core is **1-minimal** — removing any single access loses that
+  property;
+* shrinking is a pure function of its inputs — same scenario and order
+  in, byte-identical core and verdict out.
+
+All runs are derandomized so CI is deterministic.
+"""
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import VerificationError
+from repro.verify.incremental import check_scenario_incremental
+from repro.verify.synth import is_one_minimal, shrink_counterexample
+from repro.verify.synth.generator import access_vocabulary
+from repro.verify.synth.search import (
+    _victim_setup,
+    adversary_profile_for,
+    compose_scenario,
+)
+from repro.verify.synth.shrink import pick_target_prop, violated_props
+
+SETTINGS = settings(max_examples=20, deadline=None, derandomize=True,
+                    suppress_health_check=[HealthCheck.too_slow,
+                                           HealthCheck.filter_too_much])
+
+
+def _violating_order(method, indices):
+    """Compose the scenario and find its first violating interleaving.
+
+    Returns (scenario, order) or None when the synthesized adversary
+    stream happens to be harmless (hypothesis ``assume`` filters those).
+    """
+    victim, keys = _victim_setup(method)
+    profile = adversary_profile_for(method)
+    vocab = access_vocabulary(profile)
+    adversary = [vocab[i % len(vocab)] for i in indices]
+    scenario = compose_scenario(method, victim, keys, profile,
+                                adversary, tag="prop")
+    result = check_scenario_incremental(scenario, max_examples=1,
+                                        max_interleavings=100_000)
+    if not result.attack_found:
+        return None
+    return scenario, result.examples[0][0]
+
+
+@given(method=st.sampled_from(["repeated3", "repeated4"]),
+       indices=st.lists(st.integers(min_value=0, max_value=30),
+                        min_size=1, max_size=4))
+@SETTINGS
+def test_shrunk_core_still_violates_same_property(method, indices):
+    found = _violating_order(method, indices)
+    assume(found is not None)
+    scenario, order = found
+    core = shrink_counterexample(scenario, order)
+    assert core.prop in violated_props(scenario, order)
+    assert core.prop in violated_props(scenario, core.interleaving)
+    assert len(core) <= len(order)
+
+
+@given(method=st.sampled_from(["repeated3", "repeated4"]),
+       indices=st.lists(st.integers(min_value=0, max_value=30),
+                        min_size=1, max_size=4))
+@SETTINGS
+def test_shrunk_core_is_one_minimal(method, indices):
+    found = _violating_order(method, indices)
+    assume(found is not None)
+    scenario, order = found
+    core = shrink_counterexample(scenario, order)
+    assert is_one_minimal(scenario, core.interleaving, core.prop)
+
+
+@given(method=st.sampled_from(["repeated3", "repeated4"]),
+       indices=st.lists(st.integers(min_value=0, max_value=30),
+                        min_size=1, max_size=4))
+@SETTINGS
+def test_shrinking_is_deterministic(method, indices):
+    found = _violating_order(method, indices)
+    assume(found is not None)
+    scenario, order = found
+    first = shrink_counterexample(scenario, order)
+    second = shrink_counterexample(scenario, order)
+    assert first.interleaving == second.interleaving
+    assert first.prop == second.prop
+    assert first.props == second.props
+    assert first.replays == second.replays
+    assert first.to_dict() == second.to_dict()
+
+
+class TestShrinkErrors:
+    """The shrinker refuses non-violating input instead of faking it."""
+
+    def test_non_violating_order_rejected(self):
+        from repro.verify.adversary import fig8_scenario
+
+        scenario = fig8_scenario(1)
+        order = [a for stream in scenario.streams for a in stream]
+        with pytest.raises(VerificationError):
+            shrink_counterexample(scenario, order)
+
+    def test_wrong_target_property_rejected(self):
+        from repro.verify.adversary import fig5_scenario
+
+        scenario, printed = fig5_scenario()
+        with pytest.raises(VerificationError):
+            shrink_counterexample(scenario, printed,
+                                  prop="no-such-property")
+
+    def test_pick_target_prefers_protection_properties(self):
+        assert pick_target_prop(frozenset({"truthful-status",
+                                           "authorized-start"})) == (
+            "authorized-start")
+        with pytest.raises(VerificationError):
+            pick_target_prop(frozenset())
