@@ -14,6 +14,11 @@ when any common scenario's candidate throughput falls more than
 Throughput on shared CI runners is noisy, hence the generous margin:
 the gate exists to catch algorithmic regressions (an accidental
 quadratic in the checker), not micro-noise.
+
+``--min-speedup`` (default 1.0) additionally fails the gate when any
+candidate scenario that reports both naive and incremental timings has
+an incremental/naive speedup below the threshold — the incremental
+checker must never be slower than the naive oracle it replaces.
 """
 
 from __future__ import annotations
@@ -35,6 +40,25 @@ def load_rates(path: pathlib.Path) -> Dict[str, float]:
         if rate:
             rates[entry["name"]] = float(rate)
     return rates
+
+
+def check_speedups(path: pathlib.Path, min_speedup: float) -> List[str]:
+    """Failure lines for candidate scenarios slower than the naive oracle.
+
+    Only entries carrying both a "naive" and an "incremental" timing are
+    gated (oracle-only and synthesis reports have neither).
+    """
+    report = json.loads(path.read_text())
+    failures: List[str] = []
+    for entry in report.get("scenarios", []):
+        if "naive" not in entry or "incremental" not in entry:
+            continue
+        speedup = entry.get("speedup")
+        if speedup is not None and speedup < min_speedup:
+            failures.append(
+                f"{entry['name']}: incremental speedup {speedup}x is "
+                f"below the {min_speedup}x floor")
+    return failures
 
 
 def compare(baseline: Dict[str, float], candidate: Dict[str, float],
@@ -67,15 +91,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="freshly generated report (usually --quick)")
     parser.add_argument("--max-regression", type=float, default=0.30,
                         help="allowed fractional slowdown (default 0.30)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="minimum incremental/naive speedup required "
+                             "of every candidate scenario (default 1.0)")
     args = parser.parse_args(argv)
     if not 0 < args.max_regression < 1:
         parser.error("--max-regression must be in (0, 1)")
+    if args.min_speedup < 0:
+        parser.error("--min-speedup must be non-negative")
 
     baseline = load_rates(args.baseline)
     candidate = load_rates(args.candidate)
     print(f"comparing {len(set(baseline) & set(candidate))} common "
           f"scenarios (allowing {args.max_regression * 100:.0f}% slowdown)")
     failures = compare(baseline, candidate, args.max_regression)
+    failures.extend(check_speedups(args.candidate, args.min_speedup))
     if failures:
         print("FAIL:")
         for line in failures:

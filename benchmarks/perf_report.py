@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 import time
 from typing import Callable, List, Optional, Tuple
@@ -50,15 +51,20 @@ WORST_CASE_NAME = fig8_scenario(2).name
 
 def _time(fn: Callable[[], CheckResult],
           repeats: int) -> Tuple[float, CheckResult]:
-    """Best-of-*repeats* wall time for *fn* plus its (last) result."""
-    best = float("inf")
+    """Median-of-*repeats* wall time for *fn* plus its (last) result.
+
+    The median (rather than best-of) keeps sub-millisecond scenarios
+    from reporting a lucky outlier as the scenario's throughput, so
+    BENCH_checker.json numbers are stable across runs.
+    """
+    times: List[float] = []
     result: Optional[CheckResult] = None
     for _ in range(repeats):
         t0 = time.perf_counter()
         result = fn()
-        best = min(best, time.perf_counter() - t0)
+        times.append(time.perf_counter() - t0)
     assert result is not None
-    return best, result
+    return statistics.median(times), result
 
 
 def bench_scenario(scenario: Scenario, repeats: int,
@@ -94,6 +100,9 @@ def bench_scenario(scenario: Scenario, repeats: int,
         "delivery_ratio": round(stats.delivery_ratio, 4),
         "transposition_hits": stats.transposition_hits,
         "transposition_entries": stats.transposition_entries,
+        "journal_entries_replayed": stats.journal_entries_replayed,
+        "dirty_pages": stats.dirty_pages,
+        "batched_deliveries": stats.batched_deliveries,
     }
     entry["speedup"] = round(naive_s / inc_s, 2) if inc_s else None
     entry["identical"] = inc == naive
@@ -190,8 +199,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="parallel fan-out pool size (default: auto)")
     parser.add_argument("--no-incremental", action="store_true",
                         help="time only the naive oracle")
-    parser.add_argument("--repeats", type=int, default=None,
-                        help="best-of-N rounds per scenario (default: "
+    parser.add_argument("--repeat", "--repeats", dest="repeat",
+                        type=int, default=None,
+                        help="median-of-N rounds per scenario (default: "
                              "1 in --quick mode, 3 otherwise)")
     parser.add_argument("--profile", action="store_true",
                         help="add per-phase wall-time breakdowns "
@@ -199,12 +209,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.workers is not None and args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
-    if args.repeats is not None and args.repeats < 1:
-        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    if args.repeat is not None and args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
 
     report = build_report(quick=args.quick, workers=args.workers,
                           incremental=not args.no_incremental,
-                          repeats=args.repeats, profile=args.profile)
+                          repeats=args.repeat, profile=args.profile)
     args.output.parent.mkdir(parents=True, exist_ok=True)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional
 from ...errors import ConfigError, DeviceError
 from ...obs.spans import Span, SpanTracer
 from ...sim.engine import Simulator
+from ...sim.journal import UndoJournal
 from ...sim.trace import TraceLog
 from ...units import Time, mbps, ns
 from ..device import AccessContext, MmioDevice
@@ -141,21 +142,112 @@ class DmaEngine(MmioDevice):
         self._control_status = 0
         self._control_transfer: Optional[Transfer] = None
         self._mapout_src_latch: Optional[int] = None
+        # Shared undo journal (checker backtracking): None when unbound.
+        self._undo: Optional[UndoJournal] = None
+        self._j_epoch = 0
+        # Fingerprint caches, valid only because every mutation site
+        # either keys them on a length (append/truncate-only lists) or
+        # invalidates them explicitly (table writes, undo callbacks).
+        self._init_fp: tuple = ()
+        self._tables_fp: Optional[tuple] = None
         self.protocol = protocol
         protocol.attach(self)
+
+    # ------------------------------------------------------------------
+    # Undo journal (the checker's O(changes) snapshot/restore substrate)
+    # ------------------------------------------------------------------
+
+    def bind_journal(self, journal: Optional[UndoJournal]) -> None:
+        """Attach (or detach, with None) a shared undo journal.
+
+        While bound, the first MMIO access of each journal epoch captures
+        the engine's hot mutable state (protocol FSM blob, scalar
+        registers, all register contexts) as journal entries, and the
+        rare mutations (table writes, initiation-record appends) record
+        individually — so ``journal.mark()``/``undo_to`` replace
+        :meth:`snapshot`/:meth:`restore` at cost proportional to what
+        actually changed.  Cascades to the transfer engine.
+        """
+        self._undo = journal
+        self._j_epoch = 0
+        self._init_fp = ()
+        self._tables_fp = None
+        self.transfer_engine.bind_journal(journal)
+
+    def _j_access(self) -> None:
+        """Once per journal epoch, capture the per-access hot state."""
+        journal = self._undo
+        if journal is None or self._j_epoch == journal.epoch:
+            return
+        self._j_epoch = journal.epoch
+        journal.record_call(self.protocol.restore_state,
+                            self.protocol.snapshot_state())
+        journal.record_call(self._restore_scalar_state, self._scalar_state())
+        journal.record_call(self._restore_contexts,
+                            tuple(c.snapshot() for c in self.contexts))
+        if self.trace.enabled or len(self.trace):
+            journal.record_call(self.trace.restore, self.trace.snapshot())
+        span_state = self.spans.snapshot()
+        if span_state is not None:
+            journal.record_call(self.spans.restore, span_state)
+
+    def _scalar_state(self) -> tuple:
+        """Scalar engine state captured once per journal epoch.
+
+        Subclasses with extra scalar state extend the tuple (and override
+        :meth:`_restore_scalar_state` to match).
+        """
+        return (self.current_pid, self.protocol_violations,
+                self.oversize_rejections, self._control_src,
+                self._control_dst, self._control_status,
+                self._control_transfer, self._mapout_src_latch)
+
+    def _restore_scalar_state(self, blob: tuple) -> None:
+        (self.current_pid, self.protocol_violations,
+         self.oversize_rejections, self._control_src, self._control_dst,
+         self._control_status, self._control_transfer,
+         self._mapout_src_latch) = blob
+
+    def _restore_contexts(self, blobs: tuple) -> None:
+        for context, state in zip(self.contexts, blobs):
+            context.restore(state)
+
+    def _j_table(self, table: Dict[int, int], key: int) -> None:
+        """Journal a privileged-table write (undo restores or re-deletes)."""
+        self._tables_fp = None
+        journal = self._undo
+        if journal is None:
+            return
+        if key in table:
+            journal.record_call(self._restore_table_item,
+                                (table, key, table[key]))
+        else:
+            journal.record_call(self._restore_table_del, (table, key))
+
+    def _restore_table_item(self, entry: tuple) -> None:
+        table, key, value = entry
+        table[key] = value
+        self._tables_fp = None
+
+    def _restore_table_del(self, entry: tuple) -> None:
+        table, key = entry
+        table.pop(key, None)
+        self._tables_fp = None
 
     # ------------------------------------------------------------------
     # MMIO entry points
     # ------------------------------------------------------------------
 
     def mmio_write(self, offset: int, value: int, ctx: AccessContext) -> None:
+        self._j_access()
         shadow = self.layout.decode_offset(offset)
         if shadow is not None:
             access = self._shadow_access("store", shadow.ctx_id,
                                          shadow.paddr, value, ctx)
-            self.trace.emit(ctx.when, self.name, "shadow-store",
-                            ctx_id=access.ctx_id, paddr=access.paddr,
-                            data=value, issuer=ctx.issuer)
+            if self.trace.enabled:
+                self.trace.emit(ctx.when, self.name, "shadow-store",
+                                ctx_id=access.ctx_id, paddr=access.paddr,
+                                data=value, issuer=ctx.issuer)
             if self.spans.enabled:
                 sp = self._access_span("dma.shadow_store", ctx,
                                        ctx_id=access.ctx_id,
@@ -168,8 +260,10 @@ class DmaEngine(MmioDevice):
         ctx_index = self.layout.context_of_offset(offset)
         if ctx_index is not None:
             access = self._shadow_access("store", ctx_index, 0, value, ctx)
-            self.trace.emit(ctx.when, self.name, "context-store",
-                            ctx_id=ctx_index, data=value, issuer=ctx.issuer)
+            if self.trace.enabled:
+                self.trace.emit(ctx.when, self.name, "context-store",
+                                ctx_id=ctx_index, data=value,
+                                issuer=ctx.issuer)
             if self.spans.enabled:
                 sp = self._access_span("dma.context_store", ctx,
                                        ctx_id=ctx_index, data=value)
@@ -193,6 +287,7 @@ class DmaEngine(MmioDevice):
         raise DeviceError(f"{self.name}: write to unmapped offset {offset:#x}")
 
     def mmio_read(self, offset: int, ctx: AccessContext) -> int:
+        self._j_access()
         shadow = self.layout.decode_offset(offset)
         if shadow is not None:
             access = self._shadow_access("load", shadow.ctx_id,
@@ -206,9 +301,10 @@ class DmaEngine(MmioDevice):
                                status=status)
             else:
                 status = self.protocol.on_shadow_load(access)
-            self.trace.emit(ctx.when, self.name, "shadow-load",
-                            ctx_id=access.ctx_id, paddr=access.paddr,
-                            status=status, issuer=ctx.issuer)
+            if self.trace.enabled:
+                self.trace.emit(ctx.when, self.name, "shadow-load",
+                                ctx_id=access.ctx_id, paddr=access.paddr,
+                                status=status, issuer=ctx.issuer)
             return status
         ctx_index = self.layout.context_of_offset(offset)
         if ctx_index is not None:
@@ -223,9 +319,10 @@ class DmaEngine(MmioDevice):
             else:
                 status = self.protocol.on_context_load(
                     self.contexts[ctx_index], offset & PAGE_MASK, access)
-            self.trace.emit(ctx.when, self.name, "context-load",
-                            ctx_id=ctx_index, status=status,
-                            issuer=ctx.issuer)
+            if self.trace.enabled:
+                self.trace.emit(ctx.when, self.name, "context-load",
+                                ctx_id=ctx_index, status=status,
+                                issuer=ctx.issuer)
             return status
         page = offset >> PAGE_SHIFT
         reg = offset & PAGE_MASK
@@ -238,6 +335,7 @@ class DmaEngine(MmioDevice):
     def mmio_exchange(self, offset: int, value: int,
                       ctx: AccessContext) -> int:
         """Atomic read-modify-write access (SHRIMP-1's initiation, §2.4)."""
+        self._j_access()
         shadow = self.layout.decode_offset(offset)
         if shadow is None:
             raise DeviceError(
@@ -254,9 +352,10 @@ class DmaEngine(MmioDevice):
                            status=status)
         else:
             status = self.protocol.on_shadow_exchange(access)
-        self.trace.emit(ctx.when, self.name, "shadow-exchange",
-                        ctx_id=access.ctx_id, paddr=access.paddr,
-                        data=value, status=status, issuer=ctx.issuer)
+        if self.trace.enabled:
+            self.trace.emit(ctx.when, self.name, "shadow-exchange",
+                            ctx_id=access.ctx_id, paddr=access.paddr,
+                            data=value, status=status, issuer=ctx.issuer)
         return status
 
     def _access_span(self, name: str, ctx: AccessContext,
@@ -295,6 +394,13 @@ class DmaEngine(MmioDevice):
                     or page_base(pdst) != page_base(pdst + size - 1)):
                 self.oversize_rejections += 1
                 ok = False
+        if self._undo is not None:
+            self._j_access()
+            self._undo.record_append(self.initiations)
+        if len(self._init_fp) > len(self.initiations):
+            # An undo truncated the records below the cached prefix; the
+            # new record replaces a cached slot, so cut the cache first.
+            self._init_fp = self._init_fp[:len(self.initiations)]
         self.initiations.append(InitiationRecord(
             when=self.sim.now, psrc=psrc, pdst=pdst, size=size,
             issuer=issuer, via=via_name,
@@ -302,8 +408,10 @@ class DmaEngine(MmioDevice):
         if not ok:
             if ctx is not None:
                 ctx.failed = True
-            self.trace.emit(self.sim.now, self.name, "start-rejected",
-                            psrc=psrc, pdst=pdst, size=size, via=via_name)
+            if self.trace.enabled:
+                self.trace.emit(self.sim.now, self.name, "start-rejected",
+                                psrc=psrc, pdst=pdst, size=size,
+                                via=via_name)
             if self.spans.enabled:
                 # Instant span: begin and end at the same timestamp.
                 sp = self.spans.begin("dma.rejected", track="engine",
@@ -317,9 +425,10 @@ class DmaEngine(MmioDevice):
             ctx.transfer = transfer
             ctx.failed = False
             ctx.initiations += 1
-        self.trace.emit(self.sim.now, self.name, "start",
-                        psrc=psrc, pdst=pdst, size=size, via=via_name,
-                        issuer=issuer)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, self.name, "start",
+                            psrc=psrc, pdst=pdst, size=size, via=via_name,
+                            issuer=issuer)
         return transfer.remaining(self.sim.now)
 
     def started_transfers(self) -> List[InitiationRecord]:
@@ -359,6 +468,7 @@ class DmaEngine(MmioDevice):
             return
         ctx_id = reg // 8
         if 0 <= ctx_id < len(self.contexts):
+            self._j_table(self.key_table, ctx_id)
             self.key_table[ctx_id] = value
 
     def _key_read(self, reg: int, ctx: AccessContext) -> int:
@@ -395,6 +505,7 @@ class DmaEngine(MmioDevice):
             if self._mapout_src_latch is None:
                 raise DeviceError(
                     f"{self.name}: MAPOUT_DST written with no source latched")
+            self._j_table(self.mapout_table, page_base(self._mapout_src_latch))
             self.mapout_table[page_base(self._mapout_src_latch)] = value
             self._mapout_src_latch = None
         else:
@@ -425,6 +536,7 @@ class DmaEngine(MmioDevice):
     def install_key(self, ctx_id: int, key: int) -> None:
         """Install the protection key for context *ctx_id* (OS setup)."""
         self._check_ctx_id(ctx_id)
+        self._j_table(self.key_table, ctx_id)
         self.key_table[ctx_id] = key
 
     def assign_context(self, ctx_id: int, pid: int) -> RegisterContext:
@@ -440,10 +552,12 @@ class DmaEngine(MmioDevice):
         self._check_ctx_id(ctx_id)
         self.contexts[ctx_id].reset()
         self.contexts[ctx_id].owner_pid = None
+        self._j_table(self.key_table, ctx_id)
         self.key_table.pop(ctx_id, None)
 
     def install_mapout(self, psrc_page: int, pdst: int) -> None:
         """Install a SHRIMP-1 mapped-out entry (OS setup path)."""
+        self._j_table(self.mapout_table, page_base(psrc_page))
         self.mapout_table[page_base(psrc_page)] = pdst
 
     def mapout_destination(self, psrc: int) -> Optional[int]:
@@ -489,6 +603,7 @@ class DmaEngine(MmioDevice):
             context.restore(state)
         self.key_table = dict(token["key_table"])
         self.mapout_table = dict(token["mapout_table"])
+        self._tables_fp = None
         self.current_pid = token["current_pid"]
         del self.initiations[token["n_initiations"]:]
         self.protocol_violations = token["protocol_violations"]
@@ -513,12 +628,28 @@ class DmaEngine(MmioDevice):
                           control_transfer.size, control_transfer.started_at,
                           control_transfer.duration,
                           control_transfer.completed))
+        tables = self._tables_fp
+        if tables is None:
+            tables = (tuple(sorted(self.key_table.items())),
+                      tuple(sorted(self.mapout_table.items())))
+            self._tables_fp = tables
+        cached = self._init_fp
+        n = len(self.initiations)
+        if len(cached) != n:
+            # Initiations only append or truncate (undo), so the value
+            # tuple is cached as a length-keyed prefix; the append site
+            # cuts the cache back when an undo shrank the list first.
+            if len(cached) > n:
+                cached = cached[:n]
+            else:
+                cached = cached + tuple(self.initiations[len(cached):])
+            self._init_fp = cached
         return (
             tuple(c.fingerprint() for c in self.contexts),
-            tuple(sorted(self.key_table.items())),
-            tuple(sorted(self.mapout_table.items())),
+            tables[0],
+            tables[1],
             self.current_pid,
-            tuple(self.initiations),
+            cached,
             self.protocol_violations,
             self.oversize_rejections,
             (self._control_src, self._control_dst, self._control_status,
@@ -534,8 +665,10 @@ class DmaEngine(MmioDevice):
             context.owner_pid = None
         self.key_table.clear()
         self.mapout_table.clear()
+        self._tables_fp = None
         self.current_pid = -1
         self.initiations.clear()
+        self._init_fp = ()
         self.protocol_violations = 0
         self.oversize_rejections = 0
         self._control_src = 0

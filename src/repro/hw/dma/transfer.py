@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Tuple
 from ...errors import ConfigError
 from ...obs.spans import SpanTracer
 from ...sim.engine import Simulator
+from ...sim.journal import UndoJournal
 from ...units import Time, transfer_time
 
 #: Moves the bytes when a transfer completes: (psrc, pdst, size) -> None.
@@ -114,6 +115,34 @@ class DmaTransferEngine:
         #: user-level method name), set by DmaEngine.try_start so the
         #: fault hook can honour kernel immunity.
         self.last_via: Optional[str] = None
+        # Shared undo journal (checker backtracking): None when unbound.
+        self._undo: Optional[UndoJournal] = None
+        self._j_epoch = 0
+        # Prefix cache of fingerprint(): value tuples of history[:len].
+        # History is append/truncate-only, so the cache keys on length;
+        # completion-flag flips invalidate it explicitly.
+        self._fp_hist: Tuple[tuple, ...] = ()
+
+    def bind_journal(self, journal: Optional[UndoJournal]) -> None:
+        """Attach (or detach, with None) a shared undo journal."""
+        self._undo = journal
+        self._j_epoch = 0
+        self._fp_hist = ()
+
+    def _j_scalars(self) -> None:
+        """Once per journal epoch, capture the counter blob."""
+        journal = self._undo
+        if journal is not None and self._j_epoch != journal.epoch:
+            self._j_epoch = journal.epoch
+            journal.record_call(self._restore_scalars, (
+                self.transfers_started, self.bytes_moved, self.last_via))
+
+    def _restore_scalars(self, blob: tuple) -> None:
+        self.transfers_started, self.bytes_moved, self.last_via = blob
+
+    def _uncomplete(self, transfer: "Transfer") -> None:
+        transfer.completed = False
+        self._fp_hist = ()
 
     def duration_of(self, size: int) -> Time:
         """Modelled duration of a *size*-byte transfer."""
@@ -135,7 +164,15 @@ class DmaTransferEngine:
         transfer = Transfer(
             psrc=psrc, pdst=pdst, size=size,
             started_at=self.sim.now, duration=self.duration_of(size))
+        journal = self._undo
+        if journal is not None:
+            self._j_scalars()
+            journal.record_append(self.history)
         self.transfers_started += 1
+        if len(self._fp_hist) > len(self.history):
+            # An undo truncated history below the cached prefix; the new
+            # entry replaces a cached slot, so cut the cache back first.
+            self._fp_hist = self._fp_hist[:len(self.history)]
         self.history.append(transfer)
 
         span = None
@@ -160,9 +197,13 @@ class DmaTransferEngine:
             return transfer
 
         def complete() -> None:
+            if self._undo is not None:
+                self._j_scalars()
+                self._undo.record_call(self._uncomplete, transfer)
             self._mover(psrc, pdst, size)
             transfer.completed = True
             self.bytes_moved += size
+            self._fp_hist = ()
             # A duplicated completion re-runs the mover; the span must
             # close exactly once.
             if span is not None and not span.closed:
@@ -173,7 +214,7 @@ class DmaTransferEngine:
         if fault is not None and fault[0] == "delay":
             transfer.duration += fault[1]
         self.sim.schedule(transfer.duration, complete,
-                          label=f"dma-complete[{size}B]")
+                          label=f"dma-complete[{size}B]", transient=True)
         if fault is not None and fault[0] == "duplicate":
             # A second, spurious completion event re-runs the mover (an
             # idempotent copy) — visible as double-counted bytes_moved.
@@ -201,9 +242,23 @@ class DmaTransferEngine:
         del self.history[length:]
         for transfer, completed in zip(self.history, flags):
             transfer.completed = completed
+        self._fp_hist = ()
 
     def fingerprint(self) -> tuple:
-        """Hashable value capture of every transfer plus the counters."""
-        return (self.transfers_started, self.bytes_moved,
-                tuple((t.psrc, t.pdst, t.size, t.started_at, t.duration,
-                       t.completed) for t in self.history))
+        """Hashable value capture of every transfer plus the counters.
+
+        The per-transfer value tuples are cached as a prefix keyed on the
+        history length (history only ever appends or truncates); sites
+        that flip a ``completed`` flag drop the cache.
+        """
+        cached = self._fp_hist
+        n = len(self.history)
+        if len(cached) != n:
+            if len(cached) > n:
+                cached = cached[:n]
+            else:
+                cached = cached + tuple(
+                    (t.psrc, t.pdst, t.size, t.started_at, t.duration,
+                     t.completed) for t in self.history[len(cached):])
+            self._fp_hist = cached
+        return (self.transfers_started, self.bytes_moved, cached)

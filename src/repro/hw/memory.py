@@ -11,10 +11,11 @@ manager.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import AddressError, MemoryError_
-from .pagetable import PAGE_MASK, PAGE_SIZE
+from ..sim.journal import UndoJournal
+from .pagetable import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE
 
 #: Width of a machine word (Alpha: 64-bit).
 WORD_BYTES = 8
@@ -37,6 +38,16 @@ class PhysicalMemory:
         # Undo journal for snapshot/restore: None when journaling is off
         # (the default — zero overhead beyond one branch per mutation).
         self._journal: Optional[List[Tuple[int, bytes]]] = None
+        # Shared undo journal (page-granular CoW mode): None when unbound.
+        self._undo: Optional[UndoJournal] = None
+        self._page_epochs: Dict[int, int] = {}
+        #: Page saves recorded but not yet undone.  While non-zero the
+        #: RAM content is not derivable from the harness fingerprint, so
+        #: the checker must skip memoization (same role journal_writes
+        #: plays for the legacy byte-range journal).
+        self.outstanding_page_saves = 0
+        #: Cumulative dirty pages copied since the journal was bound.
+        self.dirty_pages_saved = 0
 
     # -- range helpers --------------------------------------------------------
 
@@ -87,9 +98,50 @@ class PhysicalMemory:
 
     def _journal_range(self, paddr: int, nbytes: int) -> None:
         """Record the bytes about to be overwritten (journaling only)."""
-        if self._journal is not None and nbytes > 0:
+        if nbytes <= 0:
+            return
+        if self._journal is not None:
             self._journal.append(
                 (paddr, bytes(self._data[paddr:paddr + nbytes])))
+        if self._undo is not None:
+            self._cow_range(paddr, nbytes)
+
+    def bind_journal(self, journal: Optional[UndoJournal]) -> None:
+        """Attach (or detach, with None) a shared undo journal.
+
+        While bound, mutations copy each dirty page once per journal
+        epoch (page-granular copy-on-write): the first write to a page
+        after a ``mark()``/``undo_to()`` saves the whole 8 KiB page into
+        the journal, and further writes to it in the same epoch are
+        free.  Restore is ``journal.undo_to(mark)``.
+        """
+        self._undo = journal
+        self._page_epochs = {}
+        self.outstanding_page_saves = 0
+        self.dirty_pages_saved = 0
+
+    def _cow_range(self, paddr: int, nbytes: int) -> None:
+        """Save every page overlapping the range, once per journal epoch."""
+        journal = self._undo
+        assert journal is not None
+        epoch = journal.epoch
+        epochs = self._page_epochs
+        data = self._data
+        last = (paddr + nbytes - 1) >> PAGE_SHIFT
+        for page in range(paddr >> PAGE_SHIFT, last + 1):
+            if epochs.get(page) == epoch:
+                continue
+            epochs[page] = epoch
+            base = page << PAGE_SHIFT
+            journal.record_call(
+                self._restore_page, (base, bytes(data[base:base + PAGE_SIZE])))
+            self.outstanding_page_saves += 1
+            self.dirty_pages_saved += 1
+
+    def _restore_page(self, saved: Tuple[int, bytes]) -> None:
+        base, old = saved
+        self._data[base:base + PAGE_SIZE] = old
+        self.outstanding_page_saves -= 1
 
     @property
     def journal_writes(self) -> int:

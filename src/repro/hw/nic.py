@@ -173,6 +173,13 @@ class NetworkInterface(DmaEngine):
         super().restore(token)
         self.remote_sends = token["remote_sends"]
 
+    def _scalar_state(self) -> tuple:
+        return super()._scalar_state() + (self.remote_sends,)
+
+    def _restore_scalar_state(self, blob: tuple) -> None:
+        super()._restore_scalar_state(blob[:-1])
+        self.remote_sends = blob[-1]
+
     # -- helpers -------------------------------------------------------------------
 
     def global_address(self, local: int) -> int:

@@ -1,10 +1,23 @@
 """The discrete-event simulation engine.
 
 A :class:`Simulator` owns the global clock (integer picoseconds) and a
-priority queue of :class:`Event` objects.  Components schedule callbacks with
-:meth:`Simulator.schedule` / :meth:`Simulator.call_at`, and the owner of the
-simulation drives it with :meth:`Simulator.run` (until the queue drains or a
-deadline passes) or :meth:`Simulator.step`.
+pending-event store split into two tiers:
+
+* a **slotted event wheel** — a ring of coarse time buckets covering the
+  near future (``wheel_slots * 2**wheel_granularity_bits`` picoseconds
+  from the current wheel base).  Scheduling into the wheel is an O(1)
+  list append; draining scans forward from the current slot, so densely
+  scheduled workloads (the NOW fabric, bulk DMA completions) never pay
+  heap maintenance;
+* a **far heap** — the classic binary heap, holding only events beyond
+  the wheel horizon (long timeouts, the "never" sentinel of dropped
+  completions).  As the clock advances the wheel rebase migrates heap
+  events that have come within the horizon into the wheel.
+
+Components schedule callbacks with :meth:`Simulator.schedule` /
+:meth:`Simulator.call_at`, and the owner of the simulation drives it
+with :meth:`Simulator.run` (until the queue drains or a deadline passes)
+or :meth:`Simulator.step`.
 
 Two styles of progress coexist:
 
@@ -15,79 +28,300 @@ Two styles of progress coexist:
   schedule future events; the foreground can :meth:`Simulator.run_until`
   a timestamp or :meth:`Simulator.wait_for` a predicate to let them complete.
 
-Determinism: events at equal timestamps fire in insertion order (a
-monotonically increasing sequence number breaks ties), so identical inputs
-replay identically.
+Determinism: events fire in ``(when, seq)`` order (``seq`` is a
+monotonically increasing insertion number), so identical inputs replay
+identically regardless of which tier an event sat in.
+
+:class:`Event` instances are ``__slots__``-backed, and events scheduled
+with ``transient=True`` (fire-and-forget callbacks whose handle nobody
+retains) are recycled through a free list after firing, so hot loops do
+not allocate one object per event.  Recycling switches itself off as
+soon as a snapshot is taken or an undo journal is bound, because both
+may legitimately hold references to already-fired events.
+
+Snapshot/restore supports the incremental model checker two ways: the
+legacy :meth:`Simulator.snapshot`/:meth:`Simulator.restore` pair copies
+the live event list, while :meth:`Simulator.bind_journal` switches the
+simulator to O(changes) undo journaling (see :mod:`repro.sim.journal`).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
 from ..units import Time
+from .journal import UndoJournal
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
-    Events order by ``(when, seq)``; ``seq`` is assigned by the simulator so
-    same-time events fire first-scheduled-first.  Cancelled events stay in
-    the heap but are skipped when popped; the owning simulator is notified
-    through ``on_cancel`` so its live-event count stays exact without
-    scanning the heap.
+    Events order by ``(when, seq)``; ``seq`` is assigned by the simulator
+    so same-time events fire first-scheduled-first.  Cancelled events stay
+    in their bucket (wheel slot or heap) but are skipped when reached; the
+    owning simulator is notified through ``on_cancel`` so its live-event
+    count stays exact without scanning, and so an undo journal can record
+    the flag flip.
+
+    Attributes mirror the former dataclass fields; ``__slots__`` keeps
+    the per-event footprint small and attribute access fast on the
+    scheduling hot path.
     """
 
-    when: Time
-    seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    on_cancel: Optional[Callable[[], None]] = field(
-        compare=False, default=None, repr=False)
+    __slots__ = ("when", "seq", "action", "label", "cancelled",
+                 "on_cancel", "transient")
+
+    def __init__(self, when: Time, seq: int,
+                 action: Callable[[], None], label: str = "",
+                 cancelled: bool = False,
+                 on_cancel: Optional[Callable[["Event"], None]] = None,
+                 transient: bool = False) -> None:
+        self.when = when
+        self.seq = seq
+        self.action = action
+        self.label = label
+        self.cancelled = cancelled
+        self.on_cancel = on_cancel
+        self.transient = transient
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.when != other.when:
+            return self.when < other.when
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<Event when={self.when} seq={self.seq} {self.label!r}{flag}>"
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
+        """Prevent the event from firing.  Idempotent.
+
+        The owner notification runs *before* the flag flips so a bound
+        undo journal records the pre-cancellation value.
+        """
         if self.cancelled:
             return
-        self.cancelled = True
         if self.on_cancel is not None:
-            self.on_cancel()
+            self.on_cancel(self)
+        self.cancelled = True
 
 
 class Simulator:
-    """Event queue plus the global simulated clock.
+    """Event wheel + far heap plus the global simulated clock.
+
+    Args:
+        wheel_granularity_bits: log2 of the wheel slot width in
+            picoseconds.  The default (2**18 ps ≈ 262 ns per slot) puts
+            typical DMA completion latencies a handful of slots out.
+        wheel_slots: number of wheel slots (power of two).  With the
+            defaults the wheel covers ~67 µs; anything later goes to the
+            far heap until the wheel base catches up.
 
     Attributes:
         now: current simulated time in integer picoseconds.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, wheel_granularity_bits: int = 18,
+                 wheel_slots: int = 256) -> None:
+        if wheel_slots <= 0 or wheel_slots & (wheel_slots - 1):
+            raise SimulationError(
+                f"wheel_slots must be a power of two, got {wheel_slots}")
+        if wheel_granularity_bits < 0:
+            raise SimulationError(
+                f"wheel_granularity_bits must be >= 0, "
+                f"got {wheel_granularity_bits}")
         self.now: Time = 0
-        self._queue: list[Event] = []
         self._seq = 0
         self._events_fired = 0
         self._live = 0
-        self._running = False
+        # -- wheel geometry --
+        self._gran_bits = wheel_granularity_bits
+        self._slot_mask = wheel_slots - 1
+        self._n_slots = wheel_slots
+        self._span: Time = wheel_slots << wheel_granularity_bits
+        self._wheel_base: Time = 0
+        self._horizon: Time = self._span
+        self._slots: List[List[Event]] = [[] for _ in range(wheel_slots)]
+        self._wheel_count = 0   # entries in slots, cancelled included
+        self._far: List[Event] = []
+        # -- head cache: earliest live event, or None when dirty/empty --
+        self._head: Optional[Event] = None
+        self._head_dirty = False
+        # -- live_event_signature cache: dropped on any queue change --
+        self._sig: Optional[Tuple[Tuple[Time, str], ...]] = None
+        # -- free list --
+        self._free: List[Event] = []
+        self._no_recycle = False
+        # -- undo journal --
+        self._journal: Optional[UndoJournal] = None
+        self._j_epoch = 0
+
+    # -- journaling -----------------------------------------------------
+
+    def bind_journal(self, journal: Optional[UndoJournal]) -> None:
+        """Attach (or detach, with None) a shared undo journal.
+
+        While bound, every mutation records its undo into the journal, so
+        ``journal.mark()`` / ``journal.undo_to(mark)`` replace
+        :meth:`snapshot` / :meth:`restore` at O(changes) cost.  Event
+        recycling is disabled while a journal is bound (undo entries hold
+        references to fired events).
+        """
+        self._journal = journal
+        self._j_epoch = 0
+
+    def _j_state(self) -> None:
+        """Once per journal epoch, capture the scalar clock/counter blob."""
+        journal = self._journal
+        if journal is not None and self._j_epoch != journal.epoch:
+            self._j_epoch = journal.epoch
+            journal.record_call(self._restore_scalars, (
+                self.now, self._seq, self._events_fired, self._live,
+                self._wheel_base, self._horizon, self._wheel_count))
+
+    def _restore_scalars(self, blob: Tuple[Any, ...]) -> None:
+        (self.now, self._seq, self._events_fired, self._live,
+         self._wheel_base, self._horizon, self._wheel_count) = blob
+        self._head = None
+        self._head_dirty = True
+
+    def _j_unplace(self, event: Event) -> None:
+        """Undo of a push: remove *event* from whichever tier holds it."""
+        self._discard(event)
+        self._head = None
+        self._head_dirty = True
+
+    def _j_place(self, event: Event) -> None:
+        """Undo of a pop: put *event* back (tier chosen by its when)."""
+        self._place(event)
+        self._head = None
+        self._head_dirty = True
+
+    # -- placement ------------------------------------------------------
+
+    def _place(self, event: Event) -> None:
+        """Insert into the wheel (near) or the far heap (beyond horizon)."""
+        self._sig = None
+        if event.when < self._horizon:
+            self._slots[(event.when >> self._gran_bits)
+                        & self._slot_mask].append(event)
+            self._wheel_count += 1
+        else:
+            heapq.heappush(self._far, event)
+        head = self._head
+        if not self._head_dirty and (head is None or event < head):
+            self._head = event
+
+    def _discard(self, event: Event) -> None:
+        """Remove a specific event from its tier (undo/pop helper)."""
+        self._sig = None
+        if event.when < self._horizon:
+            slot = self._slots[(event.when >> self._gran_bits)
+                               & self._slot_mask]
+            try:
+                slot.remove(event)
+                self._wheel_count -= 1
+                return
+            except ValueError:
+                pass  # migrated to the far heap by a rebase race
+        try:
+            self._far.remove(event)
+        except ValueError:
+            return
+        heapq.heapify(self._far)
+
+    def _rebase(self) -> None:
+        """Advance the wheel window to the current clock.
+
+        Live wheel events always sit at ``when >= now`` (the event loop
+        never lets the clock pass an unfired live event), so rebasing
+        re-places every surviving entry into the new window and migrates
+        far-heap events that have come within the horizon.  Cancelled
+        stragglers from old laps are dropped here.
+        """
+        base = (self.now >> self._gran_bits) << self._gran_bits
+        if base <= self._wheel_base:
+            return
+        self._j_state()
+        survivors: List[Event] = []
+        if self._wheel_count:
+            for slot in self._slots:
+                if slot:
+                    survivors.extend(e for e in slot if not e.cancelled)
+                    slot.clear()
+        self._wheel_base = base
+        self._horizon = base + self._span
+        self._wheel_count = 0
+        for event in survivors:
+            self._slots[(event.when >> self._gran_bits)
+                        & self._slot_mask].append(event)
+        self._wheel_count = len(survivors)
+        far = self._far
+        horizon = self._horizon
+        while far and far[0].when < horizon:
+            event = heapq.heappop(far)
+            if event.cancelled:
+                continue
+            self._slots[(event.when >> self._gran_bits)
+                        & self._slot_mask].append(event)
+            self._wheel_count += 1
+        self._head = None
+        self._head_dirty = True
+
+    def _recompute_head(self) -> Optional[Event]:
+        """Find the earliest live event across both tiers."""
+        if self.now >= self._horizon:
+            self._rebase()
+        best: Optional[Event] = None
+        if self._wheel_count:
+            start = max(self.now, self._wheel_base) >> self._gran_bits
+            mask = self._slot_mask
+            slots = self._slots
+            for index in range(start, start + self._n_slots):
+                slot = slots[index & mask]
+                if not slot:
+                    continue
+                for event in slot:
+                    if not event.cancelled and (best is None
+                                                or event < best):
+                        best = event
+                if best is not None:
+                    break
+        far = self._far
+        while far and far[0].cancelled:
+            # Journaled so an undo can revive the (then-cancelled) event.
+            dead = heapq.heappop(far)
+            if self._journal is not None:
+                self._j_state()
+                self._journal.record_call(self._j_place, dead)
+        if far and (best is None or far[0] < best):
+            best = far[0]
+        self._head = best
+        self._head_dirty = best is None
+        return best
 
     # -- scheduling ---------------------------------------------------------
 
     def schedule(self, delay: Time, action: Callable[[], None],
-                 label: str = "") -> Event:
+                 label: str = "", transient: bool = False) -> Event:
         """Schedule *action* to run *delay* ps from now.
+
+        Args:
+            transient: promise that no caller retains the returned event
+                (e.g. to cancel it later); such events are recycled
+                through a free list after firing.
 
         Raises:
             SimulationError: if *delay* is negative.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
-        return self.call_at(self.now + delay, action, label)
+        return self.call_at(self.now + delay, action, label, transient)
 
     def call_at(self, when: Time, action: Callable[[], None],
-                label: str = "") -> Event:
+                label: str = "", transient: bool = False) -> Event:
         """Schedule *action* at absolute time *when*.
 
         Raises:
@@ -96,15 +330,47 @@ class Simulator:
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule at {when} before now={self.now}")
-        event = Event(when=when, seq=self._seq, action=action, label=label,
-                      on_cancel=self._note_cancelled)
+        if self._free:
+            event = self._free.pop()
+            event.when = when
+            event.seq = self._seq
+            event.action = action
+            event.label = label
+            event.cancelled = False
+            event.on_cancel = self._note_cancelled
+            event.transient = transient
+        else:
+            event = Event(when=when, seq=self._seq, action=action,
+                          label=label, on_cancel=self._note_cancelled,
+                          transient=transient)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        journal = self._journal
+        if journal is not None:
+            self._j_state()
+            journal.record_call(self._j_unplace, event)
+        self._place(event)
         self._live += 1
         return event
 
-    def _note_cancelled(self) -> None:
+    def _note_cancelled(self, event: Event) -> None:
+        # Runs before the cancelled flag flips, so the journal captures
+        # the pre-cancellation state.
+        journal = self._journal
+        if journal is not None:
+            self._j_state()
+            journal.record_call(self._j_uncancel, event)
         self._live -= 1
+        self._sig = None
+        if not self._head_dirty and event is self._head:
+            self._head = None
+            self._head_dirty = True
+
+    def _j_uncancel(self, event: Event) -> None:
+        """Undo of a cancel (the scalar blob restores the counters)."""
+        event.cancelled = False
+        self._sig = None
+        self._head = None
+        self._head_dirty = True
 
     # -- synchronous time ---------------------------------------------------
 
@@ -125,6 +391,8 @@ class Simulator:
             raise SimulationError(f"cannot advance by negative time: {delta}")
         target = self.now + delta
         self._drain_until(target)
+        if self._journal is not None:
+            self._j_state()
         self.now = target
         return self.now
 
@@ -136,20 +404,43 @@ class Simulator:
         Returns:
             True if an event fired, False if the queue was empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.when < self.now:
-                raise SimulationError(
-                    f"event {event.label!r} scheduled at {event.when} "
-                    f"popped after now={self.now}")
-            self.now = event.when
-            self._live -= 1
-            self._events_fired += 1
-            event.action()
-            return True
-        return False
+        event = self._peek()
+        if event is None:
+            return False
+        if event.when < self.now:
+            raise SimulationError(
+                f"event {event.label!r} scheduled at {event.when} "
+                f"popped after now={self.now}")
+        journal = self._journal
+        if journal is not None:
+            self._j_state()
+            journal.record_call(self._j_place, event)
+        self._remove_head(event)
+        self.now = event.when
+        self._live -= 1
+        self._events_fired += 1
+        event.action()
+        if (event.transient and journal is None and not self._no_recycle
+                and len(self._free) < 1024):
+            event.action = _NOOP
+            event.on_cancel = None
+            self._free.append(event)
+        return True
+
+    def _remove_head(self, event: Event) -> None:
+        """Pop *event*, known to be the current head, from its tier."""
+        if event.when < self._horizon:
+            slot = self._slots[(event.when >> self._gran_bits)
+                               & self._slot_mask]
+            try:
+                slot.remove(event)
+                self._wheel_count -= 1
+            except ValueError:
+                heapq.heappop(self._far)
+        else:
+            heapq.heappop(self._far)
+        self._head = None
+        self._head_dirty = True
 
     def run(self, until: Optional[Time] = None,
             max_events: Optional[int] = None) -> int:
@@ -165,24 +456,30 @@ class Simulator:
             The number of events fired.
         """
         fired = 0
-        while self._queue:
+        while True:
             if max_events is not None and fired >= max_events:
                 break
             head = self._peek()
             if head is None:
                 break
             if until is not None and head.when > until:
+                if self._journal is not None:
+                    self._j_state()
                 self.now = max(self.now, until)
                 break
             if self.step():
                 fired += 1
-        if until is not None and not self._queue:
+        if until is not None and self._live == 0:
+            if self._journal is not None:
+                self._j_state()
             self.now = max(self.now, until)
         return fired
 
     def run_until(self, when: Time) -> int:
         """Run all events up to and including absolute time *when*."""
         fired = self.run(until=when)
+        if self._journal is not None:
+            self._j_state()
         self.now = max(self.now, when)
         return fired
 
@@ -206,6 +503,8 @@ class Simulator:
             if head is None:
                 return predicate()
             if deadline is not None and head.when > deadline:
+                if self._journal is not None:
+                    self._j_state()
                 self.now = deadline
                 return predicate()
             self.step()
@@ -219,7 +518,7 @@ class Simulator:
         """Number of live (non-cancelled) events still queued.
 
         Maintained as a counter updated on push, pop, and cancel, so the
-        read is O(1) rather than an O(n) heap scan.
+        read is O(1) rather than a scan of the wheel and heap.
         """
         return self._live
 
@@ -238,15 +537,35 @@ class Simulator:
         return lambda: self.now
 
     def live_event_signature(self) -> Tuple[Tuple[Time, str], ...]:
-        """(when, label) of every live queued event, in firing order."""
-        return tuple(sorted((e.when, e.label) for e in self._queue
-                            if not e.cancelled))
+        """(when, label) of every live queued event, in firing order.
+
+        Cached between queue mutations: the checker fingerprints the
+        simulator once per tree node but the queue changes far less
+        often, so the (wheel-scanning) recomputation is rare.
+        """
+        sig = self._sig
+        if sig is None:
+            sig = tuple(sorted((e.when, e.label)
+                               for e in self._all_events()
+                               if not e.cancelled))
+            self._sig = sig
+        return sig
+
+    def _all_events(self) -> List[Event]:
+        """Every queued event (cancelled included), both tiers, any order."""
+        events: List[Event] = []
+        for slot in self._slots:
+            events.extend(slot)
+        events.extend(self._far)
+        return events
 
     def _peek(self) -> Optional[Event]:
         """Return the next live event without popping, or None."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        if not self._head_dirty and self._head is not None:
+            return self._head
+        if self._live == 0:
+            return None
+        return self._recompute_head()
 
     def _drain_until(self, target: Time) -> None:
         """Fire every live event with timestamp <= target."""
@@ -259,25 +578,47 @@ class Simulator:
     # -- snapshot/restore -----------------------------------------------------
 
     def snapshot(self) -> Tuple[Any, ...]:
-        """Capture clock, counters, and the event queue.
+        """Capture clock, counters, and the queued events, by copy.
 
-        The queue is captured as a shallow list copy (it is already a
-        valid heap) plus each event's ``cancelled`` flag; the Event
-        objects themselves are immutable apart from that flag, so
-        restoring the list and the flags reproduces the queue exactly —
-        including events that were popped or cancelled after the
-        snapshot was taken.
+        The events are captured as a flat list plus each event's
+        ``cancelled`` flag; the Event objects themselves are immutable
+        apart from that flag, so re-placing the list and the flags
+        reproduces the queue exactly — including events that were popped
+        or cancelled after the snapshot was taken.  Taking a snapshot
+        permanently disables transient-event recycling (the snapshot
+        holds references that a recycler would corrupt).
+
+        Journal-bound simulators should use ``journal.mark()`` /
+        ``journal.undo_to`` instead; this copying path remains for
+        stand-alone use and differential testing.
         """
+        self._no_recycle = True
+        events = self._all_events()
         return (self.now, self._seq, self._events_fired, self._live,
-                list(self._queue), [e.cancelled for e in self._queue])
+                events, [e.cancelled for e in events])
 
     def restore(self, token: Tuple[Any, ...]) -> None:
         """Return to a state captured by :meth:`snapshot`."""
-        now, seq, fired, live, queue, flags = token
+        now, seq, fired, live, events, flags = token
+        self._sig = None
         self.now = now
         self._seq = seq
         self._events_fired = fired
         self._live = live
-        self._queue = list(queue)
-        for event, cancelled in zip(self._queue, flags):
+        for slot in self._slots:
+            slot.clear()
+        self._far.clear()
+        self._wheel_count = 0
+        self._wheel_base = (now >> self._gran_bits) << self._gran_bits
+        self._horizon = self._wheel_base + self._span
+        self._head = None
+        self._head_dirty = True
+        for event, cancelled in zip(events, flags):
             event.cancelled = cancelled
+            self._place(event)
+        self._head = None
+        self._head_dirty = True
+
+
+def _NOOP() -> None:  # pragma: no cover - free-list placeholder
+    return None

@@ -1,0 +1,112 @@
+"""Shared undo journal: O(changes) snapshot/restore for the checker.
+
+The incremental checker's snapshot/restore protocol originally captured
+every component's state by value on each snapshot — O(total state) per
+tree edge even when a delivery touched two scalars.  The
+:class:`UndoJournal` inverts that: components *record the old value of
+whatever they are about to mutate* into one shared journal, a snapshot
+is just a mark (the current journal length), and restore replays the
+entries recorded since the mark, newest first.  Cost is proportional to
+what actually changed, not to what exists.
+
+Two recording disciplines coexist, chosen per mutation site:
+
+* **Per-mutation entries** for state that changes rarely (key-table
+  writes, initiation-record appends, heap pushes): one entry per
+  mutation, zero cost when the mutation never happens.
+* **Per-epoch capture** for small hot state blobs (a protocol FSM's
+  scalar tuple, a register context, the simulator clock): the first
+  mutation after each :meth:`mark`/:meth:`undo_to` captures the whole
+  blob once, and later mutations inside the same epoch are free.  The
+  :attr:`epoch` counter increments on every mark *and* every undo, so a
+  component comparing its stamped epoch against the journal's knows
+  whether the current blob is already safely captured.
+
+Entries are ``(kind, a, b, c)`` tuples dispatched by integer op code —
+cheaper to record and replay than closures.  Correctness relies only on
+replay happening newest-first, which makes redundant captures harmless.
+
+Components opt in through ``bind_journal(journal)`` and must keep
+working when no journal is bound (``None`` — the default everywhere
+outside the checker, costing one branch per mutation site).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+#: Op codes (module-level ints: fastest dispatch in the replay loop).
+OP_ATTR = 0      #: ``setattr(a, b, c)``
+OP_ITEM = 1      #: ``a[b] = c``
+OP_DELITEM = 2   #: ``del a[b]`` (ignore if missing)
+OP_POP = 3       #: ``a.pop()`` — undo of a list append
+OP_CALL = 4      #: ``a(b)`` — component-provided restore callable
+
+
+class UndoJournal:
+    """One shared mutation journal per checked component stack."""
+
+    __slots__ = ("_ops", "epoch", "entries_recorded", "entries_replayed")
+
+    def __init__(self) -> None:
+        self._ops: List[Tuple[int, Any, Any, Any]] = []
+        #: Bumped on every mark and every undo; components stamp their
+        #: per-epoch captures against it.
+        self.epoch = 1
+        self.entries_recorded = 0
+        self.entries_replayed = 0
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    # -- marks ----------------------------------------------------------
+
+    def mark(self) -> int:
+        """O(1) snapshot: remember the journal length, open a new epoch."""
+        self.epoch += 1
+        return len(self._ops)
+
+    def undo_to(self, mark: int) -> None:
+        """Replay (and drop) every entry recorded since *mark*."""
+        ops = self._ops
+        count = len(ops) - mark
+        if count > 0:
+            self.entries_replayed += count
+            for _ in range(count):
+                kind, a, b, c = ops.pop()
+                if kind == OP_ATTR:
+                    setattr(a, b, c)
+                elif kind == OP_CALL:
+                    a(b)
+                elif kind == OP_ITEM:
+                    a[b] = c
+                elif kind == OP_DELITEM:
+                    a.pop(b, None)
+                else:  # OP_POP
+                    a.pop()
+        self.epoch += 1
+
+    # -- recording ------------------------------------------------------
+
+    def record_attr(self, obj: Any, name: str) -> None:
+        """Arrange for ``obj.<name>`` to be reset to its current value."""
+        self.entries_recorded += 1
+        self._ops.append((OP_ATTR, obj, name, getattr(obj, name)))
+
+    def record_item(self, mapping: Dict[Any, Any], key: Any) -> None:
+        """Arrange for ``mapping[key]`` to be restored (or re-deleted)."""
+        self.entries_recorded += 1
+        if key in mapping:
+            self._ops.append((OP_ITEM, mapping, key, mapping[key]))
+        else:
+            self._ops.append((OP_DELITEM, mapping, key, None))
+
+    def record_append(self, lst: List[Any]) -> None:
+        """Arrange for the append about to happen to be popped again."""
+        self.entries_recorded += 1
+        self._ops.append((OP_POP, lst, None, None))
+
+    def record_call(self, fn: Callable[[Any], None], arg: Any) -> None:
+        """Arrange for ``fn(arg)`` to run on undo (component restore)."""
+        self.entries_recorded += 1
+        self._ops.append((OP_CALL, fn, arg, None))

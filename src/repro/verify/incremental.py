@@ -22,6 +22,16 @@ Child subtrees are visited in stream-index order — exactly the order
 resulting :class:`~repro.verify.model_check.CheckResult` (counts *and*
 retained examples) is identical to the naive oracle's, which the
 differential tests assert on every built-in scenario.
+
+Backtracking goes through the shared undo journal
+(:meth:`~repro.verify.interleave.ProtocolHarness.enable_journal`):
+snapshot is an O(1) mark and restore replays only the mutations made
+since it.  Two further strategies keep small and degenerate inputs fast
+(see docs/verification.md "Small-scenario cutover"): scenarios under
+:data:`SMALL_SCENARIO_CUTOVER` orders skip the DFS for a journaled
+fast-replay of every order, and a node whose every remaining access
+belongs to one stream delivers the whole forced tail under a single
+snapshot/restore pair (counted in ``CheckStats.batched_deliveries``).
 """
 
 from __future__ import annotations
@@ -33,7 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..errors import VerificationError
 from ..obs.profile import PhaseProfiler
 from ..hw.dma.protocols.repeated import RepeatedPassingProtocol
-from .interleave import AccessSpec, interleaving_count
+from .interleave import AccessSpec, interleaving_count, iter_interleavings_shared
 from .model_check import (
     REJECTION_WORDS,
     CheckResult,
@@ -52,6 +62,22 @@ from .properties import (
 _MISSING = object()
 _NO_CHANGE = object()
 
+#: Scenarios whose full order count is below this skip the DFS and run a
+#: journaled fast-replay instead: every order is delivered from one root
+#: mark and undone through the journal.  For trees this small the DFS's
+#: fingerprint/memoization overhead exceeds what prefix sharing saves,
+#: which is exactly the speedup<1.0 regression BENCH_checker recorded on
+#: the 2-to-21-order scenarios; fast replay also skips the per-order
+#: harness reconstruction that dominates the naive oracle.
+SMALL_SCENARIO_CUTOVER = 30
+
+#: Skip transposition lookups when fewer than this many accesses remain.
+#: Tuned on fig8-repeated5-2adv: with the fingerprint and event-signature
+#: caches a lookup is cheap enough that memoization wins all the way down
+#: to the last choice point (26.5 ms at 1 vs 30.9 ms at 3, 75.9 ms at 5),
+#: so the threshold stays at 1 (no elision).
+MEMO_MIN_REMAINING = 1
+
 
 @dataclass
 class CheckStats:
@@ -66,6 +92,12 @@ class CheckStats:
         snapshots / restores: backtracking operations performed.
         transposition_hits: subtrees reused from the table.
         transposition_entries: distinct states stored in the table.
+        journal_entries_replayed: undo-journal entries replayed across
+            all restores (0 when the deep-copy path was used).
+        dirty_pages: RAM pages copied by the page-granular CoW layer.
+        batched_deliveries: accesses delivered inside forced-tail
+            batches (a single live stream leaves no choice points, so
+            the whole tail shares one snapshot/restore pair).
     """
 
     leaves: int = 0
@@ -75,6 +107,9 @@ class CheckStats:
     restores: int = 0
     transposition_hits: int = 0
     transposition_entries: int = 0
+    journal_entries_replayed: int = 0
+    dirty_pages: int = 0
+    batched_deliveries: int = 0
 
     @property
     def accesses_saved(self) -> int:
@@ -163,10 +198,16 @@ def check_scenario_incremental(
         stats = CheckStats()
 
     harness = make_harness(scenario)
+    harness.enable_journal()
     positions = [0] * len(streams)
     final_status: Dict[int, int] = {}
     memo: Dict[Any, _Subtree] = {}
     track = {"leaves": 0, "reported": 0}
+
+    def finish_stats() -> None:
+        if harness.journal is not None:
+            stats.journal_entries_replayed = harness.journal.entries_replayed
+            stats.dirty_pages = harness.ram.dirty_pages_saved
 
     def deliver(access: AccessSpec) -> Any:
         """Deliver one access; returns the final_status undo token."""
@@ -198,11 +239,11 @@ def check_scenario_incremental(
             track["reported"] = track["leaves"]
             progress(track["leaves"])
 
-    def leaf() -> _Subtree:
-        t0 = time.perf_counter() if profiler is not None else 0.0
+    def evaluate(status_map: Dict[int, int]) -> List[Violation]:
+        """Run every property over the harness's current end state."""
         evidence = ReplayEvidence()
         evidence.records = list(harness.engine.initiations)
-        evidence.final_status = dict(final_status)
+        evidence.final_status = dict(status_map)
         if isinstance(harness.protocol, RepeatedPassingProtocol):
             evidence.contributors = [
                 tuple(p for p in pids)
@@ -212,6 +253,11 @@ def check_scenario_incremental(
         if scenario.check_truthfulness:
             violations += check_truthful_status(
                 evidence, scenario.intents, REJECTION_WORDS)
+        return violations
+
+    def leaf() -> _Subtree:
+        t0 = time.perf_counter() if profiler is not None else 0.0
+        violations = evaluate(final_status)
         node = _Subtree(leaves=1)
         if violations:
             node.violating = 1
@@ -224,11 +270,94 @@ def check_scenario_incremental(
             profiler.add_seconds("leaf", time.perf_counter() - t0)
         return node
 
+    # Adaptive cutover: a tree this small cannot amortize the DFS's
+    # fingerprint/memo machinery, so replay every order outright — still
+    # through the journal, so each order undoes in O(changes) and the
+    # harness is never reconstructed (the naive oracle's main cost).
+    # Iteration order matches the DFS/naive enumeration, so counts and
+    # retained examples are bit-identical.
+    if prefix_choices is None and expected < SMALL_SCENARIO_CUTOVER:
+        result = CheckResult(scenario=scenario.name)
+        order_status: Dict[int, int] = {}
+        for order in iter_interleavings_shared(streams):
+            token = harness.snapshot()
+            stats.snapshots += 1
+            order_status.clear()
+            for access in order:
+                stats.accesses_delivered += 1
+                if profiler is not None:
+                    t0 = time.perf_counter()
+                    status = harness.deliver(access)
+                    profiler.add_seconds(
+                        "deliver", time.perf_counter() - t0)
+                else:
+                    status = harness.deliver(access)
+                if access.final and status is not None:
+                    order_status[access.pid] = status
+            t0 = time.perf_counter() if profiler is not None else 0.0
+            violations = evaluate(order_status)
+            if profiler is not None:
+                profiler.add_seconds("leaf", time.perf_counter() - t0)
+            result.total_interleavings += 1
+            if violations:
+                result.violating_interleavings += 1
+                for prop in {v.prop for v in violations}:
+                    result.violations_by_property[prop] = (
+                        result.violations_by_property.get(prop, 0) + 1)
+                if len(result.examples) < max_examples:
+                    result.examples.append((tuple(order), violations))
+            tick(1)
+            harness.restore(token)
+            stats.restores += 1
+        stats.leaves = result.total_interleavings
+        stats.naive_accesses = stats.leaves * total_length
+        finish_stats()
+        return result
+
+    def forced_tail(index: int, remaining: int) -> _Subtree:
+        """Only one stream is live: the whole tail is a forced path.
+
+        With zero choice points left the subtree is a single leaf, so
+        the tail is delivered as one batch under a single
+        snapshot/restore pair instead of one pair per access.  Counts
+        and the retained example are identical to the unbatched walk.
+        """
+        stream = streams[index]
+        pos = positions[index]
+        if profiler is not None:
+            t0 = time.perf_counter()
+            token = harness.snapshot()
+            profiler.add_seconds("snapshot", time.perf_counter() - t0)
+        else:
+            token = harness.snapshot()
+        stats.snapshots += 1
+        tail = tuple(stream[pos:pos + remaining])
+        undos = []
+        for access in tail:
+            undos.append((access, deliver(access)))
+        positions[index] = pos + remaining
+        stats.batched_deliveries += remaining
+        node = leaf()
+        if node.examples:
+            node.examples = [(tail + suffix, violations)
+                             for suffix, violations in node.examples]
+        positions[index] = pos
+        for access, old in reversed(undos):
+            undo_status(access, old)
+        if profiler is not None:
+            t0 = time.perf_counter()
+            harness.restore(token)
+            profiler.add_seconds("restore", time.perf_counter() - t0)
+        else:
+            harness.restore(token)
+        stats.restores += 1
+        return node
+
     def dfs(remaining: int) -> _Subtree:
         if remaining == 0:
             return leaf()
         key = None
-        if use_transposition:
+        if use_transposition and remaining >= MEMO_MIN_REMAINING:
             fingerprint = harness.fingerprint()
             if fingerprint is not None:
                 key = (tuple(positions),
@@ -241,6 +370,12 @@ def check_scenario_incremental(
                         profiler.count("transposition_hit")
                     tick(hit.leaves)
                     return hit
+        live = [i for i in range(len(streams)) if positions[i] < lengths[i]]
+        if len(live) == 1:
+            node = forced_tail(live[0], remaining)
+            if key is not None:
+                memo[key] = node
+            return node
         node = _Subtree()
         if profiler is not None:
             profiler.count("expansion")
@@ -302,6 +437,7 @@ def check_scenario_incremental(
     stats.leaves = root.leaves
     stats.naive_accesses = root.leaves * total_length
     stats.transposition_entries = len(memo)
+    finish_stats()
 
     result = CheckResult(scenario=scenario.name)
     result.total_interleavings = root.leaves

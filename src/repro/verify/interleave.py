@@ -33,6 +33,7 @@ from ..hw.dma.shadow import ShadowLayout
 from ..hw.memory import PhysicalMemory
 from ..hw.pagetable import PAGE_SIZE
 from ..sim.engine import Simulator
+from ..sim.journal import UndoJournal
 from ..units import kib
 from .properties import ReplayEvidence
 
@@ -74,6 +75,7 @@ class ProtocolHarness:
         self.ram_size = ram_size
         self.page_bounded = page_bounded
         self._keys: Dict[int, int] = {}
+        self.journal: Optional[UndoJournal] = None
         self.reset()
 
     def reset(self) -> None:
@@ -89,6 +91,23 @@ class ProtocolHarness:
                                 page_bounded=self.page_bounded)
         for ctx_id, key in self._keys.items():
             self.engine.install_key(ctx_id, key)
+        if self.journal is not None:
+            # The old journal's undo entries reference the components we
+            # just discarded — start a fresh one for the new stack.
+            self.enable_journal()
+
+    def enable_journal(self) -> UndoJournal:
+        """Switch snapshot/restore to the shared undo journal.
+
+        After this, :meth:`snapshot` is an O(1) ``journal.mark()`` and
+        :meth:`restore` replays only the mutations recorded since the
+        mark, instead of copying the whole component stack each way.
+        """
+        self.journal = UndoJournal()
+        self.sim.bind_journal(self.journal)
+        self.ram.bind_journal(self.journal)
+        self.engine.bind_journal(self.journal)
+        return self.journal
 
     # -- delivery ----------------------------------------------------------
 
@@ -137,18 +156,25 @@ class ProtocolHarness:
 
     # -- snapshot/restore --------------------------------------------------
 
-    def snapshot(self) -> tuple:
+    def snapshot(self):
         """Capture the whole component stack (sim, RAM, engine, protocol).
 
         The incremental checker snapshots before each delivery and
         restores on backtrack, so each access is delivered once per tree
-        edge instead of once per interleaving it appears in.
+        edge instead of once per interleaving it appears in.  With
+        :meth:`enable_journal` the capture is an O(1) journal mark;
+        otherwise each component copies its state.
         """
+        if self.journal is not None:
+            return self.journal.mark()
         return (self.sim.snapshot(), self.ram.snapshot(),
                 self.engine.snapshot())
 
-    def restore(self, token: tuple) -> None:
+    def restore(self, token) -> None:
         """Return the full stack to a state captured by :meth:`snapshot`."""
+        if self.journal is not None:
+            self.journal.undo_to(token)
+            return
         sim_token, ram_mark, engine_token = token
         self.sim.restore(sim_token)
         self.ram.restore(ram_mark)
@@ -158,11 +184,18 @@ class ProtocolHarness:
         """Hashable capture of all behaviour-determining harness state.
 
         Returns None when the state cannot be captured cheaply and
-        soundly (RAM was written since checking began, or tracing is on
-        — a merged subtree would skip its trace emissions), which tells
-        the transposition table to skip memoization for this node.
+        soundly (RAM differs from its checking-start content, or tracing
+        is on — a merged subtree would skip its trace emissions), which
+        tells the transposition table to skip memoization for this node.
         """
-        if self.ram.journal_writes or self.engine.trace.enabled:
+        if self.engine.trace.enabled:
+            return None
+        if self.journal is not None:
+            # Un-undone page saves mean RAM content differs from its
+            # bind-time state, which the fingerprint does not cover.
+            if self.ram.outstanding_page_saves:
+                return None
+        elif self.ram.journal_writes:
             return None
         return (self.sim.now, self.sim.live_event_signature(),
                 self.engine.fingerprint())

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.sim.engine import Simulator
+from repro.sim.journal import UndoJournal
 
 
 def test_initial_time_is_zero():
@@ -207,3 +208,143 @@ def test_snapshot_restore_undoes_cancellation():
     assert sim.pending == 1
     sim.run()
     assert fired == [True]
+
+
+# -- event wheel: far-future heap fallback and rebase ----------------------
+
+
+def test_far_future_events_fire_in_order():
+    """Events beyond the wheel horizon (far heap) interleave correctly
+    with near events, including after the wheel rebases past them."""
+    sim = Simulator()
+    span = sim._span
+    fired = []
+    sim.call_at(span * 3 + 17, lambda: fired.append("far2"))
+    sim.call_at(span + 5, lambda: fired.append("far1"))
+    sim.call_at(10, lambda: fired.append("near"))
+    sim.run()
+    assert fired == ["near", "far1", "far2"]
+    assert sim.now == span * 3 + 17
+
+
+def test_same_time_insertion_order_across_horizon():
+    """Same-timestamp events keep insertion order even when one starts
+    in the far heap and migrates into the wheel on rebase."""
+    sim = Simulator()
+    when = sim._span + 123  # beyond the initial horizon
+    fired = []
+    sim.call_at(when, lambda: fired.append("a"))
+    sim.call_at(when, lambda: fired.append("b"))
+    sim.call_at(when, lambda: fired.append("c"))
+    sim.advance(sim._span)  # forces a rebase; events migrate to wheel
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_cancel_far_event_then_run():
+    sim = Simulator()
+    fired = []
+    far = sim.call_at(sim._span * 2, lambda: fired.append("far"))
+    sim.call_at(5, lambda: fired.append("near"))
+    far.cancel()
+    sim.run()
+    assert fired == ["near"]
+    assert sim.pending == 0
+
+
+def test_live_event_signature_tracks_wheel_and_far():
+    sim = Simulator()
+    sim.schedule(10, lambda: None, label="near")
+    far = sim.call_at(sim._span + 1, lambda: None, label="far")
+    assert sim.live_event_signature() == ((10, "near"),
+                                          (sim._span + 1, "far"))
+    far.cancel()
+    assert sim.live_event_signature() == ((10, "near"),)
+
+
+# -- transient event recycling ---------------------------------------------
+
+
+def test_transient_events_are_recycled():
+    sim = Simulator()
+    sim.schedule(10, lambda: None, transient=True)
+    sim.run()
+    assert len(sim._free) == 1
+    recycled = sim._free[-1]
+    event = sim.schedule(20, lambda: None)
+    assert event is recycled  # the pool object was reused
+    assert not event.cancelled
+    sim.run()
+
+
+def test_recycling_disabled_after_legacy_snapshot():
+    """A legacy snapshot may hold references to fired events, so the
+    free-list must stop collecting them once one has been taken."""
+    sim = Simulator()
+    sim.snapshot()
+    sim.schedule(10, lambda: None, transient=True)
+    sim.run()
+    assert sim._free == []
+
+
+def test_recycling_disabled_under_journal():
+    """Journal undo entries reference fired events; recycling them
+    would corrupt a later undo_to."""
+    sim = Simulator()
+    sim.bind_journal(UndoJournal())
+    sim.schedule(10, lambda: None, transient=True)
+    sim.run()
+    assert sim._free == []
+
+
+# -- journal mark/undo -----------------------------------------------------
+
+
+def test_journal_mark_undo_roundtrip():
+    sim = Simulator()
+    journal = UndoJournal()
+    sim.bind_journal(journal)
+    fired = []
+    sim.schedule(10, lambda: fired.append("a"))
+    sim.advance(5)
+    mark = journal.mark()
+    sim.schedule(30, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b"]
+    journal.undo_to(mark)
+    assert (sim.now, sim.pending, sim.events_fired) == (5, 1, 0)
+    fired.clear()
+    sim.run()
+    assert fired == ["a"]
+
+
+def test_journal_undo_revives_cancelled_event():
+    sim = Simulator()
+    journal = UndoJournal()
+    sim.bind_journal(journal)
+    fired = []
+    event = sim.schedule(10, lambda: fired.append(True))
+    mark = journal.mark()
+    event.cancel()
+    assert sim.pending == 0
+    journal.undo_to(mark)
+    assert sim.pending == 1
+    assert sim.live_event_signature() == ((10, ""),)
+    sim.run()
+    assert fired == [True]
+
+
+def test_journal_nested_marks_undo_in_stack_order():
+    sim = Simulator()
+    journal = UndoJournal()
+    sim.bind_journal(journal)
+    sim.advance(1)
+    outer = journal.mark()
+    sim.advance(10)
+    inner = journal.mark()
+    sim.schedule(100, lambda: None)
+    sim.advance(5)
+    journal.undo_to(inner)
+    assert (sim.now, sim.pending) == (11, 0)
+    journal.undo_to(outer)
+    assert (sim.now, sim.pending) == (1, 0)
