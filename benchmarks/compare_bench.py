@@ -1,24 +1,38 @@
-"""Compare two checker-benchmark JSON reports for CI regression gating.
+"""Compare two benchmark JSON reports for CI regression gating.
 
 Usage::
 
     python benchmarks/compare_bench.py BASELINE.json CANDIDATE.json \
         [--max-regression 0.30]
 
-Compares the incremental checker's orders-per-second for every scenario
-name present in **both** reports (the committed baseline is a full run;
-CI candidates use ``--quick``, which covers a subset).  Exits non-zero
-when any common scenario's candidate throughput falls more than
-``--max-regression`` (default 30%) below the baseline.
+Two report families are understood, dispatched on content:
 
-Throughput on shared CI runners is noisy, hence the generous margin:
-the gate exists to catch algorithmic regressions (an accidental
-quadratic in the checker), not micro-noise.
+**Checker reports** (``scenarios`` list): compares the incremental
+checker's orders-per-second for every scenario name present in **both**
+reports (the committed baseline is a full run; CI candidates use
+``--quick``, which covers a subset).  Exits non-zero when any common
+scenario's candidate throughput falls more than ``--max-regression``
+(default 30%) below the baseline.  ``--min-speedup`` (default 1.0)
+additionally fails the gate when any candidate scenario that reports
+both naive and incremental timings has an incremental/naive speedup
+below the threshold.
 
-``--min-speedup`` (default 1.0) additionally fails the gate when any
-candidate scenario that reports both naive and incremental timings has
-an incremental/naive speedup below the threshold — the incremental
-checker must never be slower than the naive oracle it replaces.
+**Service soak reports** (``benchmark == "service_soak"``, the
+``BENCH_service.json`` schema — see ``docs/service.md``): gates on
+
+* aggregate goodput dropping more than ``--max-regression`` below the
+  baseline (default 10% for this family),
+* p99 completion latency rising more than ``--max-latency-regression``
+  (default 10%) above the baseline,
+* any wrong-page transfer in the candidate (always fatal),
+* a candidate fault-recovery verdict of ``UNSAFE``.
+
+Simulated-time soak metrics are deterministic — the tight 10% margins
+are safe because runner noise cannot reach them.
+
+Throughput on shared CI runners is noisy, hence the generous margin on
+the wall-clock checker family: that gate exists to catch algorithmic
+regressions (an accidental quadratic in the checker), not micro-noise.
 """
 
 from __future__ import annotations
@@ -27,7 +41,45 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "src"))
+
+from repro.analysis.trends import compare_service_reports  # noqa: E402
+
+
+def is_service_report(report: Dict[str, Any]) -> bool:
+    """Whether *report* is a ``BENCH_service.json`` soak report."""
+    return report.get("benchmark") == "service_soak"
+
+
+def compare_service(baseline: Dict[str, Any], candidate: Dict[str, Any],
+                    max_goodput_drop: float,
+                    max_p99_increase: float) -> List[str]:
+    """Print the soak comparison and return failure lines."""
+    rows = [
+        ("goodput (MB/s)",
+         baseline.get("goodput_mbytes_per_s"),
+         candidate.get("goodput_mbytes_per_s")),
+        ("p99 latency (us)",
+         (baseline.get("latency_us") or {}).get("p99"),
+         (candidate.get("latency_us") or {}).get("p99")),
+        ("completed",
+         (baseline.get("requests") or {}).get("completed"),
+         (candidate.get("requests") or {}).get("completed")),
+        ("wrong-page transfers",
+         (baseline.get("requests") or {}).get("wrong_transfers"),
+         (candidate.get("requests") or {}).get("wrong_transfers")),
+        ("verdict",
+         (baseline.get("faults") or {}).get("verdict"),
+         (candidate.get("faults") or {}).get("verdict")),
+    ]
+    for name, base, cand in rows:
+        print(f"  {name:24s} base {base!s:>12s}  cand {cand!s:>12s}")
+    return compare_service_reports(baseline, candidate,
+                                   max_goodput_drop=max_goodput_drop,
+                                   max_p99_increase=max_p99_increase)
 
 
 def load_rates(path: pathlib.Path) -> Dict[str, float]:
@@ -89,16 +141,55 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="committed reference report (full run)")
     parser.add_argument("candidate", type=pathlib.Path,
                         help="freshly generated report (usually --quick)")
-    parser.add_argument("--max-regression", type=float, default=0.30,
-                        help="allowed fractional slowdown (default 0.30)")
+    parser.add_argument("--max-regression", type=float, default=None,
+                        help="allowed fractional slowdown (default 0.30 "
+                             "for checker reports, 0.10 for service soak "
+                             "reports)")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="minimum incremental/naive speedup required "
                              "of every candidate scenario (default 1.0)")
+    parser.add_argument("--max-latency-regression", type=float,
+                        default=0.10,
+                        help="allowed fractional p99 latency increase "
+                             "for service soak reports (default 0.10)")
     args = parser.parse_args(argv)
-    if not 0 < args.max_regression < 1:
-        parser.error("--max-regression must be in (0, 1)")
     if args.min_speedup < 0:
         parser.error("--min-speedup must be non-negative")
+    if not 0 < args.max_latency_regression < 10:
+        parser.error("--max-latency-regression must be in (0, 10)")
+
+    base_report = json.loads(args.baseline.read_text())
+    cand_report = json.loads(args.candidate.read_text())
+    if is_service_report(base_report) or is_service_report(cand_report):
+        if not (is_service_report(base_report)
+                and is_service_report(cand_report)):
+            print("FAIL:\n  cannot compare a service soak report against "
+                  "a checker report")
+            return 1
+        # Soak metrics are deterministic, so the default margin tightens.
+        max_drop = (args.max_regression
+                    if args.max_regression is not None else 0.10)
+        if not 0 < max_drop < 1:
+            parser.error("--max-regression must be in (0, 1)")
+        print(f"comparing service soak reports (allowing "
+              f"{max_drop * 100:.0f}% goodput drop, "
+              f"{args.max_latency_regression * 100:.0f}% p99 rise)")
+        failures = compare_service(
+            base_report, cand_report, max_goodput_drop=max_drop,
+            max_p99_increase=args.max_latency_regression)
+        if failures:
+            print("FAIL:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("service benchmark gate passed")
+        return 0
+
+    max_regression = (args.max_regression
+                      if args.max_regression is not None else 0.30)
+    if not 0 < max_regression < 1:
+        parser.error("--max-regression must be in (0, 1)")
+    args.max_regression = max_regression
 
     baseline = load_rates(args.baseline)
     candidate = load_rates(args.candidate)

@@ -1,4 +1,4 @@
-"""The introduction's trend argument, made quantitative.
+"""Trend analysis: the paper's overhead argument, plus fleet telemetry.
 
 The paper's motivation: "the operating system overhead keeps getting an
 ever-increasing percentage of the DMA transfer time, while the time for
@@ -14,12 +14,20 @@ generation) pair:
 * the fraction of that time spent on initiation,
 * the **crossover size** below which initiation costs more than moving
   the data — the quantity the paper's argument turns on.
+
+It also hosts the *service* trend machinery used by the always-on DMA
+service (:mod:`repro.service`): rolling time-series windows of goodput,
+tail latency, fairness, and fault activity (:class:`ServiceTrendPoint`),
+the trend report the soak harness emits
+(:func:`service_trend_report`), and the regression comparator CI runs
+against the committed ``BENCH_service.json`` baseline
+(:func:`compare_service_reports`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.api import DmaChannel
 from ..core.machine import MachineConfig, Workstation
@@ -161,3 +169,222 @@ def crossover_table(methods: Sequence[str], links: Sequence[LinkSpec],
                 initiation_us=measured[method],
                 crossover_bytes=crossover_size(measured[method], link)))
     return out
+
+
+# ----------------------------------------------------------------------
+# Service trend analysis (the always-on DMA service's telemetry format)
+# ----------------------------------------------------------------------
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The *q*-th percentile (0..100) by linear interpolation.
+
+    Accepts unsorted input; an empty sequence maps to 0.0 so trend
+    windows with no completions stay representable.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+def latency_summary(values: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 plus mean and max of a latency sample, in one dict."""
+    if not values:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "mean": 0.0,
+                "max": 0.0, "n": 0}
+    return {
+        "p50": round(percentile(values, 50.0), 3),
+        "p95": round(percentile(values, 95.0), 3),
+        "p99": round(percentile(values, 99.0), 3),
+        "mean": round(sum(values) / len(values), 3),
+        "max": round(max(values), 3),
+        "n": len(values),
+    }
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly even shares; ``1/n`` means one tenant got
+    everything.  An empty or all-zero sample maps to 1.0 (no unfairness
+    has been demonstrated).
+    """
+    xs = [float(v) for v in values]
+    total = sum(xs)
+    if not xs or total == 0.0:
+        return 1.0
+    squares = sum(x * x for x in xs)
+    return round(total * total / (len(xs) * squares), 6)
+
+
+@dataclass(frozen=True)
+class ServiceTrendPoint:
+    """One rolling telemetry window of the always-on service.
+
+    Attributes:
+        t_s: window end, in service-time seconds.
+        completed: requests that finished OK in the window.
+        failed: requests that aborted (after retries/fallback).
+        rejected: requests the admission controller turned away.
+        bytes_moved: payload bytes landed in the window.
+        goodput_mbytes_per_s: payload MB/s over the window.
+        p50_us / p95_us / p99_us: completion-latency percentiles over
+            the window, in simulated microseconds.
+        retries: retry count delta over the window.
+        faults: faults injected during the window.
+        fairness: Jain index of per-tenant completions in the window.
+        queue_depth: mean shard queue depth sampled at window end.
+    """
+
+    t_s: float
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    bytes_moved: int = 0
+    goodput_mbytes_per_s: float = 0.0
+    p50_us: float = 0.0
+    p95_us: float = 0.0
+    p99_us: float = 0.0
+    retries: int = 0
+    faults: int = 0
+    fairness: float = 1.0
+    queue_depth: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering."""
+        return {
+            "t_s": round(self.t_s, 3),
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "bytes_moved": self.bytes_moved,
+            "goodput_mbytes_per_s": round(self.goodput_mbytes_per_s, 4),
+            "p50_us": round(self.p50_us, 3),
+            "p95_us": round(self.p95_us, 3),
+            "p99_us": round(self.p99_us, 3),
+            "retries": self.retries,
+            "faults": self.faults,
+            "fairness": self.fairness,
+            "queue_depth": round(self.queue_depth, 3),
+        }
+
+
+@dataclass
+class TrendHistory:
+    """A bounded rolling window of :class:`ServiceTrendPoint` entries.
+
+    The telemetry monitor appends one point per cadence interval; the
+    bound keeps an always-on service's memory flat (old windows fall
+    off the left edge, exactly like a dashboard's retention horizon).
+    """
+
+    max_points: int = 720
+    points: List[ServiceTrendPoint] = field(default_factory=list)
+
+    def append(self, point: ServiceTrendPoint) -> None:
+        """Add a window, evicting the oldest beyond ``max_points``."""
+        self.points.append(point)
+        if len(self.points) > self.max_points:
+            del self.points[:len(self.points) - self.max_points]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+def service_trend_report(points: Sequence[ServiceTrendPoint],
+                         meta: Optional[Dict[str, Any]] = None
+                         ) -> Dict[str, Any]:
+    """The trend report the soak harness persists and CI uploads.
+
+    Aggregates the rolling windows into an overall summary (goodput,
+    tail latency of the worst window, fairness floor) and flags
+    intra-run regressions: windows whose goodput fell below half the
+    run's median are listed under ``"stalls"`` so a soak that *mostly*
+    worked cannot hide a dead interval.
+    """
+    windows = [p.to_dict() for p in points]
+    goodputs = [p.goodput_mbytes_per_s for p in points
+                if p.completed or p.failed]
+    median_goodput = percentile(goodputs, 50.0) if goodputs else 0.0
+    stalls = [p.t_s for p in points
+              if (p.completed or p.failed)
+              and median_goodput > 0.0
+              and p.goodput_mbytes_per_s < 0.5 * median_goodput]
+    summary = {
+        "windows": len(points),
+        "completed": sum(p.completed for p in points),
+        "failed": sum(p.failed for p in points),
+        "rejected": sum(p.rejected for p in points),
+        "bytes_moved": sum(p.bytes_moved for p in points),
+        "median_goodput_mbytes_per_s": round(median_goodput, 4),
+        "worst_window_p99_us": round(max((p.p99_us for p in points),
+                                         default=0.0), 3),
+        "min_fairness": round(min((p.fairness for p in points
+                                   if p.completed), default=1.0), 6),
+        "max_queue_depth": round(max((p.queue_depth for p in points),
+                                     default=0.0), 3),
+        "total_retries": sum(p.retries for p in points),
+        "total_faults": sum(p.faults for p in points),
+    }
+    report: Dict[str, Any] = {
+        "kind": "service_trend",
+        "summary": summary,
+        "stalls": [round(t, 3) for t in stalls],
+        "windows_series": windows,
+    }
+    if meta:
+        report["meta"] = dict(meta)
+    return report
+
+
+def compare_service_reports(baseline: Dict[str, Any],
+                            candidate: Dict[str, Any],
+                            max_goodput_drop: float = 0.10,
+                            max_p99_increase: float = 0.10
+                            ) -> List[str]:
+    """CI gate between two ``BENCH_service.json`` soak reports.
+
+    Returns human-readable failure lines (empty = gate passes):
+
+    * candidate aggregate goodput more than *max_goodput_drop* below
+      the baseline's;
+    * candidate p99 completion latency more than *max_p99_increase*
+      above the baseline's;
+    * any wrong-page transfer in the candidate (always fatal);
+    * a candidate fault verdict of ``UNSAFE``.
+    """
+    failures: List[str] = []
+    base_good = float(baseline.get("goodput_mbytes_per_s") or 0.0)
+    cand_good = float(candidate.get("goodput_mbytes_per_s") or 0.0)
+    if base_good > 0.0:
+        drop = (base_good - cand_good) / base_good
+        if drop > max_goodput_drop:
+            failures.append(
+                f"goodput {cand_good:.3f} MB/s is {drop * 100:.1f}% below "
+                f"baseline {base_good:.3f} MB/s "
+                f"(allowed {max_goodput_drop * 100:.0f}%)")
+    base_p99 = float((baseline.get("latency_us") or {}).get("p99") or 0.0)
+    cand_p99 = float((candidate.get("latency_us") or {}).get("p99") or 0.0)
+    if base_p99 > 0.0:
+        rise = (cand_p99 - base_p99) / base_p99
+        if rise > max_p99_increase:
+            failures.append(
+                f"p99 latency {cand_p99:.1f} us is {rise * 100:.1f}% above "
+                f"baseline {base_p99:.1f} us "
+                f"(allowed {max_p99_increase * 100:.0f}%)")
+    wrong = int((candidate.get("requests") or {}).get("wrong_transfers", 0))
+    if wrong:
+        failures.append(f"{wrong} wrong-page transfer(s) in candidate "
+                        f"(must be 0)")
+    verdict = (candidate.get("faults") or {}).get("verdict")
+    if verdict == "UNSAFE":
+        failures.append("candidate fault verdict is UNSAFE")
+    return failures

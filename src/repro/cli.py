@@ -15,10 +15,17 @@
     python -m repro hunt              # synthesize counterexamples
     python -m repro trace             # traced adversary run -> Perfetto
     python -m repro metrics           # metric time series of that run
+    python -m repro serve             # the always-on DMA service (TCP)
+    python -m repro soak              # multi-tenant soak -> BENCH report
     python -m repro all               # every experiment above, in order
 
 Each command prints the same tables the benchmark suite persists under
 ``benchmarks/results/``.
+
+Every subcommand shares one option group: ``--seed`` picks the seed of
+stochastic experiments and ``--json PATH`` (alias ``--output``) writes
+the command's machine-readable report.  Options always follow the
+subcommand name.
 """
 
 from __future__ import annotations
@@ -427,6 +434,109 @@ def cmd_hunt(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Run the always-on DMA service on a TCP JSON-lines socket."""
+    import asyncio
+
+    from .service.frontend import ServiceConfig, serve_forever
+
+    config = ServiceConfig(
+        shards=args.shards, method=args.method, seed=args.seed,
+        tick_hz=args.tick_hz, admission_rate=args.admission_rate,
+        admission_burst=args.admission_burst,
+        max_queue_depth=args.max_queue_depth)
+
+    async def _run() -> None:
+        ready = asyncio.Event()
+        task = asyncio.get_running_loop().create_task(serve_forever(
+            config, host=args.host, port=args.port, ready=ready,
+            max_connections=args.max_connections, tick_wall=True))
+        await ready.wait()
+        print(f"serving {args.shards} shard(s) on "
+              f"{args.host}:{ready.port}  "  # type: ignore[attr-defined]
+              "(one JSON request per line; Ctrl-C to stop)")
+        await task
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        print("\nshutting down")
+
+
+def cmd_soak(args: argparse.Namespace) -> None:
+    """Run a multi-tenant soak and emit the BENCH_service report."""
+    import json
+
+    from .obs.export import write_chrome_trace  # noqa: F401  (docs)
+    from .service.soak import SoakConfig, run_soak, strip_runtime
+
+    fault_plan = None
+    if args.faults:
+        with open(args.faults, "r", encoding="utf-8") as handle:
+            fault_plan = json.load(handle)
+    config = SoakConfig(
+        tenants=args.tenants, duration_s=args.duration,
+        tick_hz=args.tick_hz, rate=args.rate, skew=args.skew,
+        zipf_s=args.zipf_s, shards=args.shards, method=args.method,
+        seed=args.seed, fault_rate=args.fault_rate,
+        fault_plan=fault_plan, control_run=not args.no_control,
+        spans=args.trace is not None,
+        admission_rate=args.admission_rate,
+        admission_burst=args.admission_burst,
+        max_queue_depth=args.max_queue_depth)
+    report = run_soak(config)
+    service = report["_service"]
+    requests, faults = report["requests"], report["faults"]
+
+    table = Table(f"Soak: {config.tenants} tenants x {config.duration_s} s "
+                  f"({config.skew}, seed {config.seed})",
+                  ["metric", "value"])
+    table.add_row("requests generated", requests["generated"])
+    table.add_row("admitted / rejected",
+                  f"{requests['admitted']} / {requests['rejected']}")
+    table.add_row("completed", requests["completed"])
+    table.add_row("retried / fell back / aborted",
+                  f"{requests['retried']} / {requests['fell_back']} / "
+                  f"{requests['aborted']}")
+    table.add_row("wrong-data (detected, in-region)",
+                  requests["wrong_data"])
+    table.add_row("wrong-page transfers", requests["wrong_transfers"])
+    table.add_row("goodput (MB/s)", report["goodput_mbytes_per_s"])
+    table.add_row("latency p50/p95/p99 (us)",
+                  f"{report['latency_us']['p50']} / "
+                  f"{report['latency_us']['p95']} / "
+                  f"{report['latency_us']['p99']}")
+    table.add_row("Jain fairness (completions)",
+                  report["fairness"]["jain_completions"])
+    table.add_row("faults injected", faults["injected"])
+    table.add_row("verdict", faults["verdict"])
+    if "vs_faultfree" in report:
+        table.add_row("goodput vs fault-free",
+                      f"{report['vs_faultfree']['goodput_ratio']:.4f}")
+    print(table.render())
+
+    if args.trend:
+        with open(args.trend, "w", encoding="utf-8") as handle:
+            json.dump(report["trend"], handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.trend}: "
+              f"{report['trend']['summary']['windows']} trend windows")
+    if args.trace:
+        trace = service.telemetry.fleet_chrome_trace(service.shards)
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle)
+            handle.write("\n")
+        print(f"wrote {args.trace}: {len(trace['traceEvents'])} trace "
+              "events (open in https://ui.perfetto.dev)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(strip_runtime(report), handle, indent=1)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if faults["verdict"] == "UNSAFE":
+        raise SystemExit(1)
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": cmd_table1,
     "methods": cmd_methods,
@@ -443,43 +553,152 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "hunt": cmd_hunt,
     "trace": cmd_trace,
     "metrics": cmd_metrics,
+    "serve": cmd_serve,
+    "soak": cmd_soak,
 }
+
+#: One-line help per subcommand (shown in ``repro --help``).
+COMMAND_HELP: Dict[str, str] = {
+    "table1": "Table 1, paper vs measured",
+    "methods": "all ten initiation methods",
+    "attacks": "Figs. 5 & 6, exact replay + exhaustive check",
+    "races": "the honest-race matrix",
+    "faults": "re-verification under single-fault schedules",
+    "fig8": "exhaustive verification of the 5-instruction variant",
+    "prove": "the mechanized lemma-by-lemma proof",
+    "crossover": "the intro's overhead trend and crossover sizes",
+    "bus": "Table 1 across bus generations",
+    "atomics": "atomic-operation latencies",
+    "generations": "the decade-scale OS-vs-network trend",
+    "stress": "the kernel-modification ablation",
+    "hunt": "synthesize counterexamples (+ k-fault campaign)",
+    "trace": "traced adversary run exported to Perfetto",
+    "metrics": "metric time series of the traced run",
+    "serve": "run the always-on DMA service (TCP JSON lines)",
+    "soak": "multi-tenant soak -> BENCH_service report",
+    "all": "every experiment above, in order",
+}
+
+#: The commands ``repro all`` runs, in order.
+ALL_SEQUENCE = ("table1", "methods", "attacks", "races", "faults",
+                "fig8", "prove", "crossover", "bus", "atomics",
+                "generations", "stress", "hunt")
+
+
+def _service_options(parser: argparse.ArgumentParser) -> None:
+    """Admission/pool options shared by ``serve`` and ``soak``."""
+    parser.add_argument("--shards", type=int, default=4,
+                        help="machine pool size")
+    parser.add_argument("--method", default="keyed",
+                        help="initiation method every shard runs")
+    parser.add_argument("--tick-hz", type=int, default=10,
+                        help="service ticks per second")
+    parser.add_argument("--admission-rate", type=float, default=5.0,
+                        help="per-tenant sustained requests/second")
+    parser.add_argument("--admission-burst", type=float, default=10.0,
+                        help="per-tenant burst allowance")
+    parser.add_argument("--max-queue-depth", type=int, default=64,
+                        help="per-shard queue bound (backpressure)")
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser."""
+    """The CLI argument parser (one subparser per experiment).
+
+    Every subcommand inherits the shared option group: ``--seed`` and
+    ``--json`` (alias ``--output``).  Measurement commands add
+    ``--iterations``; ``hunt``, ``trace``, ``serve``, and ``soak`` add
+    their own flags.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the experiments of Markatos & Katevenis, "
                     "'User-Level DMA without OS Kernel Modification' "
                     "(HPCA-3, 1997).")
-    parser.add_argument("command", choices=sorted(COMMANDS) + ["all"],
-                        help="which experiment to regenerate")
-    parser.add_argument("--iterations", type=int, default=50,
-                        help="initiations per latency measurement")
-    parser.add_argument("--seed", type=int, default=7,
-                        help="seed for stochastic experiments")
-    parser.add_argument("--export", choices=("chrome", "jsonl", "summary"),
-                        default="chrome",
-                        help="trace output format (trace command)")
-    parser.add_argument("--output", default=None,
-                        help="output file for trace/metrics/hunt exports")
-    parser.add_argument("--budget", type=float, default=None,
-                        help="wall-clock budget per hunted method, "
-                             "seconds (hunt command)")
-    parser.add_argument("--max-candidates", type=int, default=400,
-                        help="adversary streams checked per method "
-                             "(hunt command)")
-    parser.add_argument("--k-faults", type=int, default=0,
-                        help="also run a k-fault campaign on the "
-                             "hardened methods (hunt command; 0 = off)")
-    parser.add_argument("--max-combos", type=int, default=None,
-                        help="cap on fault combinations per method "
-                             "(hunt command; below the space size "
-                             "turns the campaign into a seeded sample)")
-    parser.add_argument("--methods", default=None,
-                        help="comma-separated methods to hunt "
-                             "(hunt command; default: all six)")
+
+    common = argparse.ArgumentParser(add_help=False)
+    group = common.add_argument_group("common options")
+    group.add_argument("--seed", type=int, default=7,
+                       help="seed for stochastic experiments")
+    group.add_argument("--json", "--output", dest="output", default=None,
+                       metavar="PATH",
+                       help="write the command's JSON report/export here")
+
+    measure = argparse.ArgumentParser(add_help=False)
+    measure.add_argument("--iterations", type=int, default=50,
+                         help="initiations per latency measurement")
+
+    sub = parser.add_subparsers(dest="command", metavar="command",
+                                required=True)
+
+    def add(name: str, *parents: argparse.ArgumentParser
+            ) -> argparse.ArgumentParser:
+        return sub.add_parser(name, help=COMMAND_HELP[name],
+                              description=COMMAND_HELP[name],
+                              parents=[common, *parents])
+
+    for name in ("table1", "methods", "crossover", "bus"):
+        add(name, measure)
+    for name in ("attacks", "races", "faults", "fig8", "prove",
+                 "atomics", "generations", "stress", "metrics"):
+        add(name)
+
+    trace = add("trace")
+    trace.add_argument("--export", choices=("chrome", "jsonl", "summary"),
+                       default="chrome", help="trace output format")
+
+    hunt = add("hunt")
+    hunt.add_argument("--budget", type=float, default=None,
+                      help="wall-clock budget per hunted method, seconds")
+    hunt.add_argument("--max-candidates", type=int, default=400,
+                      help="adversary streams checked per method")
+    hunt.add_argument("--k-faults", type=int, default=0,
+                      help="also run a k-fault campaign on the hardened "
+                           "methods (0 = off)")
+    hunt.add_argument("--max-combos", type=int, default=None,
+                      help="cap on fault combinations per method (below "
+                           "the space size turns the campaign into a "
+                           "seeded sample)")
+    hunt.add_argument("--methods", default=None,
+                      help="comma-separated methods to hunt "
+                           "(default: all six)")
+
+    serve = add("serve")
+    _service_options(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="listen address")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--max-connections", type=int, default=None,
+                       help="exit after serving this many connections")
+
+    soak = add("soak")
+    _service_options(soak)
+    soak.add_argument("--tenants", type=int, default=200,
+                      help="simulated tenant count")
+    soak.add_argument("--duration", type=int, default=20,
+                      help="soak length in service seconds")
+    soak.add_argument("--rate", type=float, default=0.2,
+                      help="offered requests per tenant-second")
+    soak.add_argument("--skew", choices=("zipf", "uniform"),
+                      default="zipf", help="tenant selection skew")
+    soak.add_argument("--zipf-s", type=float, default=1.1,
+                      help="zipf exponent (higher = hotter head)")
+    soak.add_argument("--fault-rate", type=float, default=0.0,
+                      help="Bernoulli fault rate (0 = no injection)")
+    soak.add_argument("--faults", default=None, metavar="PLAN_JSON",
+                      help="fault plan file (overrides --fault-rate)")
+    soak.add_argument("--no-control", action="store_true",
+                      help="skip the fault-free control run")
+    soak.add_argument("--trend", default=None, metavar="PATH",
+                      help="write the trend report here")
+    soak.add_argument("--trace", default=None, metavar="PATH",
+                      help="write the fleet Perfetto trace here "
+                           "(enables span recording)")
+
+    everything = add("all", measure)
+    everything.set_defaults(budget=None, max_candidates=400, k_faults=0,
+                            max_combos=None, methods=None,
+                            export="chrome")
     return parser
 
 
@@ -487,9 +706,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
     if args.command == "all":
-        for name in ("table1", "methods", "attacks", "races", "faults",
-                     "fig8", "prove", "crossover", "bus", "atomics",
-                     "generations", "stress", "hunt"):
+        for name in ALL_SEQUENCE:
             print(f"\n===== {name} =====")
             COMMANDS[name](args)
     else:

@@ -168,6 +168,70 @@ class FaultPlan:
         return self._rng.randrange(length)
 
 
+    # ------------------------------------------------------------------
+    # JSON round-trip (the `repro soak --faults plan.json` format)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready rendering: ``{"seed": ..., "rules": [...]}``.
+
+        Delay fields are expressed in microseconds so plan files stay
+        human-readable; :meth:`from_dict` converts back to ps.
+        """
+        rules = []
+        for rule in self.rules:
+            entry: Dict[str, object] = {"kind": rule.kind,
+                                        "target": rule.target}
+            if rule.probability:
+                entry["probability"] = rule.probability
+            if rule.nth is not None:
+                entry["nth"] = rule.nth
+            if rule.count is not None:
+                entry["count"] = rule.count
+            if rule.bit is not None:
+                entry["bit"] = rule.bit
+            if rule.delay != us(5):
+                entry["delay_us"] = rule.delay / 1_000_000
+            if rule.issuer is not None:
+                entry["issuer"] = rule.issuer
+            if not rule.kernel_immune:
+                entry["kernel_immune"] = False
+            rules.append(entry)
+        return {"seed": self.seed, "rules": rules}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object],
+                  seed: Optional[int] = None) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output (or a hand-written
+        plan file).  *seed* overrides the stored seed — the service layer
+        uses this to derive a distinct deterministic stream per shard.
+        """
+        if not isinstance(data, dict) or "rules" not in data:
+            raise ConfigError("fault plan must be an object with 'rules'")
+        rules: List[FaultRule] = []
+        raw_rules = data["rules"]
+        if not isinstance(raw_rules, list):
+            raise ConfigError("fault plan 'rules' must be a list")
+        for raw in raw_rules:
+            if not isinstance(raw, dict):
+                raise ConfigError(f"fault rule must be an object: {raw!r}")
+            fields = dict(raw)
+            delay_us = fields.pop("delay_us", None)
+            kwargs: Dict[str, object] = {}
+            for key in ("kind", "target", "probability", "nth", "count",
+                        "bit", "issuer", "kernel_immune"):
+                if key in fields:
+                    kwargs[key] = fields.pop(key)
+            if fields:
+                raise ConfigError(
+                    f"unknown fault rule field(s): {sorted(fields)}")
+            if delay_us is not None:
+                kwargs["delay"] = us(float(delay_us))
+            rules.append(FaultRule(**kwargs))  # type: ignore[arg-type]
+        plan_seed = seed if seed is not None else int(data.get("seed", 0))
+        return cls(rules=rules, seed=plan_seed)
+
+
 def bernoulli_plan(rate: float, seed: int = 0,
                    kinds: Sequence[str] = (DROP, BITFLIP),
                    completion_kinds: Sequence[str] = (DROP, DELAY),

@@ -1,0 +1,42 @@
+"""The always-on DMA service.
+
+Wraps the simulated machine in a long-running, multi-tenant traffic
+system:
+
+* :mod:`repro.service.requests` — the request/completion wire types;
+* :mod:`repro.service.admission` — per-tenant token buckets plus
+  queue-depth backpressure and fairness accounting;
+* :mod:`repro.service.shard` — one :class:`~repro.core.machine.
+  Workstation` per shard, deterministic seed-per-shard, executing
+  DMA / atomic / message requests with wrong-page verification;
+* :mod:`repro.service.frontend` — the asyncio front end
+  (``repro serve``): admits, multiplexes onto the shard pool, and
+  completes requests; graceful shutdown drains in-flight DMAs;
+* :mod:`repro.service.telemetry` — the fleet monitor loop: rolling
+  trend windows (goodput, tail latency, fairness, faults) and merged
+  Perfetto traces across every shard;
+* :mod:`repro.service.soak` — the soak driver (``repro soak``):
+  zipf-skewed multi-tenant traffic with hot-receiver and incast mixes,
+  optional fault plans, and the ``BENCH_service.json`` report.
+"""
+
+from .admission import AdmissionController, TokenBucket
+from .frontend import DmaService, ServiceConfig
+from .requests import Completion, Request
+from .shard import ServiceShard, ShardConfig
+from .soak import SoakConfig, run_soak
+from .telemetry import FleetTelemetry
+
+__all__ = [
+    "AdmissionController",
+    "Completion",
+    "DmaService",
+    "FleetTelemetry",
+    "Request",
+    "ServiceConfig",
+    "ServiceShard",
+    "ShardConfig",
+    "SoakConfig",
+    "TokenBucket",
+    "run_soak",
+]

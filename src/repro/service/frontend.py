@@ -1,0 +1,428 @@
+"""The asyncio front end: ``repro serve`` and the in-process service.
+
+A :class:`DmaService` multiplexes many tenants onto a pool of
+:class:`~repro.service.shard.ServiceShard` machines:
+
+* **routing** — a tenant's requests land on ``crc32(tenant) % shards``
+  (stable across runs and processes); a request may override the shard
+  explicitly (incast bursts aim many tenants at one shard);
+* **admission** — per-tenant token buckets plus per-shard queue-depth
+  backpressure (:mod:`repro.service.admission`); shed requests complete
+  immediately with ``outcome="rejected"``;
+* **execution** — one worker task per shard drains that shard's queue,
+  executing each request to completion in the shard's simulated time;
+* **telemetry** — every completion streams into
+  :class:`~repro.service.telemetry.FleetTelemetry`; the service closes
+  a trend window every ``telemetry_window_ticks`` ticks;
+* **graceful shutdown** — :meth:`DmaService.shutdown` stops intake,
+  drains every queue, lets in-flight DMAs complete, runs the wrong-page
+  sweep, and cancels the workers.
+
+Determinism: the event loop is single-threaded, the service never
+consults the wall clock, and workers execute requests in queue order —
+so a scripted request schedule (the soak driver) produces an identical
+completion stream on every run with the same seed.
+
+``serve_forever`` exposes the same service over a TCP JSON-lines
+socket: one request object per line in, one completion object per line
+out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigError
+from ..faults.plan import FaultPlan
+from ..units import Time
+from .admission import REASON_SHUTDOWN, AdmissionController
+from .requests import OUTCOME_REJECTED, Completion, Request
+from .shard import ServiceShard, ShardConfig
+from .telemetry import FleetTelemetry
+
+
+@dataclass
+class ServiceConfig:
+    """Configuration of the front end.
+
+    Attributes:
+        shards: shard (machine) count.
+        method: initiation method every shard runs.
+        seed: service seed (shards derive their own).
+        n_contexts: DMA register contexts per shard.
+        atomics: build atomic units so "atomic" requests run natively.
+        tick_hz: service ticks per second (admission time base).
+        admission_rate: per-tenant sustained requests/second.
+        admission_burst: per-tenant burst allowance.
+        max_queue_depth: per-shard queue bound (backpressure).
+        spans_enabled: record causal spans on every shard.
+        metrics_interval: shard metrics cadence (simulated ps).
+        telemetry_window_ticks: ticks per trend window.
+        fault_plan: optional fault plan template — each shard gets its
+            own deterministic copy (seed offset by shard index).
+    """
+
+    shards: int = 4
+    method: str = "keyed"
+    seed: int = 7
+    n_contexts: int = 8
+    atomics: bool = False
+    tick_hz: int = 10
+    admission_rate: float = 5.0
+    admission_burst: float = 10.0
+    max_queue_depth: int = 64
+    spans_enabled: bool = False
+    metrics_interval: Optional[Time] = None
+    telemetry_window_ticks: int = 10
+    fault_plan: Optional[Dict[str, Any]] = None
+    hot_slots: int = 4
+    max_message_channels: int = 16
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {self.shards}")
+        if self.tick_hz < 1:
+            raise ConfigError(f"tick_hz must be >= 1, got {self.tick_hz}")
+
+
+@dataclass
+class _Job:
+    """One queued request plus its completion future."""
+
+    request: Request
+    future: "asyncio.Future[Completion]" = field(repr=False, default=None)
+
+
+def shard_of(tenant: str, n_shards: int) -> int:
+    """Stable tenant -> shard mapping (crc32, not the salted hash())."""
+    return zlib.crc32(tenant.encode("utf-8")) % n_shards
+
+
+class DmaService:
+    """The always-on multi-tenant DMA service."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        cfg = self.config
+        self.shards: List[ServiceShard] = [
+            ServiceShard(index, ShardConfig(
+                method=cfg.method, seed=cfg.seed,
+                n_contexts=cfg.n_contexts, atomics=cfg.atomics,
+                hot_slots=cfg.hot_slots,
+                max_message_channels=cfg.max_message_channels,
+                spans_enabled=cfg.spans_enabled,
+                metrics_interval=cfg.metrics_interval))
+            for index in range(cfg.shards)]
+        if cfg.fault_plan is not None:
+            for shard in self.shards:
+                plan = FaultPlan.from_dict(
+                    cfg.fault_plan,
+                    seed=int(cfg.fault_plan.get("seed", 0)) * 31
+                    + shard.index)
+                shard.attach_faults(plan)
+        self.admission = AdmissionController(
+            rate=cfg.admission_rate, burst=cfg.admission_burst,
+            max_queue_depth=cfg.max_queue_depth)
+        self.telemetry = FleetTelemetry(
+            tick_hz=cfg.tick_hz,
+            window_ticks=cfg.telemetry_window_ticks)
+        self._queues: List["asyncio.Queue[_Job]"] = []
+        self._workers: List["asyncio.Task[None]"] = []
+        self._accepting = False
+        self._started = False
+        self.tick = 0
+        self._next_req_id = 0
+        self.completions: List[Completion] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the per-shard worker tasks and open intake."""
+        if self._started:
+            raise ConfigError("service already started")
+        self._queues = [asyncio.Queue() for _ in self.shards]
+        self._workers = [
+            asyncio.get_running_loop().create_task(
+                self._worker(index), name=f"shard{index}-worker")
+            for index in range(len(self.shards))]
+        self._accepting = True
+        self._started = True
+
+    async def _worker(self, index: int) -> None:
+        """Drain shard *index*'s queue, one request at a time."""
+        queue = self._queues[index]
+        shard = self.shards[index]
+        while True:
+            job = await queue.get()
+            try:
+                completion = shard.execute(job.request)
+                completion = Completion(
+                    request=job.request, ok=completion.ok,
+                    outcome=completion.outcome,
+                    latency_us=completion.latency_us,
+                    attempts=completion.attempts,
+                    fell_back=completion.fell_back, shard=index,
+                    bytes_moved=completion.bytes_moved,
+                    finished_tick=self.tick)
+                self._complete(job, completion)
+            except Exception as exc:  # pragma: no cover - defensive
+                if not job.future.done():
+                    job.future.set_exception(exc)
+            finally:
+                queue.task_done()
+
+    def _complete(self, job: _Job, completion: Completion) -> None:
+        self.telemetry.record(completion)
+        self.completions.append(completion)
+        if not job.future.done():
+            job.future.set_result(completion)
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+
+    def route(self, request: Request) -> int:
+        """The shard index this request executes on."""
+        if request.shard is not None:
+            if not 0 <= request.shard < len(self.shards):
+                raise ConfigError(
+                    f"shard {request.shard} out of range "
+                    f"(0..{len(self.shards) - 1})")
+            return request.shard
+        return shard_of(request.tenant, len(self.shards))
+
+    async def submit(self, request: Request
+                     ) -> "asyncio.Future[Completion]":
+        """Admit and enqueue one request.
+
+        Returns a future resolving to the request's
+        :class:`Completion`.  Shed requests (throttled, backpressure,
+        or shutdown) resolve immediately with ``outcome="rejected"``.
+        """
+        if not self._started:
+            raise ConfigError("service not started")
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Completion]" = loop.create_future()
+        shard_index = self.route(request)
+        if not self._accepting:
+            reason: Optional[str] = REASON_SHUTDOWN
+            admitted = False
+        else:
+            admitted, reason = self.admission.admit(
+                request.tenant, now_s=self.tick / self.config.tick_hz,
+                queue_depth=self._queues[shard_index].qsize())
+        if not admitted:
+            completion = Completion(
+                request=request, ok=False, outcome=OUTCOME_REJECTED,
+                shard=shard_index, finished_tick=self.tick,
+                reason=reason)
+            self._complete(_Job(request, future), completion)
+            return future
+        await self._queues[shard_index].put(_Job(request, future))
+        return future
+
+    def next_req_id(self) -> int:
+        """A fresh request id."""
+        self._next_req_id += 1
+        return self._next_req_id
+
+    # ------------------------------------------------------------------
+    # the service clock
+    # ------------------------------------------------------------------
+
+    async def advance_tick(self) -> None:
+        """Advance service time by one tick.
+
+        Yields to the event loop so workers run, then closes a trend
+        window when the cadence point passes.
+        """
+        self.tick += 1
+        await asyncio.sleep(0)
+        if self.tick % self.config.telemetry_window_ticks == 0:
+            self._close_window()
+
+    def _close_window(self) -> None:
+        counters = self.fleet_counters()
+        self.telemetry.close_window(
+            self.tick,
+            queue_depths=[q.qsize() for q in self._queues],
+            retries=counters["retries"], faults=counters["faults"])
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+
+    async def shutdown(self, drain: bool = True) -> List[str]:
+        """Stop intake, drain in-flight work, verify, stop workers.
+
+        Args:
+            drain: process everything already queued (graceful); False
+                abandons queued requests (they stay unresolved) but
+                still lets the *currently executing* request finish.
+
+        Returns:
+            The wrong-page sweep's problem list (empty = clean).
+        """
+        self._accepting = False
+        if drain and self._queues:
+            await asyncio.gather(*(q.join() for q in self._queues))
+        for worker in self._workers:
+            worker.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        problems: List[str] = []
+        for shard in self.shards:
+            shard.drain()
+            problems.extend(f"shard{shard.index}: {p}"
+                            for p in shard.wrong_page_sweep())
+            shard.detach_faults()
+        if self.tick % self.config.telemetry_window_ticks != 0:
+            self._close_window()
+        return problems
+
+    # ------------------------------------------------------------------
+    # fleet accounting
+    # ------------------------------------------------------------------
+
+    def fleet_counters(self) -> Dict[str, int]:
+        """Summed per-shard retry/fault/abort counters."""
+        totals = {"retries": 0, "completion_timeouts": 0,
+                  "kernel_fallbacks": 0, "retry_exhausted": 0,
+                  "faults": 0, "wrong_data": 0, "wrong_transfers": 0}
+        for shard in self.shards:
+            for key, value in shard.counters().items():
+                totals[key] += value
+            totals["faults"] += shard.faults_injected
+            totals["wrong_data"] += shard.wrong_data
+            totals["wrong_transfers"] += shard.wrong_transfers
+        return totals
+
+    def goodput_mbytes_per_s(self) -> float:
+        """Fleet goodput: payload bytes over the *slowest* shard's
+        simulated time — the wall-clock rate of shards running in
+        parallel, so a single hot shard bounds the fleet (exactly the
+        skew effect the soak measures)."""
+        slowest_us = max((s.sim_elapsed_us for s in self.shards),
+                        default=0.0)
+        if slowest_us <= 0.0:
+            return 0.0
+        return self.telemetry.bytes_moved / (slowest_us / 1e6) / 1e6
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready service summary."""
+        return {
+            "tick": self.tick,
+            "shards": [shard.snapshot() for shard in self.shards],
+            "admission": self.admission.snapshot(),
+            "telemetry": {
+                "completed": self.telemetry.completed,
+                "failed": self.telemetry.failed,
+                "rejected": self.telemetry.rejected,
+                "bytes_moved": self.telemetry.bytes_moved,
+                "latency_us": self.telemetry.latency(),
+                "fairness": self.telemetry.fairness(),
+            },
+            "goodput_mbytes_per_s": round(self.goodput_mbytes_per_s(), 4),
+        }
+
+
+# ----------------------------------------------------------------------
+# the TCP JSON-lines front end (`repro serve`)
+# ----------------------------------------------------------------------
+
+async def handle_connection(service: DmaService,
+                            reader: "asyncio.StreamReader",
+                            writer: "asyncio.StreamWriter") -> None:
+    """One client connection: a request object per line, completions out.
+
+    ``{"op": "stats"}`` returns the service snapshot instead.
+    """
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                response: Dict[str, Any] = {"error": f"bad json: {exc}"}
+            else:
+                if isinstance(data, dict) and data.get("op") == "stats":
+                    response = service.snapshot()
+                else:
+                    try:
+                        request = Request.from_dict(data)
+                    except (ConfigError, TypeError) as exc:
+                        response = {"error": str(exc)}
+                    else:
+                        request = Request(
+                            tenant=request.tenant, kind=request.kind,
+                            size=request.size, hot=request.hot,
+                            shard=request.shard, tick=service.tick,
+                            req_id=service.next_req_id())
+                        future = await service.submit(request)
+                        completion = await future
+                        response = completion.to_dict()
+            writer.write(json.dumps(response).encode("utf-8") + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+
+
+async def serve_forever(config: Optional[ServiceConfig] = None,
+                        host: str = "127.0.0.1", port: int = 0,
+                        ready: Optional["asyncio.Event"] = None,
+                        max_connections: Optional[int] = None,
+                        tick_wall: bool = False) -> None:
+    """Run the TCP front end until cancelled.
+
+    Args:
+        ready: set (with ``server.port`` stored on it as ``port``)
+            once the socket is listening — tests use this to connect.
+        max_connections: stop after serving this many connections
+            (None = run forever).
+        tick_wall: advance the service tick on a wall-clock timer —
+            the interactive ``repro serve`` mode, where token buckets
+            refill in real time.  Off for deterministic drivers.
+    """
+    service = DmaService(config)
+    await service.start()
+    served = 0
+    done = asyncio.Event()
+
+    async def _handler(reader: "asyncio.StreamReader",
+                       writer: "asyncio.StreamWriter") -> None:
+        nonlocal served
+        await handle_connection(service, reader, writer)
+        served += 1
+        if max_connections is not None and served >= max_connections:
+            done.set()
+
+    async def _tick_driver() -> None:
+        while True:
+            await asyncio.sleep(1.0 / service.config.tick_hz)
+            await service.advance_tick()
+
+    server = await asyncio.start_server(_handler, host=host, port=port)
+    ticker = (asyncio.get_running_loop().create_task(_tick_driver())
+              if tick_wall else None)
+    if ready is not None:
+        ready.port = server.sockets[0].getsockname()[1]  # type: ignore
+        ready.set()
+    try:
+        async with server:
+            if max_connections is None:
+                await asyncio.Event().wait()  # run until cancelled
+            else:
+                await done.wait()
+    finally:
+        if ticker is not None:
+            ticker.cancel()
+        await service.shutdown(drain=True)

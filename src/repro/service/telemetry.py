@@ -1,0 +1,194 @@
+"""Fleet telemetry: rolling trend windows + merged Perfetto traces.
+
+The monitor loop of the always-on service.  Completions stream in via
+:meth:`FleetTelemetry.record`; once per cadence interval the front end
+calls :meth:`FleetTelemetry.close_window`, which folds the interval's
+completions into one :class:`~repro.analysis.trends.ServiceTrendPoint`
+and appends it to a bounded :class:`~repro.analysis.trends.TrendHistory`
+— the in-memory equivalent of a dashboard's retention window.
+
+Two export paths:
+
+* :meth:`trend_report` — the JSON trend report
+  (:func:`repro.analysis.trends.service_trend_report`) CI uploads and
+  the nightly soak appends to its history artifact;
+* :meth:`fleet_chrome_trace` — every shard's causal spans and metric
+  series merged into one Chrome/Perfetto trace, one *process* per
+  shard, so a single trace file shows the whole fleet's timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis.trends import (
+    ServiceTrendPoint,
+    TrendHistory,
+    jain_index,
+    latency_summary,
+    percentile,
+    service_trend_report,
+)
+from ..obs.export import chrome_trace, ensure_valid_chrome_trace
+from .requests import OUTCOME_REJECTED, Completion
+
+
+class FleetTelemetry:
+    """Aggregates completions into rolling trend windows.
+
+    Args:
+        tick_hz: service ticks per second (converts ticks to seconds).
+        window_ticks: ticks per trend window.
+        max_points: retention bound of the rolling history.
+    """
+
+    def __init__(self, tick_hz: int = 10, window_ticks: int = 10,
+                 max_points: int = 720) -> None:
+        self.tick_hz = tick_hz
+        self.window_ticks = window_ticks
+        self.history = TrendHistory(max_points=max_points)
+        self._window: List[Completion] = []
+        self._window_end_tick = window_ticks
+        #: Per-tenant completed-request counts over the whole run.
+        self.per_tenant_completed: Dict[str, int] = {}
+        self.per_tenant_bytes: Dict[str, int] = {}
+        self._all_latencies: List[float] = []
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._bytes = 0
+        self._last_counters: Dict[str, int] = {"retries": 0, "faults": 0}
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+
+    def record(self, completion: Completion) -> None:
+        """Fold one completion into the current window and the totals."""
+        self._window.append(completion)
+        tenant = completion.request.tenant
+        if completion.outcome == OUTCOME_REJECTED:
+            self._rejected += 1
+        elif completion.ok:
+            self._completed += 1
+            self._bytes += completion.bytes_moved
+            self.per_tenant_completed[tenant] = (
+                self.per_tenant_completed.get(tenant, 0) + 1)
+            self.per_tenant_bytes[tenant] = (
+                self.per_tenant_bytes.get(tenant, 0)
+                + completion.bytes_moved)
+            self._all_latencies.append(completion.latency_us)
+        else:
+            self._failed += 1
+            self._all_latencies.append(completion.latency_us)
+
+    def close_window(self, tick: int,
+                     queue_depths: Optional[Sequence[int]] = None,
+                     retries: int = 0, faults: int = 0) -> ServiceTrendPoint:
+        """Close the current window at *tick* and append a trend point.
+
+        Args:
+            queue_depths: current per-shard queue depths (mean reported).
+            retries: cumulative fleet retry count (delta computed here).
+            faults: cumulative faults injected (delta computed here).
+        """
+        window = self._window
+        self._window = []
+        completed = [c for c in window
+                     if c.ok and c.outcome != OUTCOME_REJECTED]
+        failed = [c for c in window
+                  if not c.ok and c.outcome != OUTCOME_REJECTED]
+        rejected = [c for c in window if c.outcome == OUTCOME_REJECTED]
+        latencies = [c.latency_us for c in completed + failed]
+        bytes_moved = sum(c.bytes_moved for c in completed)
+        window_s = self.window_ticks / self.tick_hz
+        retry_delta = max(0, retries - self._last_counters["retries"])
+        fault_delta = max(0, faults - self._last_counters["faults"])
+        self._last_counters = {"retries": retries, "faults": faults}
+        by_tenant: Dict[str, int] = {}
+        for c in completed:
+            by_tenant[c.request.tenant] = (
+                by_tenant.get(c.request.tenant, 0) + 1)
+        point = ServiceTrendPoint(
+            t_s=tick / self.tick_hz,
+            completed=len(completed),
+            failed=len(failed),
+            rejected=len(rejected),
+            bytes_moved=bytes_moved,
+            goodput_mbytes_per_s=(bytes_moved / window_s / 1e6
+                                  if window_s else 0.0),
+            p50_us=percentile(latencies, 50.0),
+            p95_us=percentile(latencies, 95.0),
+            p99_us=percentile(latencies, 99.0),
+            retries=retry_delta,
+            faults=fault_delta,
+            fairness=jain_index(list(by_tenant.values())),
+            queue_depth=(sum(queue_depths) / len(queue_depths)
+                         if queue_depths else 0.0),
+        )
+        self.history.append(point)
+        return point
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        """Requests completed OK over the whole run."""
+        return self._completed
+
+    @property
+    def failed(self) -> int:
+        """Requests that aborted over the whole run."""
+        return self._failed
+
+    @property
+    def rejected(self) -> int:
+        """Requests shed by admission over the whole run."""
+        return self._rejected
+
+    @property
+    def bytes_moved(self) -> int:
+        """Payload bytes landed over the whole run."""
+        return self._bytes
+
+    def latency(self) -> Dict[str, float]:
+        """p50/p95/p99/mean/max completion latency over the whole run."""
+        return latency_summary(self._all_latencies)
+
+    def fairness(self) -> Dict[str, Any]:
+        """Jain indices over per-tenant completions and bytes."""
+        return {
+            "jain_completions":
+                jain_index(list(self.per_tenant_completed.values())),
+            "jain_bytes": jain_index(list(self.per_tenant_bytes.values())),
+            "tenants_served": len(self.per_tenant_completed),
+        }
+
+    def trend_report(self, meta: Optional[Dict[str, Any]] = None
+                     ) -> Dict[str, Any]:
+        """The rolling-window trend report (see analysis.trends)."""
+        return service_trend_report(self.history.points, meta=meta)
+
+    # ------------------------------------------------------------------
+    # Perfetto export
+    # ------------------------------------------------------------------
+
+    def fleet_chrome_trace(self, shards: Sequence[Any]) -> Dict[str, Any]:
+        """Merge every shard's spans + metrics into one Chrome trace.
+
+        Each shard becomes its own trace *process* (``pid = index + 1``)
+        so Perfetto renders the fleet side by side on one timeline.
+        """
+        merged: List[Dict[str, Any]] = []
+        for shard in shards:
+            spans = shard.ws.spans.finished()
+            trace = chrome_trace(
+                spans, metrics=(shard.ws.metrics
+                                if shard.ws.metrics.enabled else None),
+                process_name=f"shard{shard.index}", pid=shard.index + 1)
+            merged.extend(trace["traceEvents"])
+        out = {"traceEvents": merged, "displayTimeUnit": "ns"}
+        ensure_valid_chrome_trace(out)
+        return out

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import COMMAND_HELP, COMMANDS, build_parser, main
 
 
 def run_cli(capsys, *argv):
@@ -116,6 +116,106 @@ def test_hunt_command_writes_json_report(capsys, tmp_path):
     assert payload["hunts"][0]["shrunk"]["length"] <= 4
     assert payload["spans"]  # obs spans were threaded through
     assert "check" in payload["phases"]
+
+
+ALL_SUBCOMMANDS = sorted(COMMANDS) + ["all"]
+
+
+@pytest.mark.parametrize("name", ALL_SUBCOMMANDS)
+def test_help_smoke_every_subcommand(capsys, name):
+    """`repro <cmd> --help` exits 0 and shows the shared option group."""
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args([name, "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--seed" in out
+    assert "--json" in out
+
+
+def test_top_level_help_lists_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for name in ALL_SUBCOMMANDS:
+        assert name in out
+
+
+def test_every_subcommand_has_help_text():
+    assert set(COMMAND_HELP) == set(COMMANDS) | {"all"}
+
+
+@pytest.mark.parametrize("name", ALL_SUBCOMMANDS)
+def test_shared_seed_and_json_options_parse(name):
+    """--seed/--json (and the --output alias) parse on every subcommand."""
+    args = build_parser().parse_args(
+        [name, "--seed", "11", "--json", "out.json"])
+    assert args.seed == 11
+    assert args.output == "out.json"
+    args = build_parser().parse_args([name, "--output", "alias.json"])
+    assert args.output == "alias.json"
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_soak_command_defaults():
+    args = build_parser().parse_args(["soak"])
+    assert args.tenants == 200
+    assert args.duration == 20
+    assert args.skew == "zipf"
+    assert args.fault_rate == 0.0
+    assert args.shards == 4
+
+
+def test_soak_command_runs_and_writes_report(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "soak.json"
+    trend = tmp_path / "trend.json"
+    stdout = run_cli(capsys, "soak", "--tenants", "12", "--duration", "3",
+                     "--shards", "2", "--seed", "3",
+                     "--fault-rate", "0.1",
+                     "--json", str(out), "--trend", str(trend))
+    assert "verdict" in stdout
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "service_soak"
+    assert report["requests"]["wrong_transfers"] == 0
+    assert "_service" not in report
+    trend_report = json.loads(trend.read_text())
+    assert trend_report["kind"] == "service_trend"
+
+
+def test_serve_command_serves_one_connection(capsys):
+    """End-to-end: `repro serve` answers a request over TCP."""
+    import asyncio
+    import json
+    import threading
+
+    from repro.service.frontend import serve_forever, ServiceConfig
+
+    async def scenario():
+        ready = asyncio.Event()
+        task = asyncio.get_running_loop().create_task(serve_forever(
+            ServiceConfig(shards=1, seed=3), ready=ready,
+            max_connections=1, tick_wall=True))
+        await ready.wait()
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", ready.port)
+        writer.write(json.dumps({"tenant": "cli", "size": 256}).encode()
+                     + b"\n")
+        await writer.drain()
+        response = json.loads(await reader.readline())
+        writer.close()
+        await task
+        return response
+
+    response = asyncio.run(scenario())
+    assert response["ok"] is True
+    assert response["bytes_moved"] == 256
+    assert threading.active_count() >= 1  # smoke: no leaked loops
 
 
 def test_hunt_command_missing_attack_fails_gate(capsys, monkeypatch):

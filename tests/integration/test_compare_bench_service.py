@@ -1,0 +1,97 @@
+"""The compare_bench CLI gate over service soak reports."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(ROOT / "benchmarks"))
+
+from compare_bench import main as compare_main  # noqa: E402
+
+
+def write(path, report):
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def service_report(goodput=100.0, p99=50.0, wrong=0, verdict="RECOVERED"):
+    return {
+        "benchmark": "service_soak",
+        "goodput_mbytes_per_s": goodput,
+        "latency_us": {"p99": p99},
+        "requests": {"wrong_transfers": wrong, "completed": 100},
+        "faults": {"verdict": verdict},
+    }
+
+
+def checker_report():
+    return {"scenarios": [
+        {"name": "s1", "incremental": {"orders_per_s": 1000.0}}]}
+
+
+def test_matching_service_reports_pass(tmp_path, capsys):
+    base = write(tmp_path / "base.json", service_report())
+    cand = write(tmp_path / "cand.json", service_report())
+    assert compare_main([base, cand]) == 0
+    assert "service benchmark gate passed" in capsys.readouterr().out
+
+
+def test_goodput_regression_fails(tmp_path, capsys):
+    base = write(tmp_path / "base.json", service_report())
+    cand = write(tmp_path / "cand.json", service_report(goodput=80.0))
+    assert compare_main([base, cand]) == 1
+    assert "goodput" in capsys.readouterr().out
+
+
+def test_latency_regression_fails_and_is_tunable(tmp_path):
+    base = write(tmp_path / "base.json", service_report())
+    cand = write(tmp_path / "cand.json", service_report(p99=58.0))
+    assert compare_main([base, cand]) == 1
+    assert compare_main([base, cand,
+                         "--max-latency-regression", "0.20"]) == 0
+
+
+def test_wrong_transfers_fatal(tmp_path, capsys):
+    base = write(tmp_path / "base.json", service_report())
+    cand = write(tmp_path / "cand.json", service_report(wrong=2))
+    assert compare_main([base, cand]) == 1
+    assert "wrong-page" in capsys.readouterr().out
+
+
+def test_mixed_families_refused(tmp_path, capsys):
+    base = write(tmp_path / "base.json", checker_report())
+    cand = write(tmp_path / "cand.json", service_report())
+    assert compare_main([base, cand]) == 1
+    assert "cannot compare" in capsys.readouterr().out
+
+
+def test_checker_reports_still_gate(tmp_path, capsys):
+    base = write(tmp_path / "base.json", checker_report())
+    cand = write(tmp_path / "cand.json", checker_report())
+    assert compare_main([base, cand]) == 0
+    assert "benchmark gate passed" in capsys.readouterr().out
+
+
+def test_committed_baseline_is_a_valid_service_report():
+    baseline = json.loads(
+        (ROOT / "benchmarks/results/BENCH_service.json").read_text())
+    assert baseline["benchmark"] == "service_soak"
+    assert baseline["requests"]["wrong_transfers"] == 0
+    assert baseline["faults"]["verdict"] in ("CLEAN", "RECOVERED")
+    assert baseline["vs_faultfree"]["goodput_ratio"] >= 0.95
+    assert baseline["config"]["tenants"] == 1000
+    assert baseline["config"]["seed"] == 7
+
+
+@pytest.mark.parametrize("flag,value", [
+    ("--max-regression", "1.5"),
+    ("--max-latency-regression", "-1"),
+])
+def test_bad_thresholds_error(tmp_path, flag, value):
+    base = write(tmp_path / "base.json", service_report())
+    cand = write(tmp_path / "cand.json", service_report())
+    with pytest.raises(SystemExit):
+        compare_main([base, cand, flag, value])

@@ -1,0 +1,89 @@
+"""Admission control: token buckets, backpressure, fairness ledger."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.service.admission import (
+    REASON_BACKPRESSURE,
+    REASON_THROTTLED,
+    AdmissionController,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.take(0.0) for _ in range(4)] == [
+            True, True, True, False]
+
+    def test_refills_in_service_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        for _ in range(2):
+            assert bucket.take(0.0)
+        assert not bucket.take(0.0)
+        # 1 second of service time at 2 tokens/s refills both.
+        assert bucket.take(1.0)
+        assert bucket.take(1.0)
+        assert not bucket.take(1.0)
+
+    def test_burst_caps_accrual(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.refill(100.0)
+        assert bucket.tokens == 2.0
+
+    def test_time_never_goes_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.take(5.0)
+        bucket.refill(1.0)  # stale timestamp is ignored
+        assert not bucket.take(5.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate": 0.0, "burst": 1.0},
+        {"rate": -1.0, "burst": 1.0},
+        {"rate": 1.0, "burst": 0.5},
+    ])
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            TokenBucket(**kwargs)
+
+
+class TestAdmissionController:
+    def test_throttles_past_burst(self):
+        ctrl = AdmissionController(rate=1.0, burst=2.0, max_queue_depth=10)
+        decisions = [ctrl.admit("a", now_s=0.0, queue_depth=0)
+                     for _ in range(3)]
+        assert decisions == [(True, None), (True, None),
+                             (False, REASON_THROTTLED)]
+        assert ctrl.admitted == {"a": 2}
+        assert ctrl.rejected == {"a": 1}
+        assert ctrl.rejections_by_reason == {REASON_THROTTLED: 1}
+
+    def test_backpressure_sheds_without_charging_bucket(self):
+        ctrl = AdmissionController(rate=1.0, burst=1.0, max_queue_depth=4)
+        ok, reason = ctrl.admit("a", now_s=0.0, queue_depth=4)
+        assert (ok, reason) == (False, REASON_BACKPRESSURE)
+        # The bucket was not charged: the next shallow-queue request
+        # still has its token.
+        assert ctrl.admit("a", now_s=0.0, queue_depth=0) == (True, None)
+
+    def test_buckets_are_per_tenant(self):
+        ctrl = AdmissionController(rate=1.0, burst=1.0, max_queue_depth=10)
+        assert ctrl.admit("a", now_s=0.0, queue_depth=0)[0]
+        assert not ctrl.admit("a", now_s=0.0, queue_depth=0)[0]
+        assert ctrl.admit("b", now_s=0.0, queue_depth=0)[0]
+
+    def test_fairness_ledger(self):
+        ctrl = AdmissionController(rate=100.0, burst=100.0,
+                                   max_queue_depth=10)
+        for tenant in ("a", "a", "b", "b"):
+            ctrl.admit(tenant, now_s=1.0, queue_depth=0)
+        assert ctrl.admitted_fairness() == pytest.approx(1.0)
+        assert ctrl.total_admitted == 4
+        snapshot = ctrl.snapshot()
+        assert snapshot["admitted"] == 4
+        assert snapshot["tenants_seen"] == 2
+
+    def test_rejects_bad_queue_depth(self):
+        with pytest.raises(ConfigError):
+            AdmissionController(max_queue_depth=0)
