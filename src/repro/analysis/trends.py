@@ -242,6 +242,9 @@ class ServiceTrendPoint:
         faults: faults injected during the window.
         fairness: Jain index of per-tenant completions in the window.
         queue_depth: mean shard queue depth sampled at window end.
+        p99_exemplars: trace ids sampled from the window's p99+ latency
+            histogram buckets — each links a tail number back to one
+            full distributed trace.
     """
 
     t_s: float
@@ -257,10 +260,11 @@ class ServiceTrendPoint:
     faults: int = 0
     fairness: float = 1.0
     queue_depth: float = 0.0
+    p99_exemplars: tuple = ()
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering."""
-        return {
+        out: Dict[str, Any] = {
             "t_s": round(self.t_s, 3),
             "completed": self.completed,
             "failed": self.failed,
@@ -275,6 +279,9 @@ class ServiceTrendPoint:
             "fairness": self.fairness,
             "queue_depth": round(self.queue_depth, 3),
         }
+        if self.p99_exemplars:
+            out["p99_exemplars"] = list(self.p99_exemplars)
+        return out
 
 
 @dataclass
@@ -388,3 +395,121 @@ def compare_service_reports(baseline: Dict[str, Any],
     if verdict == "UNSAFE":
         failures.append("candidate fault verdict is UNSAFE")
     return failures
+
+
+# ----------------------------------------------------------------------
+# Anomaly detection over the window series (`repro trends --check`)
+# ----------------------------------------------------------------------
+
+def ewma(values: Sequence[float], alpha: float = 0.3) -> List[float]:
+    """Exponentially weighted moving average of *values*.
+
+    ``out[i]`` is the EWMA *including* ``values[i]``; an empty input
+    maps to an empty list.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    out: List[float] = []
+    level: Optional[float] = None
+    for value in values:
+        level = (float(value) if level is None
+                 else alpha * float(value) + (1.0 - alpha) * level)
+        out.append(level)
+    return out
+
+
+def robust_z(values: Sequence[float]) -> List[float]:
+    """Robust z-scores: deviation from the median in MAD units.
+
+    Uses the consistency constant 1.4826 so the score matches an
+    ordinary z-score on normal data, but a single wild window cannot
+    inflate the spread estimate the way it would a standard deviation.
+    A zero MAD (over half the values identical) falls back to the mean
+    absolute deviation; if that is zero too the series is constant and
+    every score is 0.
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return []
+    med = percentile(xs, 50.0)
+    deviations = [abs(x - med) for x in xs]
+    mad = percentile(deviations, 50.0)
+    scale = 1.4826 * mad
+    if scale == 0.0:
+        mean_dev = sum(deviations) / len(deviations)
+        scale = 1.2533 * mean_dev  # E|X-mu| = sigma*sqrt(2/pi)
+    if scale == 0.0:
+        return [0.0] * len(xs)
+    return [(x - med) / scale for x in xs]
+
+
+def detect_anomalies(values: Sequence[float], z_threshold: float = 4.0,
+                     alpha: float = 0.3,
+                     min_residual: float = 0.0) -> List[int]:
+    """Indices of windows that deviate anomalously from the trend.
+
+    Each value is compared against the EWMA of the values *before* it
+    (the trend's one-step prediction); the residuals are then scored
+    with :func:`robust_z` and indices whose absolute score exceeds
+    *z_threshold* are returned.  The combination flags genuine level
+    shifts and spikes while tolerating the heavy-tailed noise a faulted
+    soak produces.
+
+    *min_residual* is an absolute floor: a window is never anomalous
+    unless its residual also exceeds it.  Sparse integer series (the
+    per-window failure count of a healthy soak is mostly 0 with
+    scattered 1s) collapse the robust scale toward zero, which would
+    turn a single failed request into a paging z-score; a small
+    absolute floor removes that failure mode without desensitizing
+    genuinely large bursts.
+    """
+    xs = [float(v) for v in values]
+    if len(xs) < 3:
+        return []
+    smoothed = ewma(xs, alpha=alpha)
+    residuals = [xs[0] - xs[0]] + [xs[i] - smoothed[i - 1]
+                                   for i in range(1, len(xs))]
+    scores = robust_z(residuals)
+    return [i for i, score in enumerate(scores)
+            if abs(score) > z_threshold
+            and abs(residuals[i]) > min_residual]
+
+
+def trend_anomaly_report(report: Dict[str, Any],
+                         z_threshold: float = 4.0,
+                         alpha: float = 0.3) -> Dict[str, Any]:
+    """Anomaly scan of a service trend report's window series.
+
+    Checks the three series an operator watches — goodput, p99
+    latency, and failure count — and returns the anomalous window
+    timestamps per series.  ``repro trends --check`` exits non-zero
+    when ``anomalous`` is true, which CI runs against the committed
+    ``BENCH_service.json`` history.
+    """
+    windows = report.get("windows_series") or []
+    series = {
+        "goodput_mbytes_per_s": [w.get("goodput_mbytes_per_s", 0.0)
+                                 for w in windows],
+        "p99_us": [w.get("p99_us", 0.0) for w in windows],
+        "failed": [w.get("failed", 0) for w in windows],
+    }
+    # The failure count is a sparse integer series: under faults a
+    # healthy window fails 0-2 requests, so only multi-request bursts
+    # are signal.  The continuous series keep a zero floor.
+    floors = {"failed": 3.0}
+    t_s = [w.get("t_s", 0.0) for w in windows]
+    anomalies: Dict[str, List[float]] = {}
+    for name, values in series.items():
+        hits = detect_anomalies(values, z_threshold=z_threshold,
+                                alpha=alpha,
+                                min_residual=floors.get(name, 0.0))
+        if hits:
+            anomalies[name] = [round(t_s[i], 3) for i in hits]
+    return {
+        "kind": "trend_anomalies",
+        "windows": len(windows),
+        "z_threshold": z_threshold,
+        "alpha": alpha,
+        "anomalies": anomalies,
+        "anomalous": bool(anomalies),
+    }

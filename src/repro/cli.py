@@ -17,22 +17,25 @@
     python -m repro metrics           # metric time series of that run
     python -m repro serve             # the always-on DMA service (TCP)
     python -m repro soak              # multi-tenant soak -> BENCH report
+    python -m repro postmortem        # reproduce flight-recorder bundles
+    python -m repro trends            # anomaly scan of a soak history
     python -m repro all               # every experiment above, in order
 
 Each command prints the same tables the benchmark suite persists under
 ``benchmarks/results/``.
 
 Every subcommand shares one option group: ``--seed`` picks the seed of
-stochastic experiments and ``--json PATH`` (alias ``--output``) writes
-the command's machine-readable report.  Options always follow the
-subcommand name.
+stochastic experiments and ``--json PATH`` (aliases ``--output`` and
+``--out``) writes the command's machine-readable report.  All file
+output funnels through :mod:`repro.obs.writer`.  Options always follow
+the subcommand name.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .analysis.report import Table, format_us
 from .analysis.trends import (
@@ -293,10 +296,11 @@ def cmd_trace(args: argparse.Namespace) -> None:
               f"{len(run.ws.metrics)} metric samples)")
         print("open it in https://ui.perfetto.dev or chrome://tracing")
     elif args.export == "jsonl":
+        from .obs.writer import write_text
+
         text = spans_jsonl(spans)
         if args.output:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(text)
+            write_text(args.output, text)
             print(f"wrote {args.output}: {len(spans)} spans")
         else:
             print(text, end="")
@@ -314,16 +318,13 @@ def cmd_trace(args: argparse.Namespace) -> None:
 
 def cmd_metrics(args: argparse.Namespace) -> None:
     """Run the traced workload and print its metric time series."""
-    import json
-
     from .obs.runs import traced_adversary_run
+    from .obs.writer import write_json
 
     run = traced_adversary_run(seed=args.seed)
     metrics = run.ws.metrics
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(metrics.to_dict(), handle, indent=1)
-            handle.write("\n")
+        write_json(args.output, metrics.to_dict())
         print(f"wrote {args.output}: {len(metrics)} samples, "
               f"{len(metrics.names())} series")
         return
@@ -344,9 +345,9 @@ def cmd_metrics(args: argparse.Namespace) -> None:
 def cmd_hunt(args: argparse.Namespace) -> None:
     """Synthesize counterexamples (and run the k-fault campaign)."""
     import itertools
-    import json
 
     from .obs.profile import PhaseProfiler
+    from .obs.writer import write_json
     from .obs.spans import SpanTracer
     from .verify.faulted import FAULT_HARDENED_METHODS
     from .verify.synth import HuntConfig, run_hunt, run_k_fault_campaign
@@ -424,9 +425,7 @@ def cmd_hunt(args: argparse.Namespace) -> None:
             "spans": [s.to_dict() for s in tracer.finished()],
             "phases": profiler.report(),
         }
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1)
-            handle.write("\n")
+        write_json(args.output, payload)
         print(f"wrote {args.output}: {len(reports)} hunts, "
               f"{len(kfault_reports)} k-fault campaigns")
 
@@ -463,27 +462,41 @@ def cmd_serve(args: argparse.Namespace) -> None:
         print("\nshutting down")
 
 
-def cmd_soak(args: argparse.Namespace) -> None:
-    """Run a multi-tenant soak and emit the BENCH_service report."""
+def _soak_config_from_args(args: argparse.Namespace, *,
+                           spans: bool) -> Any:
+    """Build a :class:`SoakConfig` from the shared soak option set."""
     import json
 
-    from .obs.export import write_chrome_trace  # noqa: F401  (docs)
-    from .service.soak import SoakConfig, run_soak, strip_runtime
+    from .service.soak import SoakConfig
 
     fault_plan = None
     if args.faults:
         with open(args.faults, "r", encoding="utf-8") as handle:
             fault_plan = json.load(handle)
-    config = SoakConfig(
+    slo_spec = None
+    if getattr(args, "slo", None):
+        with open(args.slo, "r", encoding="utf-8") as handle:
+            slo_spec = json.load(handle)
+    return SoakConfig(
         tenants=args.tenants, duration_s=args.duration,
         tick_hz=args.tick_hz, rate=args.rate, skew=args.skew,
         zipf_s=args.zipf_s, shards=args.shards, method=args.method,
         seed=args.seed, fault_rate=args.fault_rate,
         fault_plan=fault_plan, control_run=not args.no_control,
-        spans=args.trace is not None,
+        spans=spans, slo=slo_spec,
         admission_rate=args.admission_rate,
         admission_burst=args.admission_burst,
         max_queue_depth=args.max_queue_depth)
+
+
+def cmd_soak(args: argparse.Namespace) -> None:
+    """Run a multi-tenant soak and emit the BENCH_service report."""
+    from .obs.writer import write_json
+    from .service.soak import run_soak, strip_runtime
+
+    config = _soak_config_from_args(
+        args, spans=(args.trace is not None
+                     or args.postmortem is not None))
     report = run_soak(config)
     service = report["_service"]
     requests, faults = report["requests"], report["faults"]
@@ -513,27 +526,100 @@ def cmd_soak(args: argparse.Namespace) -> None:
     if "vs_faultfree" in report:
         table.add_row("goodput vs fault-free",
                       f"{report['vs_faultfree']['goodput_ratio']:.4f}")
+    slo = report["slo"]
+    table.add_row("SLO windows / breaches",
+                  f"{slo['evaluations']} / {len(slo['breaches'])}")
+    table.add_row("postmortem bundles", report["postmortems"]["count"])
     print(table.render())
+    for breach in slo["breaches"]:
+        print(f"SLO BREACH {breach['rule']} ({breach['kind']}) at "
+              f"t={breach['t_s']}s: {breach['detail']}")
 
     if args.trend:
-        with open(args.trend, "w", encoding="utf-8") as handle:
-            json.dump(report["trend"], handle, indent=1)
-            handle.write("\n")
+        write_json(args.trend, report["trend"])
         print(f"wrote {args.trend}: "
               f"{report['trend']['summary']['windows']} trend windows")
     if args.trace:
-        trace = service.telemetry.fleet_chrome_trace(service.shards)
-        with open(args.trace, "w", encoding="utf-8") as handle:
-            json.dump(trace, handle)
-            handle.write("\n")
+        trace = service.fleet_trace()
+        write_json(args.trace, trace, indent=None)
         print(f"wrote {args.trace}: {len(trace['traceEvents'])} trace "
               "events (open in https://ui.perfetto.dev)")
+    if args.postmortem:
+        bundles = report["_postmortems"]
+        write_json(args.postmortem, {
+            "kind": "postmortem_bundles",
+            "seed": config.seed,
+            "config": config.to_dict(),
+            "bundles": bundles,
+        })
+        print(f"wrote {args.postmortem}: {len(bundles)} bundle(s)")
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as handle:
-            json.dump(strip_runtime(report), handle, indent=1)
-            handle.write("\n")
+        write_json(args.output, strip_runtime(report))
         print(f"wrote {args.output}")
     if faults["verdict"] == "UNSAFE":
+        raise SystemExit(1)
+    if args.slo and slo["breached"]:
+        raise SystemExit(1)
+
+
+def cmd_postmortem(args: argparse.Namespace) -> None:
+    """Re-run a soak deterministically and dump its flight-recorder
+    bundles.
+
+    Same option set as ``soak`` (span recording is forced on so the
+    bundles carry their trace tails); the run is a pure function of the
+    config, so re-running with the same seed and fault plan reproduces
+    the exact bundles the original incident produced.
+    """
+    from .obs.writer import write_json
+    from .service.soak import run_soak
+
+    config = _soak_config_from_args(args, spans=True)
+    report = run_soak(config)
+    bundles = report["_postmortems"]
+    verdict = report["faults"]["verdict"]
+    if not bundles:
+        print(f"no postmortems: run completed clean (verdict {verdict})")
+    for bundle in bundles:
+        print(f"{bundle['process']}: {bundle['reason']} at tick "
+              f"{bundle['tick']} — {bundle['detail']}")
+    path = args.output or "postmortem.json"
+    write_json(path, {
+        "kind": "postmortem_bundles",
+        "seed": config.seed,
+        "verdict": verdict,
+        "config": config.to_dict(),
+        "bundles": bundles,
+    })
+    print(f"wrote {path}: {len(bundles)} bundle(s), verdict {verdict}")
+
+
+def cmd_trends(args: argparse.Namespace) -> None:
+    """Scan a committed soak history for EWMA/robust-z anomalies."""
+    import json
+
+    from .analysis.trends import trend_anomaly_report
+    from .obs.writer import write_json
+
+    with open(args.history, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    # Accept either a full soak report (with its "trend" block) or a
+    # bare trend report.
+    trend = data.get("trend", data)
+    result = trend_anomaly_report(trend, z_threshold=args.z_threshold)
+    table = Table(f"Trend anomalies ({args.history}, "
+                  f"z > {args.z_threshold:g})",
+                  ["series", "anomalous windows (t_s)"])
+    for name, hits in result["anomalies"].items():
+        table.add_row(name,
+                      ", ".join(f"{t:g}" for t in hits) if hits else "-")
+    print(table.render())
+    print(f"{result['windows']} windows scanned: "
+          + ("ANOMALOUS" if result["anomalous"] else "clean"))
+    if args.output:
+        write_json(args.output, result)
+        print(f"wrote {args.output}")
+    if args.check and result["anomalous"]:
         raise SystemExit(1)
 
 
@@ -555,6 +641,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "metrics": cmd_metrics,
     "serve": cmd_serve,
     "soak": cmd_soak,
+    "postmortem": cmd_postmortem,
+    "trends": cmd_trends,
 }
 
 #: One-line help per subcommand (shown in ``repro --help``).
@@ -576,6 +664,8 @@ COMMAND_HELP: Dict[str, str] = {
     "metrics": "metric time series of the traced run",
     "serve": "run the always-on DMA service (TCP JSON lines)",
     "soak": "multi-tenant soak -> BENCH_service report",
+    "postmortem": "reproduce a soak's flight-recorder bundles",
+    "trends": "EWMA/robust-z anomaly scan of a soak history",
     "all": "every experiment above, in order",
 }
 
@@ -605,9 +695,9 @@ def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (one subparser per experiment).
 
     Every subcommand inherits the shared option group: ``--seed`` and
-    ``--json`` (alias ``--output``).  Measurement commands add
-    ``--iterations``; ``hunt``, ``trace``, ``serve``, and ``soak`` add
-    their own flags.
+    ``--json`` (aliases ``--output``, ``--out``).  Measurement commands
+    add ``--iterations``; ``hunt``, ``trace``, ``serve``, ``soak``,
+    ``postmortem``, and ``trends`` add their own flags.
     """
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -619,8 +709,8 @@ def build_parser() -> argparse.ArgumentParser:
     group = common.add_argument_group("common options")
     group.add_argument("--seed", type=int, default=7,
                        help="seed for stochastic experiments")
-    group.add_argument("--json", "--output", dest="output", default=None,
-                       metavar="PATH",
+    group.add_argument("--json", "--output", "--out", dest="output",
+                       default=None, metavar="PATH",
                        help="write the command's JSON report/export here")
 
     measure = argparse.ArgumentParser(add_help=False)
@@ -671,29 +761,56 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-connections", type=int, default=None,
                        help="exit after serving this many connections")
 
+    def _soak_options(parser: argparse.ArgumentParser) -> None:
+        """Workload options shared by ``soak`` and ``postmortem``."""
+        _service_options(parser)
+        parser.add_argument("--tenants", type=int, default=200,
+                            help="simulated tenant count")
+        parser.add_argument("--duration", type=int, default=20,
+                            help="soak length in service seconds")
+        parser.add_argument("--rate", type=float, default=0.2,
+                            help="offered requests per tenant-second")
+        parser.add_argument("--skew", choices=("zipf", "uniform"),
+                            default="zipf", help="tenant selection skew")
+        parser.add_argument("--zipf-s", type=float, default=1.1,
+                            help="zipf exponent (higher = hotter head)")
+        parser.add_argument("--fault-rate", type=float, default=0.0,
+                            help="Bernoulli fault rate "
+                                 "(0 = no injection)")
+        parser.add_argument("--faults", default=None,
+                            metavar="PLAN_JSON",
+                            help="fault plan file "
+                                 "(overrides --fault-rate)")
+        parser.add_argument("--no-control", action="store_true",
+                            help="skip the fault-free control run")
+        parser.add_argument("--slo", default=None, metavar="SLO_JSON",
+                            help="SLO rule file (default: the built-in "
+                                 "baseline rules)")
+
     soak = add("soak")
-    _service_options(soak)
-    soak.add_argument("--tenants", type=int, default=200,
-                      help="simulated tenant count")
-    soak.add_argument("--duration", type=int, default=20,
-                      help="soak length in service seconds")
-    soak.add_argument("--rate", type=float, default=0.2,
-                      help="offered requests per tenant-second")
-    soak.add_argument("--skew", choices=("zipf", "uniform"),
-                      default="zipf", help="tenant selection skew")
-    soak.add_argument("--zipf-s", type=float, default=1.1,
-                      help="zipf exponent (higher = hotter head)")
-    soak.add_argument("--fault-rate", type=float, default=0.0,
-                      help="Bernoulli fault rate (0 = no injection)")
-    soak.add_argument("--faults", default=None, metavar="PLAN_JSON",
-                      help="fault plan file (overrides --fault-rate)")
-    soak.add_argument("--no-control", action="store_true",
-                      help="skip the fault-free control run")
+    _soak_options(soak)
     soak.add_argument("--trend", default=None, metavar="PATH",
                       help="write the trend report here")
     soak.add_argument("--trace", default=None, metavar="PATH",
                       help="write the fleet Perfetto trace here "
                            "(enables span recording)")
+    soak.add_argument("--postmortem", default=None, metavar="PATH",
+                      help="write the run's flight-recorder bundles "
+                           "here (enables span recording)")
+
+    postmortem = add("postmortem")
+    _soak_options(postmortem)
+
+    trends = add("trends")
+    trends.add_argument("history", nargs="?",
+                        default="benchmarks/results/BENCH_service.json",
+                        help="soak report or bare trend report to scan")
+    trends.add_argument("--z-threshold", type=float, default=4.0,
+                        help="robust-z score above which a window is "
+                             "anomalous")
+    trends.add_argument("--check", action="store_true",
+                        help="exit non-zero when any series is "
+                             "anomalous (CI gate)")
 
     everything = add("all", measure)
     everything.set_defaults(budget=None, max_candidates=400, k_faults=0,

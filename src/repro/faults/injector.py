@@ -296,6 +296,12 @@ class Injector:
 
     def _count(self, target: str, kind: str, **detail: Any) -> None:
         self.stats.counter(f"{target}.{kind}").add()
+        # Attribute the fault to the request being executed, if the
+        # span tracer has an active trace context (service data path).
+        context = getattr(self.spans, "context", None) \
+            if self.spans is not None else None
+        if context is not None:
+            detail.setdefault("trace_id", context.trace_id)
         if self.trace is not None:
             self.trace.emit(self.sim.now, "faults", f"{target}-{kind}",
                             **detail)

@@ -175,11 +175,11 @@ def write_chrome_trace(path: Any, spans: Sequence[Span],
                        metrics: Optional[MetricsSampler] = None,
                        **kwargs: Any) -> Dict[str, Any]:
     """Build, validate, and write a Chrome trace; returns the object."""
+    from .writer import write_json
+
     trace = chrome_trace(spans, events=events, metrics=metrics, **kwargs)
     ensure_valid_chrome_trace(trace)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(trace, handle, indent=1)
-        handle.write("\n")
+    write_json(path, trace)
     return trace
 
 

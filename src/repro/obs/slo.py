@@ -1,0 +1,282 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+A service-level objective here is a :class:`SloRule` — a named target
+over the telemetry stream the always-on service already produces
+(:class:`~repro.analysis.trends.ServiceTrendPoint` windows).  Three
+kinds cover the paper's claims as operational guarantees:
+
+* ``availability`` — goodput availability: the fraction of
+  non-rejected requests that complete OK must stay above
+  ``objective`` (error budget ``1 - objective``);
+* ``latency_p99`` — the window's p99 completion latency must stay
+  under ``target_us`` in at least ``objective`` of windows;
+* ``wrong_page`` — isolation violations are budgetless: any wrong-page
+  transfer breaches immediately (the paper's protection argument says
+  the count is *zero*, so the SLO is exact).
+
+Evaluation follows the classic multi-window burn-rate pattern: each
+telemetry window contributes an error fraction; a rule breaches only
+when the budget burn rate exceeds ``burn_threshold`` over **both** the
+short and the long window — fast spikes page quickly, slow leaks page
+eventually, and a single noisy window alone never does.  The engine is
+deterministic (pure function of the window stream), so same-seed soaks
+produce identical breach lists.
+
+``repro soak --slo slo.json`` loads rules from JSON
+(:func:`load_slo_spec`) and exits non-zero on any breach;
+:func:`default_slos` is the always-evaluated baseline set.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Sequence
+
+from ..errors import ObservabilityError
+
+if TYPE_CHECKING:  # avoid obs -> analysis -> core -> obs import cycle
+    from ..analysis.trends import ServiceTrendPoint
+
+KIND_AVAILABILITY = "availability"
+KIND_LATENCY_P99 = "latency_p99"
+KIND_WRONG_PAGE = "wrong_page"
+SLO_KINDS = (KIND_AVAILABILITY, KIND_LATENCY_P99, KIND_WRONG_PAGE)
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One declarative objective.
+
+    Attributes:
+        name: rule name (shown in breach reports).
+        kind: one of :data:`SLO_KINDS`.
+        objective: target good fraction in [0, 1); the error budget is
+            ``1 - objective``.  Ignored for ``wrong_page`` (exact).
+        target_us: latency bound, required for ``latency_p99``.
+        short_windows / long_windows: burn-rate window lengths, in
+            telemetry windows (short catches spikes, long catches
+            leaks; both must burn to breach).
+        burn_threshold: budget multiple that pages (1.0 = exactly
+            exhausting the budget at steady state).
+    """
+
+    name: str
+    kind: str
+    objective: float = 0.99
+    target_us: Optional[float] = None
+    short_windows: int = 1
+    long_windows: int = 6
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ObservabilityError(f"unknown SLO kind {self.kind!r}")
+        if not self.name:
+            raise ObservabilityError("SLO rule needs a name")
+        if not 0.0 <= self.objective < 1.0:
+            raise ObservabilityError(
+                f"objective must be in [0, 1), got {self.objective}")
+        if self.kind == KIND_LATENCY_P99 and (
+                self.target_us is None or self.target_us <= 0.0):
+            raise ObservabilityError(
+                f"latency_p99 rule {self.name!r} needs a positive "
+                f"target_us")
+        if self.short_windows < 1 or self.long_windows < self.short_windows:
+            raise ObservabilityError(
+                f"need 1 <= short_windows <= long_windows, got "
+                f"{self.short_windows}/{self.long_windows}")
+        if self.burn_threshold <= 0.0:
+            raise ObservabilityError(
+                f"burn_threshold must be positive, got "
+                f"{self.burn_threshold}")
+
+    @property
+    def budget(self) -> float:
+        """The error budget (0 for the exact wrong-page rule)."""
+        return 0.0 if self.kind == KIND_WRONG_PAGE else 1.0 - self.objective
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering (the ``slo.json`` schema)."""
+        out: Dict[str, Any] = {
+            "name": self.name, "kind": self.kind,
+            "objective": self.objective,
+            "short_windows": self.short_windows,
+            "long_windows": self.long_windows,
+            "burn_threshold": self.burn_threshold,
+        }
+        if self.target_us is not None:
+            out["target_us"] = self.target_us
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SloRule":
+        """Parse one rule; unknown fields are rejected."""
+        known = {"name", "kind", "objective", "target_us",
+                 "short_windows", "long_windows", "burn_threshold"}
+        unknown = set(data) - known
+        if unknown:
+            raise ObservabilityError(
+                f"unknown SLO field(s): {sorted(unknown)}")
+        if "name" not in data or "kind" not in data:
+            raise ObservabilityError("an SLO rule needs 'name' and 'kind'")
+        kwargs = dict(data)
+        return cls(**kwargs)
+
+
+def default_slos() -> List[SloRule]:
+    """The baseline rule set every soak evaluates.
+
+    Targets sit comfortably outside normal faulted operation (bounded
+    retry recovers most faults) so the fault-free control run — and a
+    recovering faulted run — never false-positives, while a real
+    outage (dead shard, runaway tail) burns through quickly.
+    """
+    return [
+        SloRule(name="goodput-availability", kind=KIND_AVAILABILITY,
+                objective=0.95, short_windows=1, long_windows=6,
+                burn_threshold=2.0),
+        SloRule(name="tail-latency", kind=KIND_LATENCY_P99,
+                objective=0.90, target_us=1000.0, short_windows=1,
+                long_windows=6, burn_threshold=2.0),
+        SloRule(name="no-wrong-page", kind=KIND_WRONG_PAGE),
+    ]
+
+
+def load_slo_spec(spec: Any) -> List[SloRule]:
+    """Rules from a parsed ``slo.json``: either a list of rule objects
+    or ``{"slos": [...]}``."""
+    if isinstance(spec, dict):
+        spec = spec.get("slos")
+    if not isinstance(spec, list) or not spec:
+        raise ObservabilityError(
+            "SLO spec must be a non-empty list of rules "
+            "(or {'slos': [...]})")
+    return [SloRule.from_dict(rule) for rule in spec]
+
+
+@dataclass(frozen=True)
+class SloBreach:
+    """One burn-rate breach at a window boundary."""
+
+    rule: str
+    kind: str
+    t_s: float
+    burn_short: float
+    burn_long: float
+    detail: str
+    fatal: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready rendering."""
+        return {
+            "rule": self.rule, "kind": self.kind,
+            "t_s": round(self.t_s, 3),
+            "burn_short": round(self.burn_short, 4),
+            "burn_long": round(self.burn_long, 4),
+            "detail": self.detail, "fatal": self.fatal,
+        }
+
+
+class SloEngine:
+    """Evaluates a rule set against the telemetry window stream.
+
+    One :meth:`observe` call per closed trend window; breaches
+    accumulate on :attr:`breaches` and are also returned per call so
+    the service can trigger flight-recorder postmortems immediately.
+    """
+
+    def __init__(self, rules: Optional[Sequence[SloRule]] = None) -> None:
+        self.rules: List[SloRule] = (list(rules) if rules is not None
+                                     else default_slos())
+        self._errors: Dict[str, Deque[float]] = {
+            rule.name: deque(maxlen=rule.long_windows)
+            for rule in self.rules}
+        self.evaluations = 0
+        self.breaches: List[SloBreach] = []
+        self._wrong_seen: Dict[str, int] = {
+            rule.name: 0 for rule in self.rules
+            if rule.kind == KIND_WRONG_PAGE}
+
+    def _window_error(self, rule: SloRule,
+                      point: "ServiceTrendPoint") -> float:
+        if rule.kind == KIND_AVAILABILITY:
+            total = point.completed + point.failed
+            return point.failed / total if total else 0.0
+        if rule.kind == KIND_LATENCY_P99:
+            if point.completed + point.failed == 0:
+                return 0.0
+            assert rule.target_us is not None
+            return 1.0 if point.p99_us > rule.target_us else 0.0
+        return 0.0  # wrong_page is handled out of band (exact)
+
+    @staticmethod
+    def _burn(errors: Sequence[float], windows: int,
+              budget: float) -> float:
+        recent = list(errors)[-windows:]
+        if not recent or budget <= 0.0:
+            return 0.0
+        return (sum(recent) / len(recent)) / budget
+
+    def _check_wrong(self, wrong_transfers: int,
+                     t_s: float) -> List[SloBreach]:
+        fired: List[SloBreach] = []
+        for rule in self.rules:
+            if rule.kind != KIND_WRONG_PAGE:
+                continue
+            seen = self._wrong_seen[rule.name]
+            if wrong_transfers > seen:
+                self._wrong_seen[rule.name] = wrong_transfers
+                fired.append(SloBreach(
+                    rule=rule.name, kind=rule.kind, t_s=t_s,
+                    burn_short=float("inf"), burn_long=float("inf"),
+                    detail=f"{wrong_transfers - seen} wrong-page "
+                           f"transfer(s) (budget is zero)", fatal=True))
+        return fired
+
+    def observe_wrong_transfers(self, wrong_transfers: int,
+                                t_s: float) -> List[SloBreach]:
+        """Out-of-band wrong-page check (e.g. after the shutdown sweep
+        when no further window will close)."""
+        fired = self._check_wrong(wrong_transfers, t_s)
+        self.breaches.extend(fired)
+        return fired
+
+    def observe(self, point: "ServiceTrendPoint",
+                wrong_transfers: int = 0) -> List[SloBreach]:
+        """Fold one closed window in; returns breaches fired *now*."""
+        self.evaluations += 1
+        fired: List[SloBreach] = []
+        fired.extend(self._check_wrong(wrong_transfers, point.t_s))
+        for rule in self.rules:
+            if rule.kind == KIND_WRONG_PAGE:
+                continue
+            errors = self._errors[rule.name]
+            errors.append(self._window_error(rule, point))
+            burn_short = self._burn(errors, rule.short_windows,
+                                    rule.budget)
+            burn_long = self._burn(errors, rule.long_windows, rule.budget)
+            if (burn_short >= rule.burn_threshold
+                    and burn_long >= rule.burn_threshold):
+                fired.append(SloBreach(
+                    rule=rule.name, kind=rule.kind, t_s=point.t_s,
+                    burn_short=burn_short, burn_long=burn_long,
+                    detail=f"burn rate {burn_short:.2f}x/"
+                           f"{burn_long:.2f}x over threshold "
+                           f"{rule.burn_threshold:g}x"))
+        self.breaches.extend(fired)
+        return fired
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready engine state (the soak report's ``slo`` block)."""
+        breaches = [b.to_dict() for b in self.breaches]
+        for breach in breaches:  # inf is not JSON; the budget is zero
+            for key in ("burn_short", "burn_long"):
+                if breach[key] == float("inf"):
+                    breach[key] = None
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "evaluations": self.evaluations,
+            "breaches": breaches,
+            "breached": bool(self.breaches),
+        }

@@ -131,6 +131,8 @@ class SpanTracer:
         self._open: Dict[int, Span] = {}
         self._stack: List[int] = []
         self.dropped = 0
+        self._context: Optional[Any] = None
+        self._process: str = ""
 
     # ------------------------------------------------------------------
     # begin / end
@@ -161,6 +163,24 @@ class SpanTracer:
         span = Span(self._next_id, parent_id, name, track, self._clock(),
                     attrs if attrs else None)
         self._next_id += 1
+        context = self._context
+        if context is not None:
+            span.attrs.setdefault("trace_id", context.trace_id)
+            span.attrs.setdefault("process", self._process)
+            if parent_id is None:
+                # This span roots the trace's subtree in this tracer —
+                # record the cross-process parent link on it.
+                if context.parent_span_id is not None:
+                    span.attrs.setdefault("remote_parent",
+                                          context.parent_span_id)
+                    if context.origin:
+                        span.attrs.setdefault("remote_process",
+                                              context.origin)
+                if context.tenant:
+                    span.attrs.setdefault("tenant", context.tenant)
+                if context.request_id:
+                    span.attrs.setdefault("request_id",
+                                          context.request_id)
         self._open[span.span_id] = span
         if stack:
             self._stack.append(span.span_id)
@@ -206,6 +226,35 @@ class SpanTracer:
             yield sp
         finally:
             self.end(sp)
+
+    @contextmanager
+    def activate(self, context: Optional[Any],
+                 process: str = "main") -> Iterator[None]:
+        """Stamp a :class:`~repro.obs.context.TraceContext` onto every
+        span begun inside the block.
+
+        All such spans get ``trace_id`` and ``process`` attributes;
+        spans that root a local subtree (no local parent) additionally
+        get the cross-process ``remote_parent`` / ``remote_process``
+        link plus tenant/request attribution — enough for
+        :func:`~repro.obs.context.causal_tree` to reassemble one
+        connected tree per trace across tracers.  Activations nest;
+        a ``None`` context or a disabled tracer makes this a no-op.
+        """
+        if not self.enabled or context is None:
+            yield
+            return
+        previous = (self._context, self._process)
+        self._context, self._process = context, process
+        try:
+            yield
+        finally:
+            self._context, self._process = previous
+
+    @property
+    def context(self) -> Optional[Any]:
+        """The trace context of the innermost active activation."""
+        return self._context
 
     # ------------------------------------------------------------------
     # introspection

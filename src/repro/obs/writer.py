@@ -1,0 +1,38 @@
+"""The one shared output writer every exporter routes through.
+
+Every artifact the repo emits — Chrome traces, JSONL span dumps, soak
+reports, trend histories, postmortem bundles — funnels through
+:func:`write_json` / :func:`write_text`, so the on-disk conventions
+(UTF-8, trailing newline, stable indentation) are decided in exactly
+one place and the CLI's ``--out`` paths behave identically everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Optional
+
+
+def write_json(path: Any, payload: Any, indent: Optional[int] = 1,
+               sort_keys: bool = False) -> str:
+    """Serialize *payload* as JSON to *path* (newline-terminated).
+
+    ``indent=None`` writes compact single-line JSON (used for the large
+    Perfetto traces).  Returns the path written, for log lines.
+    """
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, sort_keys=sort_keys)
+        handle.write("\n")
+    return path
+
+
+def write_text(path: Any, text: str) -> str:
+    """Write *text* to *path* (newline-terminated); returns the path."""
+    path = os.fspath(path)
+    if not text.endswith("\n"):
+        text += "\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

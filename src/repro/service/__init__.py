@@ -25,12 +25,15 @@ from .frontend import DmaService, ServiceConfig
 from .requests import Completion, Request
 from .shard import ServiceShard, ShardConfig
 from .soak import SoakConfig, run_soak
-from .telemetry import FleetTelemetry
+from .telemetry import (FLEET_FRONTEND_PID, FLEET_SHARD_PID_BASE,
+                        FleetTelemetry)
 
 __all__ = [
     "AdmissionController",
     "Completion",
     "DmaService",
+    "FLEET_FRONTEND_PID",
+    "FLEET_SHARD_PID_BASE",
     "FleetTelemetry",
     "Request",
     "ServiceConfig",

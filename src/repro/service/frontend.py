@@ -33,11 +33,15 @@ from __future__ import annotations
 import asyncio
 import json
 import zlib
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Set
 
 from ..errors import ConfigError
 from ..faults.plan import FaultPlan
+from ..obs.context import TraceContext, make_trace_id
+from ..obs.flightrec import REASON_SLO_BREACH, REASON_WRONG_PAGE
+from ..obs.slo import SloBreach, SloEngine, load_slo_spec
+from ..obs.spans import Span, SpanTracer
 from ..units import Time
 from .admission import REASON_SHUTDOWN, AdmissionController
 from .requests import OUTCOME_REJECTED, Completion, Request
@@ -64,6 +68,9 @@ class ServiceConfig:
         telemetry_window_ticks: ticks per trend window.
         fault_plan: optional fault plan template — each shard gets its
             own deterministic copy (seed offset by shard index).
+        slo: optional SLO spec (the parsed ``slo.json`` — a list of
+            rule objects or ``{"slos": [...]}``); None evaluates
+            :func:`~repro.obs.slo.default_slos`.
     """
 
     shards: int = 4
@@ -81,6 +88,7 @@ class ServiceConfig:
     fault_plan: Optional[Dict[str, Any]] = None
     hot_slots: int = 4
     max_message_channels: int = 16
+    slo: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -91,10 +99,14 @@ class ServiceConfig:
 
 @dataclass
 class _Job:
-    """One queued request plus its completion future."""
+    """One queued request plus its completion future and open spans."""
 
     request: Request
     future: "asyncio.Future[Completion]" = field(repr=False, default=None)
+    #: The request's frontend root span (ended at completion).
+    root: Optional[Span] = field(repr=False, default=None)
+    #: The queue-wait span (ended when a worker dequeues the job).
+    queued: Optional[Span] = field(repr=False, default=None)
 
 
 def shard_of(tenant: str, n_shards: int) -> int:
@@ -130,6 +142,18 @@ class DmaService:
         self.telemetry = FleetTelemetry(
             tick_hz=cfg.tick_hz,
             window_ticks=cfg.telemetry_window_ticks)
+        #: The front end's own span tracer.  Its clock is the service
+        #: tick converted to simulated picoseconds, so frontend spans
+        #: (admission, queue wait) share a time axis with shard spans
+        #: in the merged fleet trace.
+        self._tick_ps = int(1e12) // cfg.tick_hz
+        self.spans = SpanTracer(clock=lambda: self.tick * self._tick_ps,
+                                enabled=cfg.spans_enabled,
+                                max_spans=200_000)
+        #: Burn-rate SLO evaluation, one observe() per closed window.
+        self.slo = SloEngine(load_slo_spec(cfg.slo)
+                             if cfg.slo is not None else None)
+        self._slo_dumped: Set[str] = set()
         self._queues: List["asyncio.Queue[_Job]"] = []
         self._workers: List["asyncio.Task[None]"] = []
         self._accepting = False
@@ -161,6 +185,8 @@ class DmaService:
         while True:
             job = await queue.get()
             try:
+                if job.queued is not None:
+                    self.spans.end(job.queued)
                 completion = shard.execute(job.request)
                 completion = Completion(
                     request=job.request, ok=completion.ok,
@@ -178,6 +204,9 @@ class DmaService:
                 queue.task_done()
 
     def _complete(self, job: _Job, completion: Completion) -> None:
+        if job.root is not None:
+            self.spans.end(job.root, outcome=completion.outcome,
+                           ok=completion.ok)
         self.telemetry.record(completion)
         self.completions.append(completion)
         if not job.future.done():
@@ -197,6 +226,20 @@ class DmaService:
             return request.shard
         return shard_of(request.tenant, len(self.shards))
 
+    def _with_trace(self, request: Request) -> Request:
+        """The request with a trace context (minted here if absent).
+
+        Trace ids are a pure function of ``(service seed, req_id)``, so
+        a same-seed re-run mints identical ids — postmortem bundles and
+        exemplars are reproducible by construction.
+        """
+        if request.trace is not None:
+            return request
+        trace = TraceContext(
+            trace_id=make_trace_id(self.config.seed, request.req_id),
+            tenant=request.tenant, request_id=request.req_id)
+        return replace(request, trace=trace)
+
     async def submit(self, request: Request
                      ) -> "asyncio.Future[Completion]":
         """Admit and enqueue one request.
@@ -209,6 +252,7 @@ class DmaService:
             raise ConfigError("service not started")
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[Completion]" = loop.create_future()
+        request = self._with_trace(request)
         shard_index = self.route(request)
         if not self._accepting:
             reason: Optional[str] = REASON_SHUTDOWN
@@ -217,14 +261,35 @@ class DmaService:
             admitted, reason = self.admission.admit(
                 request.tenant, now_s=self.tick / self.config.tick_hz,
                 queue_depth=self._queues[shard_index].qsize())
+        job = _Job(request, future)
+        trace = request.trace
+        if self.spans.enabled and trace is not None:
+            with self.spans.activate(trace, process="frontend"):
+                job.root = self.spans.begin(
+                    "request", track="frontend", stack=False,
+                    kind=request.kind, shard=shard_index)
+                gate = self.spans.begin(
+                    "admission", track="frontend", parent=job.root,
+                    stack=False, admitted=admitted,
+                    **({"reason": reason} if reason else {}))
+                self.spans.end(gate)
+                if admitted:
+                    job.queued = self.spans.begin(
+                        "queue", track=f"shard{shard_index}-queue",
+                        parent=job.root, stack=False,
+                        depth=self._queues[shard_index].qsize())
+            # The shard's spans hang off this root via the cross-process
+            # parent link the context now carries.
+            job.request = request = replace(
+                request, trace=trace.child(job.root.span_id, "frontend"))
         if not admitted:
             completion = Completion(
                 request=request, ok=False, outcome=OUTCOME_REJECTED,
                 shard=shard_index, finished_tick=self.tick,
                 reason=reason)
-            self._complete(_Job(request, future), completion)
+            self._complete(job, completion)
             return future
-        await self._queues[shard_index].put(_Job(request, future))
+        await self._queues[shard_index].put(job)
         return future
 
     def next_req_id(self) -> int:
@@ -249,10 +314,29 @@ class DmaService:
 
     def _close_window(self) -> None:
         counters = self.fleet_counters()
-        self.telemetry.close_window(
+        point = self.telemetry.close_window(
             self.tick,
             queue_depths=[q.qsize() for q in self._queues],
             retries=counters["retries"], faults=counters["faults"])
+        for breach in self.slo.observe(
+                point, wrong_transfers=counters["wrong_transfers"]):
+            self._slo_postmortem(breach)
+
+    def _slo_postmortem(self, breach: SloBreach) -> None:
+        """Dump per-shard flight-recorder bundles for a breach.
+
+        Only the first breach of each rule dumps (breaches of a
+        sustained burn repeat every window; the evidence does not).
+        """
+        if breach.rule in self._slo_dumped:
+            return
+        self._slo_dumped.add(breach.rule)
+        for shard in self.shards:
+            shard.flightrec.bundle(
+                REASON_SLO_BREACH, ws=shard.ws, seed=self.config.seed,
+                tick=self.tick, fault_plan=shard.fault_plan_dict(),
+                counters=shard.counters(),
+                detail=f"{breach.rule}: {breach.detail}")
 
     # ------------------------------------------------------------------
     # shutdown
@@ -280,11 +364,29 @@ class DmaService:
         problems: List[str] = []
         for shard in self.shards:
             shard.drain()
+            shard_problems = shard.wrong_page_sweep()
+            if shard_problems:
+                shard.flightrec.bundle(
+                    REASON_WRONG_PAGE, ws=shard.ws,
+                    seed=self.config.seed, tick=self.tick,
+                    offending=[{"problem": p} for p in shard_problems],
+                    fault_plan=shard.fault_plan_dict(),
+                    counters=shard.counters(),
+                    detail=f"{len(shard_problems)} isolation "
+                           f"violation(s) found by the sweep")
             problems.extend(f"shard{shard.index}: {p}"
-                            for p in shard.wrong_page_sweep())
+                            for p in shard_problems)
             shard.detach_faults()
         if self.tick % self.config.telemetry_window_ticks != 0:
             self._close_window()
+        else:
+            # The sweep runs after the last aligned window closed; the
+            # budgetless wrong-page SLO must still see its result.
+            counters = self.fleet_counters()
+            for breach in self.slo.observe_wrong_transfers(
+                    counters["wrong_transfers"],
+                    t_s=self.tick / self.config.tick_hz):
+                self._slo_postmortem(breach)
         return problems
 
     # ------------------------------------------------------------------
@@ -315,6 +417,19 @@ class DmaService:
             return 0.0
         return self.telemetry.bytes_moved / (slowest_us / 1e6) / 1e6
 
+    def postmortems(self) -> List[Dict[str, Any]]:
+        """Every flight-recorder bundle dumped so far, shard order."""
+        bundles: List[Dict[str, Any]] = []
+        for shard in self.shards:
+            bundles.extend(shard.flightrec.bundles)
+        return bundles
+
+    def fleet_trace(self) -> Dict[str, Any]:
+        """The merged fleet Chrome trace: frontend process + every
+        shard process, deterministically ordered."""
+        return self.telemetry.fleet_chrome_trace(
+            self.shards, frontend_spans=self.spans.finished())
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-ready service summary."""
         return {
@@ -330,6 +445,8 @@ class DmaService:
                 "fairness": self.telemetry.fairness(),
             },
             "goodput_mbytes_per_s": round(self.goodput_mbytes_per_s(), 4),
+            "slo": self.slo.snapshot(),
+            "postmortems": len(self.postmortems()),
         }
 
 
@@ -366,7 +483,8 @@ async def handle_connection(service: DmaService,
                             tenant=request.tenant, kind=request.kind,
                             size=request.size, hot=request.hot,
                             shard=request.shard, tick=service.tick,
-                            req_id=service.next_req_id())
+                            req_id=service.next_req_id(),
+                            trace=request.trace)
                         future = await service.submit(request)
                         completion = await future
                         response = completion.to_dict()

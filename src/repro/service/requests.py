@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..errors import ConfigError
+from ..obs.context import TraceContext
 
 #: Operation kinds a shard can execute.
 KIND_DMA = "dma"
@@ -44,6 +45,9 @@ class Request:
             shard (incast bursts aim many tenants at one shard).
         tick: submit time in service ticks (filled by the driver).
         req_id: unique id within one service lifetime.
+        trace: the distributed-tracing context (minted at admission if
+            the client did not send one) — every span this request
+            touches, in any process, carries its ``trace_id``.
     """
 
     tenant: str
@@ -53,6 +57,7 @@ class Request:
     shard: Optional[int] = None
     tick: int = 0
     req_id: int = 0
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -64,21 +69,29 @@ class Request:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready rendering."""
-        return {"tenant": self.tenant, "kind": self.kind,
-                "size": self.size, "hot": self.hot, "shard": self.shard,
-                "tick": self.tick, "req_id": self.req_id}
+        out: Dict[str, Any] = {
+            "tenant": self.tenant, "kind": self.kind,
+            "size": self.size, "hot": self.hot, "shard": self.shard,
+            "tick": self.tick, "req_id": self.req_id}
+        if self.trace is not None:
+            out["trace"] = self.trace.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Request":
         """Parse a request object (the ``repro serve`` wire format)."""
         known = {"tenant", "kind", "size", "hot", "shard", "tick",
-                 "req_id"}
+                 "req_id", "trace"}
         unknown = set(data) - known
         if unknown:
             raise ConfigError(f"unknown request field(s): {sorted(unknown)}")
         if "tenant" not in data:
             raise ConfigError("request needs a 'tenant'")
-        return cls(**data)
+        kwargs = dict(data)
+        trace = kwargs.get("trace")
+        if isinstance(trace, dict):
+            kwargs["trace"] = TraceContext.from_dict(trace)
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -127,4 +140,6 @@ class Completion:
         }
         if self.reason is not None:
             out["reason"] = self.reason
+        if self.request.trace is not None:
+            out["trace_id"] = self.request.trace.trace_id
         return out

@@ -28,6 +28,7 @@ from ..errors import KernelError
 from ..faults.injector import Injector
 from ..faults.plan import FaultPlan
 from ..faults.retry import RetryPolicy
+from ..obs.flightrec import REASON_WRONG_DATA, FlightRecorder
 from ..os.process import Process
 from ..units import Time, to_us, us
 from .requests import (
@@ -130,6 +131,11 @@ class ServiceShard:
             spans_enabled=cfg.spans_enabled,
             metrics_interval=cfg.metrics_interval)
         self.ws = Workstation(machine)
+        #: Trace-context process name — every span this shard records
+        #: while executing a request is stamped with it.
+        self.process = f"shard{index}"
+        #: Always-on flight recorder: completion ring + postmortems.
+        self.flightrec = FlightRecorder(self.process)
         self._tenants: Dict[str, _Tenant] = {}
         self._injector: Optional[Injector] = None
         self._faults_fired_detached = 0
@@ -232,28 +238,58 @@ class ServiceShard:
     # ------------------------------------------------------------------
 
     def execute(self, request: Request) -> Completion:
-        """Run one request to completion on this shard (serial)."""
+        """Run one request to completion on this shard (serial).
+
+        The request's trace context (if any) is activated on the
+        shard's span tracer for the whole execution, so every span the
+        data path records — initiation, retries, backoff, kernel
+        fallback, fault injections — carries the request's trace id and
+        hangs off one ``shard.execute`` root with a cross-process link
+        back to the front end.
+        """
         tenant = self.tenant(request.tenant)
         start = self.ws.sim.now
-        if request.kind == KIND_DMA:
-            completion = self._execute_dma(request, tenant)
-        elif request.kind == KIND_ATOMIC:
-            completion = self._execute_atomic(request, tenant)
-        elif request.kind == KIND_MESSAGE:
-            completion = self._execute_message(request, tenant)
-        else:  # pragma: no cover - Request.__post_init__ rejects these
-            raise KernelError(f"unknown kind {request.kind!r}")
-        self.ws.drain()
+        spans = self.ws.spans
+        with spans.activate(request.trace, process=self.process):
+            root = spans.begin("shard.execute", track=self.process,
+                               kind=request.kind, req_id=request.req_id)
+            if request.kind == KIND_DMA:
+                completion = self._execute_dma(request, tenant)
+            elif request.kind == KIND_ATOMIC:
+                completion = self._execute_atomic(request, tenant)
+            elif request.kind == KIND_MESSAGE:
+                completion = self._execute_message(request, tenant)
+            else:  # pragma: no cover - Request.__post_init__ rejects these
+                raise KernelError(f"unknown kind {request.kind!r}")
+            self.ws.drain()
+            spans.end(root, outcome=completion.outcome,
+                      attempts=completion.attempts)
         self.requests_executed += 1
         self.bytes_moved += completion.bytes_moved
         if self.ws.metrics.enabled:
             self.ws.metrics.poll()
         latency = to_us(self.ws.sim.now - start)
-        return Completion(
+        final = Completion(
             request=request, ok=completion.ok, outcome=completion.outcome,
             latency_us=latency, attempts=completion.attempts,
             fell_back=completion.fell_back, shard=self.index,
             bytes_moved=completion.bytes_moved)
+        self.flightrec.note(final)
+        if final.outcome == OUTCOME_WRONG_DATA:
+            self.flightrec.bundle(
+                REASON_WRONG_DATA, ws=self.ws, seed=self.config.seed,
+                tick=request.tick, offending=[final.to_dict()],
+                fault_plan=self.fault_plan_dict(),
+                counters=self.counters(),
+                detail=f"request {request.req_id} landed wrong bytes "
+                       f"inside its authorized region")
+        return final
+
+    def fault_plan_dict(self) -> Optional[Dict[str, object]]:
+        """The active fault plan's JSON rendering, if one is attached."""
+        if self._injector is None:
+            return None
+        return self._injector.plan.to_dict()
 
     def _execute_dma(self, request: Request, tenant: _Tenant) -> Completion:
         size = min(request.size, MAX_TRANSFER_BYTES)
@@ -425,6 +461,7 @@ class ServiceShard:
             "wrong_data": self.wrong_data,
             "wrong_transfers": self.wrong_transfers,
             "faults_injected": self.faults_injected,
+            "postmortems": len(self.flightrec.bundles),
         }
         out.update(self.counters())
         return out

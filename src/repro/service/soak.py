@@ -31,6 +31,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 from ..faults.plan import bernoulli_plan
+from ..obs.flightrec import REASON_UNSAFE_VERDICT
 from .frontend import DmaService, ServiceConfig
 from .requests import (
     KIND_ATOMIC,
@@ -86,6 +87,9 @@ class SoakConfig:
         spans: record causal spans (enables the fleet Perfetto trace).
         admission_rate / admission_burst / max_queue_depth: front-end
             admission knobs (see :mod:`repro.service.admission`).
+        slo: optional SLO spec (parsed ``slo.json``); None evaluates
+            the default rule set.  Breaches are always reported under
+            ``report["slo"]``; ``repro soak --slo`` makes them fatal.
     """
 
     tenants: int = 200
@@ -109,6 +113,7 @@ class SoakConfig:
     admission_rate: float = 5.0
     admission_burst: float = 10.0
     max_queue_depth: int = 64
+    slo: Optional[Any] = None
     size_choices: Sequence[int] = field(default=SIZE_CHOICES)
 
     def __post_init__(self) -> None:
@@ -136,6 +141,7 @@ class SoakConfig:
             "hot_frac": self.hot_frac,
             "incast_period_ticks": self.incast_period_ticks,
             "incast_burst": self.incast_burst,
+            **({"slo": self.slo} if self.slo is not None else {}),
         }
 
 
@@ -231,7 +237,7 @@ def _run_service(config: SoakConfig, schedule: List[List[ScheduleEntry]],
         admission_rate=config.admission_rate,
         admission_burst=config.admission_burst,
         max_queue_depth=config.max_queue_depth,
-        spans_enabled=config.spans, fault_plan=plan))
+        spans_enabled=config.spans, fault_plan=plan, slo=config.slo))
     problems = asyncio.run(_drive(service, schedule))
     return service, problems
 
@@ -292,6 +298,23 @@ def run_soak(config: Optional[SoakConfig] = None) -> Dict[str, Any]:
         }
 
     aborted = outcomes.get(OUTCOME_ABORTED, 0)
+    verdict = _verdict(fleet["wrong_transfers"], problems,
+                       fleet["faults"], goodput_ratio, aborted)
+    if verdict == VERDICT_UNSAFE:
+        # Freeze the evidence on every shard before reporting: the
+        # UNSAFE verdict is one of the flight recorder's triggers.
+        for shard in service.shards:
+            shard.flightrec.bundle(
+                REASON_UNSAFE_VERDICT, ws=shard.ws, seed=config.seed,
+                tick=service.tick,
+                offending=[{"problem": p} for p in problems],
+                fault_plan=service.config.fault_plan,
+                counters=shard.counters(),
+                detail="soak verdict UNSAFE")
+    bundles = service.postmortems()
+    by_reason: Dict[str, int] = {}
+    for bundle in bundles:
+        by_reason[bundle["reason"]] = by_reason.get(bundle["reason"], 0) + 1
     report: Dict[str, Any] = {
         "benchmark": "service_soak",
         "config": config.to_dict(),
@@ -321,8 +344,12 @@ def run_soak(config: Optional[SoakConfig] = None) -> Dict[str, Any]:
             "enabled": faults_on,
             "injected": fleet["faults"],
             "sweep_problems": problems,
-            "verdict": _verdict(fleet["wrong_transfers"], problems,
-                                fleet["faults"], goodput_ratio, aborted),
+            "verdict": verdict,
+        },
+        "slo": service.slo.snapshot(),
+        "postmortems": {
+            "count": len(bundles),
+            "by_reason": dict(sorted(by_reason.items())),
         },
         "trend": service.telemetry.trend_report(
             meta={"benchmark": "service_soak", "seed": config.seed}),
@@ -331,12 +358,14 @@ def run_soak(config: Optional[SoakConfig] = None) -> Dict[str, Any]:
         report["vs_faultfree"] = vs_faultfree
     report["wall"] = {"wall_s": round(time.time() - wall_start, 3)}
     report["_service"] = service  # stripped before serialization
+    report["_postmortems"] = bundles  # full bundles (``--postmortem``)
     return report
 
 
 def strip_runtime(report: Dict[str, Any]) -> Dict[str, Any]:
     """Drop non-serializable / non-deterministic fields for JSON output."""
-    out = {k: v for k, v in report.items() if k != "_service"}
+    out = {k: v for k, v in report.items()
+           if k not in ("_service", "_postmortems")}
     return out
 
 

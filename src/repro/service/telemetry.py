@@ -7,14 +7,27 @@ completions into one :class:`~repro.analysis.trends.ServiceTrendPoint`
 and appends it to a bounded :class:`~repro.analysis.trends.TrendHistory`
 — the in-memory equivalent of a dashboard's retention window.
 
+Latency aggregation runs on log-bucketed
+:class:`~repro.obs.histogram.LatencyHistogram` objects (one per window,
+one for the whole run) instead of raw sample lists: memory per window is
+bounded by the bucket count, not the request count, and the p99+ buckets
+retain **exemplar trace ids** so any tail latency on a dashboard links
+straight back to its full distributed trace.  Every window close
+cross-checks the histogram's percentiles against the exact
+sample-interpolated values and raises if they disagree beyond the
+histogram's provable error bound.
+
 Two export paths:
 
 * :meth:`trend_report` — the JSON trend report
   (:func:`repro.analysis.trends.service_trend_report`) CI uploads and
   the nightly soak appends to its history artifact;
-* :meth:`fleet_chrome_trace` — every shard's causal spans and metric
-  series merged into one Chrome/Perfetto trace, one *process* per
-  shard, so a single trace file shows the whole fleet's timeline.
+* :meth:`fleet_chrome_trace` — the front end's spans plus every shard's
+  spans, trace events, and metric series merged into one Chrome/Perfetto
+  trace: the front end is process 1, shard *i* is process ``i + 2``, and
+  the merged stream is deterministically ordered with a stable global
+  ``(process, seq)`` tie-break so two same-seed runs export
+  byte-identical traces.
 """
 
 from __future__ import annotations
@@ -25,12 +38,35 @@ from ..analysis.trends import (
     ServiceTrendPoint,
     TrendHistory,
     jain_index,
-    latency_summary,
-    percentile,
     service_trend_report,
 )
+from ..errors import ObservabilityError
 from ..obs.export import chrome_trace, ensure_valid_chrome_trace
+from ..obs.histogram import LatencyHistogram
+from ..sim.stats import LatencyStat
+from ..units import us
 from .requests import OUTCOME_REJECTED, Completion
+
+#: The merged fleet trace's process ids: the front end is process 1,
+#: shard *i* is process ``i + FLEET_SHARD_PID_BASE``.
+FLEET_FRONTEND_PID = 1
+FLEET_SHARD_PID_BASE = 2
+
+
+def _fleet_order(event: Dict[str, Any]) -> tuple:
+    """Deterministic global ordering of merged trace events.
+
+    Metadata first (grouped by process), then everything else by
+    timestamp with a stable ``(pid, tid, seq-or-span_id)`` tie-break —
+    per-process ``seq`` counters collide after a merge, so the process
+    id is part of the key.
+    """
+    args = event.get("args") or {}
+    tie = args.get("seq", args.get("span_id", 0))
+    if event.get("ph") == "M":
+        return (0, 0.0, event["pid"], event.get("tid", 0), 0, event["name"])
+    return (1, event.get("ts", 0.0), event["pid"], event.get("tid", 0),
+            tie if isinstance(tie, (int, float)) else 0, event["name"])
 
 
 class FleetTelemetry:
@@ -40,19 +76,26 @@ class FleetTelemetry:
         tick_hz: service ticks per second (converts ticks to seconds).
         window_ticks: ticks per trend window.
         max_points: retention bound of the rolling history.
+        exemplars: tail exemplars (trace ids) kept per histogram bucket.
     """
 
     def __init__(self, tick_hz: int = 10, window_ticks: int = 10,
-                 max_points: int = 720) -> None:
+                 max_points: int = 720, exemplars: int = 4) -> None:
         self.tick_hz = tick_hz
         self.window_ticks = window_ticks
         self.history = TrendHistory(max_points=max_points)
         self._window: List[Completion] = []
+        self._exemplars_per_bucket = exemplars
+        self._window_hist = LatencyHistogram(
+            exemplars_per_bucket=exemplars)
+        #: Exact per-window latencies, kept only until the window
+        #: closes — the histogram cross-check needs ground truth.
+        self._window_latencies: List[float] = []
+        self._run_hist = LatencyHistogram(exemplars_per_bucket=exemplars)
         self._window_end_tick = window_ticks
         #: Per-tenant completed-request counts over the whole run.
         self.per_tenant_completed: Dict[str, int] = {}
         self.per_tenant_bytes: Dict[str, int] = {}
-        self._all_latencies: List[float] = []
         self._completed = 0
         self._failed = 0
         self._rejected = 0
@@ -69,7 +112,13 @@ class FleetTelemetry:
         tenant = completion.request.tenant
         if completion.outcome == OUTCOME_REJECTED:
             self._rejected += 1
-        elif completion.ok:
+            return
+        trace = completion.request.trace
+        trace_id = trace.trace_id if trace is not None else None
+        self._window_hist.record(completion.latency_us, trace_id)
+        self._window_latencies.append(completion.latency_us)
+        self._run_hist.record(completion.latency_us, trace_id)
+        if completion.ok:
             self._completed += 1
             self._bytes += completion.bytes_moved
             self.per_tenant_completed[tenant] = (
@@ -77,15 +126,19 @@ class FleetTelemetry:
             self.per_tenant_bytes[tenant] = (
                 self.per_tenant_bytes.get(tenant, 0)
                 + completion.bytes_moved)
-            self._all_latencies.append(completion.latency_us)
         else:
             self._failed += 1
-            self._all_latencies.append(completion.latency_us)
 
     def close_window(self, tick: int,
                      queue_depths: Optional[Sequence[int]] = None,
                      retries: int = 0, faults: int = 0) -> ServiceTrendPoint:
         """Close the current window at *tick* and append a trend point.
+
+        Percentiles come from the window's histogram; before they are
+        trusted, :meth:`LatencyHistogram.verify_against_stat` compares
+        them against the exact sample-interpolated values and an
+        :class:`ObservabilityError` is raised if any disagrees beyond
+        the histogram's per-quantile error bound.
 
         Args:
             queue_depths: current per-shard queue depths (mean reported).
@@ -94,12 +147,24 @@ class FleetTelemetry:
         """
         window = self._window
         self._window = []
+        hist = self._window_hist
+        self._window_hist = LatencyHistogram(
+            exemplars_per_bucket=self._exemplars_per_bucket)
+        latencies = self._window_latencies
+        self._window_latencies = []
+        exact = LatencyStat("window", keep_samples=True)
+        for value in latencies:
+            exact.record(us(value))
+        problems = hist.verify_against_stat(exact)
+        if problems:
+            raise ObservabilityError(
+                "window histogram disagrees with exact percentiles: "
+                + "; ".join(problems))
         completed = [c for c in window
                      if c.ok and c.outcome != OUTCOME_REJECTED]
         failed = [c for c in window
                   if not c.ok and c.outcome != OUTCOME_REJECTED]
         rejected = [c for c in window if c.outcome == OUTCOME_REJECTED]
-        latencies = [c.latency_us for c in completed + failed]
         bytes_moved = sum(c.bytes_moved for c in completed)
         window_s = self.window_ticks / self.tick_hz
         retry_delta = max(0, retries - self._last_counters["retries"])
@@ -117,14 +182,16 @@ class FleetTelemetry:
             bytes_moved=bytes_moved,
             goodput_mbytes_per_s=(bytes_moved / window_s / 1e6
                                   if window_s else 0.0),
-            p50_us=percentile(latencies, 50.0),
-            p95_us=percentile(latencies, 95.0),
-            p99_us=percentile(latencies, 99.0),
+            p50_us=round(hist.percentile(50.0), 3),
+            p95_us=round(hist.percentile(95.0), 3),
+            p99_us=round(hist.percentile(99.0), 3),
             retries=retry_delta,
             faults=fault_delta,
             fairness=jain_index(list(by_tenant.values())),
             queue_depth=(sum(queue_depths) / len(queue_depths)
                          if queue_depths else 0.0),
+            p99_exemplars=tuple(e["trace_id"]
+                                for e in hist.exemplars(99.0)),
         )
         self.history.append(point)
         return point
@@ -154,8 +221,14 @@ class FleetTelemetry:
         return self._bytes
 
     def latency(self) -> Dict[str, float]:
-        """p50/p95/p99/mean/max completion latency over the whole run."""
-        return latency_summary(self._all_latencies)
+        """p50/p95/p99/mean/max completion latency over the whole run
+        (histogram-derived; relative error bounded by the bucket
+        geometry)."""
+        return self._run_hist.summary()
+
+    def latency_exemplars(self, q: float = 99.0) -> List[Dict[str, Any]]:
+        """Run-level tail exemplars: trace ids at or above quantile *q*."""
+        return self._run_hist.exemplars(q)
 
     def fairness(self) -> Dict[str, Any]:
         """Jain indices over per-tenant completions and bytes."""
@@ -175,20 +248,41 @@ class FleetTelemetry:
     # Perfetto export
     # ------------------------------------------------------------------
 
-    def fleet_chrome_trace(self, shards: Sequence[Any]) -> Dict[str, Any]:
-        """Merge every shard's spans + metrics into one Chrome trace.
+    def fleet_chrome_trace(self, shards: Sequence[Any],
+                           frontend_spans: Optional[Sequence[Any]] = None
+                           ) -> Dict[str, Any]:
+        """Merge the fleet's observability into one Chrome trace.
 
-        Each shard becomes its own trace *process* (``pid = index + 1``)
-        so Perfetto renders the fleet side by side on one timeline.
+        The front end's spans (admission, queue wait, request roots)
+        become process :data:`FLEET_FRONTEND_PID`; each shard's spans,
+        trace-log events, and metric series become process
+        ``shard.index + FLEET_SHARD_PID_BASE``.  The merged stream is
+        sorted with :func:`_fleet_order` — per-shard ``seq`` counters
+        collide after a merge, so ordering ties break on the stable
+        global ``(pid, tid, seq)`` key and every instant event also
+        carries a globally unique ``gseq`` in its args.
         """
         merged: List[Dict[str, Any]] = []
-        for shard in shards:
-            spans = shard.ws.spans.finished()
-            trace = chrome_trace(
-                spans, metrics=(shard.ws.metrics
-                                if shard.ws.metrics.enabled else None),
-                process_name=f"shard{shard.index}", pid=shard.index + 1)
+        if frontend_spans:
+            trace = chrome_trace(list(frontend_spans),
+                                 process_name="frontend",
+                                 pid=FLEET_FRONTEND_PID)
             merged.extend(trace["traceEvents"])
+        for shard in shards:
+            pid = shard.index + FLEET_SHARD_PID_BASE
+            events = (shard.ws.trace.events()
+                      if shard.ws.trace.enabled else None)
+            trace = chrome_trace(
+                shard.ws.spans.finished(), events=events,
+                metrics=(shard.ws.metrics
+                         if shard.ws.metrics.enabled else None),
+                process_name=f"shard{shard.index}", pid=pid)
+            for event in trace["traceEvents"]:
+                if event["ph"] == "i":
+                    event["args"]["gseq"] = (
+                        pid * 1_000_000 + event["args"]["seq"])
+            merged.extend(trace["traceEvents"])
+        merged.sort(key=_fleet_order)
         out = {"traceEvents": merged, "displayTimeUnit": "ns"}
         ensure_valid_chrome_trace(out)
         return out

@@ -1,0 +1,104 @@
+"""EWMA smoothing and robust-z anomaly detection over trend history."""
+
+import pytest
+
+from repro.analysis.trends import (
+    ServiceTrendPoint,
+    detect_anomalies,
+    ewma,
+    robust_z,
+    service_trend_report,
+    trend_anomaly_report,
+)
+
+
+def test_ewma_smooths_and_validates():
+    values = [10.0, 10.0, 10.0, 20.0]
+    smoothed = ewma(values, alpha=0.3)
+    assert smoothed[0] == 10.0
+    assert smoothed[-1] == pytest.approx(13.0)
+    assert ewma([]) == []
+    with pytest.raises(ValueError):
+        ewma(values, alpha=0.0)
+    with pytest.raises(ValueError):
+        ewma(values, alpha=1.5)
+
+
+def test_robust_z_handles_outliers_and_constants():
+    values = [10.0] * 20 + [1000.0]
+    scores = robust_z(values)
+    assert scores[-1] > 10.0
+    assert all(abs(s) < 1.0 for s in scores[:-1])
+    # A constant series produces no scores, not a division blowup.
+    assert robust_z([5.0, 5.0, 5.0]) == [0.0, 0.0, 0.0]
+    assert robust_z([]) == []
+
+
+def test_detect_anomalies_flags_spikes_not_noise():
+    steady = [100.0, 101.0, 99.0, 100.0, 102.0, 98.0, 100.0, 101.0]
+    assert detect_anomalies(steady) == []
+    spiked = steady + [500.0] + steady
+    hits = detect_anomalies(spiked)
+    # The spike flags first; only its EWMA recovery tail may follow.
+    assert hits and min(hits) == len(steady)
+    assert all(h >= len(steady) for h in hits)
+    # Too little history: never anomalous.
+    assert detect_anomalies([1.0, 100.0]) == []
+
+
+def test_min_residual_floor_ignores_sparse_count_noise():
+    # A healthy faulted soak fails 0-2 requests per window; the robust
+    # scale of such a series is ~0, so without the floor a single
+    # failure would page.
+    # The shape of a real 60-window baseline: a leading 2, long zero
+    # stretches, scattered 1s.
+    sparse = [2.0] + [1.0 if i % 7 == 0 else 0.0 for i in range(59)]
+    assert detect_anomalies(sparse) != []  # the degenerate mode exists
+    assert detect_anomalies(sparse, min_residual=3.0) == []
+    # A genuine burst clears any reasonable floor.
+    burst = sparse + [50.0]
+    hits = detect_anomalies(burst, min_residual=3.0)
+    assert len(burst) - 1 in hits
+
+
+def test_failed_series_floor_in_trend_report():
+    points = [ServiceTrendPoint(t_s=float(i), completed=100,
+                                failed=(1 if i % 4 == 0 else 0),
+                                goodput_mbytes_per_s=100.0, p99_us=50.0)
+              for i in range(12)]
+    report = trend_anomaly_report(service_trend_report(points))
+    assert not report["anomalous"]
+    points.append(ServiceTrendPoint(t_s=12.0, completed=60, failed=40,
+                                    goodput_mbytes_per_s=100.0,
+                                    p99_us=50.0))
+    report = trend_anomaly_report(service_trend_report(points))
+    assert report["anomalies"]["failed"] == [12.0]
+
+
+def test_trend_anomaly_report_over_service_windows():
+    points = [ServiceTrendPoint(t_s=float(i), completed=100,
+                                goodput_mbytes_per_s=100.0 + (i % 3),
+                                p99_us=50.0)
+              for i in range(12)]
+    points.append(ServiceTrendPoint(t_s=12.0, completed=100,
+                                    goodput_mbytes_per_s=101.0,
+                                    p99_us=5000.0))
+    report = service_trend_report(points)
+    result = trend_anomaly_report(report)
+    assert result["kind"] == "trend_anomalies"
+    assert result["windows"] == 13
+    assert result["anomalous"]
+    assert result["anomalies"]["p99_us"] == [12.0]
+    assert result["anomalies"].get("goodput_mbytes_per_s", []) == []
+
+    clean = trend_anomaly_report(service_trend_report(points[:-1]))
+    assert not clean["anomalous"]
+
+
+def test_exemplars_survive_the_trend_report_roundtrip():
+    point = ServiceTrendPoint(t_s=1.0, completed=3, p99_us=80.0,
+                              p99_exemplars=("7-00000001", "7-00000002"))
+    out = point.to_dict()
+    assert out["p99_exemplars"] == ["7-00000001", "7-00000002"]
+    # Quiet windows stay compact: no empty exemplar arrays.
+    assert "p99_exemplars" not in ServiceTrendPoint(t_s=2.0).to_dict()

@@ -104,3 +104,24 @@ def test_injection_is_replayable(make_rig):
         return plan.total_fired
 
     assert fired_pattern() == fired_pattern()
+
+
+def test_fault_records_carry_the_active_trace_context(make_rig):
+    """Under an activated trace context, every injected fault's trace
+    event and span inherit the victim request's trace_id."""
+    from repro.obs.context import TraceContext
+
+    rig = make_rig()
+    rig.ws.spans.enabled = True
+    attach(rig, FaultRule(kind=DROP, target="store", nth=1, count=1))
+    ctx = TraceContext(trace_id="7-00000042", tenant="a", request_id=42)
+    with rig.ws.spans.activate(ctx, process="shard0"):
+        rig.chan.initiate(rig.src.vaddr, rig.dst.vaddr, TRANSFER_BYTES)
+    events = rig.ws.trace.events(source="faults", kind="store-drop")
+    assert len(events) == 1
+    assert events[0].detail["trace_id"] == "7-00000042"
+    fault_spans = [s for s in rig.ws.spans.finished()
+                   if s.name == "fault.store.drop"]
+    assert len(fault_spans) == 1
+    assert fault_spans[0].attrs["trace_id"] == "7-00000042"
+    assert fault_spans[0].attrs["process"] == "shard0"

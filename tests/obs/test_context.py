@@ -1,0 +1,96 @@
+"""Trace context: identity propagation and causal-tree reassembly."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.context import (
+    TraceContext,
+    causal_tree,
+    make_trace_id,
+    spans_for_trace,
+)
+from repro.obs.spans import SpanTracer
+
+
+def tracer():
+    ticks = itertools.count()
+    return SpanTracer(clock=lambda: next(ticks), enabled=True)
+
+
+def test_trace_ids_are_deterministic_and_distinct():
+    assert make_trace_id(7, 12) == make_trace_id(7, 12)
+    assert make_trace_id(7, 12) == "7-00000012"
+    assert make_trace_id(7, 12) != make_trace_id(7, 13)
+    assert make_trace_id(7, 12) != make_trace_id(8, 12)
+
+
+def test_child_reparents_without_changing_identity():
+    ctx = TraceContext(trace_id="7-00000001", tenant="alice",
+                       request_id=1)
+    child = ctx.child(42, "frontend")
+    assert child.trace_id == ctx.trace_id
+    assert child.parent_span_id == 42
+    assert child.origin == "frontend"
+    assert child.tenant == "alice"
+
+
+def test_wire_roundtrip_and_validation():
+    ctx = TraceContext(trace_id="7-00000003", parent_span_id=9,
+                       origin="frontend", tenant="bob", request_id=3)
+    assert TraceContext.from_dict(ctx.to_dict()) == ctx
+    with pytest.raises(ObservabilityError):
+        TraceContext.from_dict({"trace_id": "x", "bogus": 1})
+    with pytest.raises(ObservabilityError):
+        TraceContext.from_dict({"origin": "frontend"})
+
+
+def test_activate_stamps_spans_and_links_processes():
+    """Two tracers, one trace: the shard root hangs off the frontend
+    span via remote_parent, and causal_tree accepts the merged set."""
+    front, shard = tracer(), tracer()
+    ctx = TraceContext(trace_id="7-00000001", tenant="a", request_id=1)
+    with front.activate(ctx, process="frontend"):
+        root = front.begin("request")
+        front.end(root)
+    downstream = ctx.child(root.span_id, "frontend")
+    with shard.activate(downstream, process="shard0"):
+        execute = shard.begin("shard.execute")
+        inner = shard.begin("dma")
+        shard.end(inner)
+        shard.end(execute)
+    spans = front.finished() + shard.finished()
+    assert all(s.attrs["trace_id"] == "7-00000001" for s in spans)
+    tree = causal_tree(spans, "7-00000001")
+    assert tree["root"] is root
+    assert tree["processes"] == ["frontend", "shard0"]
+    assert len(tree["spans"]) == 3
+    assert spans_for_trace(spans, "missing") == []
+
+
+def test_causal_tree_rejects_disconnection():
+    front, shard = tracer(), tracer()
+    ctx = TraceContext(trace_id="t", request_id=1)
+    with front.activate(ctx, process="frontend"):
+        root = front.begin("request")
+        front.end(root)
+    # The downstream hop names a frontend span that was never recorded.
+    with shard.activate(ctx.child(999, "frontend"), process="shard0"):
+        span = shard.begin("shard.execute")
+        shard.end(span)
+    with pytest.raises(ObservabilityError, match="orphan"):
+        causal_tree(front.finished() + shard.finished(), "t")
+    with pytest.raises(ObservabilityError, match="no spans"):
+        causal_tree(front.finished(), "other")
+
+
+def test_causal_tree_rejects_multiple_roots():
+    one, two = tracer(), tracer()
+    ctx = TraceContext(trace_id="t", request_id=1)
+    for t, name in ((one, "p1"), (two, "p2")):
+        with t.activate(ctx, process=name):
+            span = t.begin("request")
+            t.end(span)
+    with pytest.raises(ObservabilityError, match="2 root"):
+        causal_tree(one.finished() + two.finished(), "t")

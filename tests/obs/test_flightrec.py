@@ -1,0 +1,80 @@
+"""The flight recorder: bounded rings and postmortem bundles."""
+
+from repro.obs.flightrec import (
+    REASON_SLO_BREACH,
+    REASON_WRONG_DATA,
+    FlightRecorder,
+)
+from repro.obs.export import validate_chrome_trace
+from repro.service.requests import Request
+from repro.service.shard import ServiceShard, ShardConfig
+from repro.units import us
+
+
+def test_completion_ring_is_bounded_and_summarized():
+    shard = ServiceShard(0, ShardConfig(seed=1, spans_enabled=True))
+    recorder = FlightRecorder("shard0", capacity=4)
+    for i in range(10):
+        recorder.note(shard.execute(Request(tenant="a", size=256,
+                                            req_id=i)))
+    assert len(recorder) == 4
+    latest = recorder.completions[-1]
+    assert latest["req_id"] == 9
+    assert latest["outcome"] == "completed"
+    assert latest["latency_us"] > 0.0
+
+
+def test_bundle_freezes_schema_valid_evidence():
+    shard = ServiceShard(0, ShardConfig(seed=1, spans_enabled=True,
+                                        metrics_interval=us(5)))
+    recorder = shard.flightrec
+    completion = shard.execute(Request(tenant="a", size=256, req_id=1))
+    bundle = recorder.bundle(
+        REASON_WRONG_DATA, ws=shard.ws, seed=7, tick=3,
+        offending=[completion.to_dict()],
+        fault_plan={"seed": 0, "rules": []},
+        counters=shard.counters(), detail="test incident")
+    assert bundle["kind"] == "postmortem"
+    assert bundle["reason"] == REASON_WRONG_DATA
+    assert bundle["seed"] == 7 and bundle["tick"] == 3
+    assert bundle["offending"][0]["req_id"] == 1
+    assert bundle["recent_completions"]
+    assert validate_chrome_trace(bundle["trace"]) == []
+    assert bundle["trace"]["traceEvents"]
+    assert bundle["metrics_window"]
+    assert recorder.bundles == [bundle]
+
+
+def test_bundle_works_with_observability_disabled():
+    shard = ServiceShard(0, ShardConfig(seed=1))
+    shard.execute(Request(tenant="a", size=256, req_id=1))
+    bundle = shard.flightrec.bundle(REASON_SLO_BREACH, ws=shard.ws,
+                                    seed=7, tick=0)
+    assert validate_chrome_trace(bundle["trace"]) == []
+    assert bundle["metrics_window"] == []
+
+
+def test_bundle_count_is_bounded():
+    shard = ServiceShard(0, ShardConfig(seed=1))
+    recorder = FlightRecorder("shard0", max_bundles=2)
+    for tick in range(5):
+        recorder.bundle(REASON_SLO_BREACH, ws=shard.ws, seed=7,
+                        tick=tick)
+    assert len(recorder.bundles) == 2
+    assert recorder.dropped_bundles == 3
+    assert [b["tick"] for b in recorder.bundles] == [3, 4]
+
+
+def test_wrong_data_completion_dumps_a_bundle():
+    """The shard wires wrong-data detection straight into its recorder."""
+    shard = ServiceShard(0, ShardConfig(seed=1, spans_enabled=True))
+    shard.execute(Request(tenant="a", size=256, req_id=1))
+    tenant = shard.tenant("a")
+    shard.ws.ram.write(tenant.src_paddr, bytes(64))
+    bad = shard.execute(Request(tenant="a", size=64, req_id=2))
+    assert not bad.ok
+    assert len(shard.flightrec.bundles) == 1
+    bundle = shard.flightrec.bundles[0]
+    assert bundle["reason"] == REASON_WRONG_DATA
+    assert bundle["offending"][0]["req_id"] == 2
+    assert shard.snapshot()["postmortems"] == 1

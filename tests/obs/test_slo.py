@@ -1,0 +1,126 @@
+"""SLO rules and multi-window burn-rate evaluation."""
+
+import pytest
+
+from repro.analysis.trends import ServiceTrendPoint
+from repro.errors import ObservabilityError
+from repro.obs.slo import (
+    SloEngine,
+    SloRule,
+    default_slos,
+    load_slo_spec,
+)
+
+
+def point(t_s, completed=100, failed=0, p99_us=50.0):
+    return ServiceTrendPoint(t_s=t_s, completed=completed, failed=failed,
+                             p99_us=p99_us)
+
+
+def availability_engine(objective=0.9):
+    return SloEngine([SloRule(name="avail", kind="availability",
+                              objective=objective, short_windows=1,
+                              long_windows=6, burn_threshold=2.0)])
+
+
+def test_rule_validation():
+    with pytest.raises(ObservabilityError):
+        SloRule(name="x", kind="bogus")
+    with pytest.raises(ObservabilityError):
+        SloRule(name="", kind="availability")
+    with pytest.raises(ObservabilityError):
+        SloRule(name="x", kind="availability", objective=1.0)
+    with pytest.raises(ObservabilityError):
+        SloRule(name="x", kind="latency_p99")  # needs target_us
+    with pytest.raises(ObservabilityError):
+        SloRule(name="x", kind="availability", short_windows=4,
+                long_windows=2)
+    with pytest.raises(ObservabilityError):
+        SloRule(name="x", kind="availability", burn_threshold=0.0)
+
+
+def test_spec_loading_accepts_both_shapes():
+    rules = [{"name": "a", "kind": "availability", "objective": 0.9}]
+    assert load_slo_spec(rules)[0].name == "a"
+    assert load_slo_spec({"slos": rules})[0].name == "a"
+    with pytest.raises(ObservabilityError):
+        load_slo_spec([])
+    with pytest.raises(ObservabilityError):
+        load_slo_spec({"slos": [{"name": "a", "kind": "availability",
+                                 "bogus": 1}]})
+    # Round-trip: to_dict output parses back to an equal rule.
+    for rule in default_slos():
+        assert SloRule.from_dict(rule.to_dict()) == rule
+
+
+def test_single_noisy_window_does_not_page():
+    """A short-window spike with a healthy long window stays quiet."""
+    engine = availability_engine()
+    for i in range(6):
+        assert engine.observe(point(float(i))) == []
+    # 30% failures for one window: short burn 3x, long burn 0.5x.
+    assert engine.observe(point(6.0, completed=70, failed=30)) == []
+    assert engine.breaches == []
+    assert engine.evaluations == 7
+
+
+def test_sustained_burn_pages_and_accumulates():
+    engine = availability_engine()
+    fired = []
+    for i in range(8):
+        fired.extend(engine.observe(point(float(i), completed=60,
+                                          failed=40)))
+    assert fired
+    breach = fired[0]
+    assert breach.rule == "avail"
+    assert breach.burn_short >= 2.0 and breach.burn_long >= 2.0
+    assert not breach.fatal
+    assert engine.snapshot()["breached"]
+
+
+def test_latency_rule_counts_bad_windows():
+    engine = SloEngine([SloRule(name="tail", kind="latency_p99",
+                                objective=0.5, target_us=100.0,
+                                short_windows=1, long_windows=2,
+                                burn_threshold=1.5)])
+    assert engine.observe(point(0.0, p99_us=50.0)) == []
+    assert engine.observe(point(1.0, p99_us=500.0)) == []  # long = 1x
+    fired = engine.observe(point(2.0, p99_us=500.0))       # long = 2x
+    assert [b.rule for b in fired] == ["tail"]
+    # Empty windows contribute no latency error.
+    quiet = SloEngine([SloRule(name="tail", kind="latency_p99",
+                               objective=0.5, target_us=100.0)])
+    assert quiet.observe(point(0.0, completed=0, p99_us=0.0)) == []
+
+
+def test_wrong_page_is_budgetless_and_fatal():
+    engine = SloEngine()  # the default set includes no-wrong-page
+    assert engine.observe(point(0.0), wrong_transfers=0) == []
+    fired = engine.observe(point(1.0), wrong_transfers=2)
+    assert [b.rule for b in fired] == ["no-wrong-page"]
+    assert fired[0].fatal
+    assert "2 wrong-page" in fired[0].detail
+    # The same cumulative count does not re-fire; an increase does.
+    assert engine.observe(point(2.0), wrong_transfers=2) == []
+    assert engine.observe(point(3.0), wrong_transfers=3)
+    # Out-of-band path (shutdown on a window-aligned tick).
+    assert engine.observe_wrong_transfers(3, t_s=4.0) == []
+    late = engine.observe_wrong_transfers(5, t_s=4.0)
+    assert late and late[0].fatal
+    snapshot = engine.snapshot()
+    assert snapshot["breached"]
+    # inf burn rates serialize as None (the budget is zero).
+    assert all(b["burn_short"] is None for b in snapshot["breaches"]
+               if b["rule"] == "no-wrong-page")
+
+
+def test_engine_is_deterministic():
+    def run():
+        engine = SloEngine()
+        for i in range(10):
+            engine.observe(point(float(i), completed=80, failed=20,
+                                 p99_us=2000.0),
+                           wrong_transfers=1 if i >= 5 else 0)
+        return engine.snapshot()
+
+    assert run() == run()

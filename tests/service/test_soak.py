@@ -113,10 +113,16 @@ def test_no_control_run_skips_the_comparison():
 def test_spans_enable_the_fleet_trace():
     report = run_soak(small(tenants=8, duration_s=2, spans=True))
     service = report["_service"]
-    trace = service.telemetry.fleet_chrome_trace(service.shards)
+    trace = service.fleet_trace()
     assert trace["traceEvents"]
     pids = {event["pid"] for event in trace["traceEvents"]}
-    assert pids == {1, 2}  # one trace process per shard
+    # Front end is process 1, then one process per shard.
+    assert pids == {1, 2, 3}
+    # Merged ordering is deterministic: metadata first, then
+    # timestamp-ordered with the stable global tie-break.
+    order = [(e["ph"] == "M", e.get("ts", 0.0))
+             for e in trace["traceEvents"]]
+    assert order == sorted(order, key=lambda item: (not item[0], item[1]))
 
 
 def test_config_validation():
