@@ -17,6 +17,15 @@ additionally fails the gate when any candidate scenario that reports
 both naive and incremental timings has an incremental/naive speedup
 below the threshold.
 
+**Table-1 latency reports** (``benchmark == "table1"``, the
+``BENCH_table1.json`` schema written by ``bench_table1.py``): compares
+per-method simulated initiation latency for every method present in
+both reports.  Exits non-zero when any method's candidate latency rises
+more than ``--max-regression`` (default 30%) above the baseline, or
+when a method with a paper reference value drifts outside 15% of it.
+Simulated latencies are deterministic, so this gate only trips on real
+cost-model changes.
+
 **Service soak reports** (``benchmark == "service_soak"``, the
 ``BENCH_service.json`` schema — see ``docs/service.md``): gates on
 
@@ -80,6 +89,43 @@ def compare_service(baseline: Dict[str, Any], candidate: Dict[str, Any],
     return compare_service_reports(baseline, candidate,
                                    max_goodput_drop=max_goodput_drop,
                                    max_p99_increase=max_p99_increase)
+
+
+def is_table1_report(report: Dict[str, Any]) -> bool:
+    """Whether *report* is a ``BENCH_table1.json`` latency report."""
+    return report.get("benchmark") == "table1"
+
+
+def compare_table1(baseline: Dict[str, Any], candidate: Dict[str, Any],
+                   max_regression: float) -> List[str]:
+    """Per-method latency comparison; failure lines when the gate trips."""
+    failures: List[str] = []
+    base_rows = baseline.get("rows", {})
+    cand_rows = candidate.get("rows", {})
+    common = sorted(set(base_rows) & set(cand_rows))
+    if not common:
+        return ["no common methods between baseline and candidate"]
+    for method in common:
+        base = base_rows[method].get("simulated_us")
+        cand = cand_rows[method].get("simulated_us")
+        if not base or cand is None:
+            continue
+        change = (cand - base) / base
+        status = "OK"
+        if change > max_regression:
+            status = "REGRESSION"
+            failures.append(
+                f"{method}: {cand:.2f} us is {change * 100:.1f}% above "
+                f"baseline {base:.2f} us")
+        paper = cand_rows[method].get("paper_us")
+        if paper and abs(cand - paper) / paper > 0.15:
+            status = "PAPER-DRIFT"
+            failures.append(
+                f"{method}: {cand:.2f} us drifted outside 15% of the "
+                f"paper's {paper:.2f} us")
+        print(f"  {method:20s} base {base:>8.2f} us  cand {cand:>8.2f} us  "
+              f"{change * 100:+6.1f}%  {status}")
+    return failures
 
 
 def load_rates(path: pathlib.Path) -> Dict[str, float]:
@@ -160,6 +206,26 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     base_report = json.loads(args.baseline.read_text())
     cand_report = json.loads(args.candidate.read_text())
+    if is_table1_report(base_report) or is_table1_report(cand_report):
+        if not (is_table1_report(base_report)
+                and is_table1_report(cand_report)):
+            print("FAIL:\n  cannot compare a table1 latency report "
+                  "against a different report family")
+            return 1
+        max_regression = (args.max_regression
+                          if args.max_regression is not None else 0.30)
+        if not 0 < max_regression < 1:
+            parser.error("--max-regression must be in (0, 1)")
+        print(f"comparing table1 latency reports (allowing "
+              f"{max_regression * 100:.0f}% latency rise)")
+        failures = compare_table1(base_report, cand_report, max_regression)
+        if failures:
+            print("FAIL:")
+            for line in failures:
+                print(f"  {line}")
+            return 1
+        print("table1 latency gate passed")
+        return 0
     if is_service_report(base_report) or is_service_report(cand_report):
         if not (is_service_report(base_report)
                 and is_service_report(cand_report)):

@@ -178,7 +178,11 @@ class DmaChannel:
                     Syscall("dma")]
         if name == "shrimp1":
             return [CompareExchange("v0", self._shadow(vsrc), size)]
-        if name in ("shrimp2", "flash", "extshadow"):
+        if name in ("shrimp2", "flash", "extshadow",
+                    "iommu", "iommu_noshootdown"):
+            # For the iommu methods the shadow mappings encode the
+            # buffer's virtual address, so the same two instructions
+            # present IOVAs the engine translates.
             return [Store(self._shadow(vdst), size),
                     Load("v0", self._shadow(vsrc))]
         if name == "pal":
@@ -186,6 +190,8 @@ class DmaChannel:
                     CallPal(PAL_DMA_FUNCTION)]
         if name == "keyed":
             return self._keyed_sequence(vsrc, vdst, size)
+        if name in ("capio", "capio_noepoch"):
+            return self._capio_sequence(vsrc, vdst, size)
         if name in ("repeated3", "repeated4", "repeated5"):
             return self._repeated_sequence(vsrc, vdst, size,
                                            with_retry=with_retry,
@@ -219,6 +225,45 @@ class DmaChannel:
             Store(ctx_page, size),
             Load("v0", ctx_page),
         ]
+
+    def _capio_sequence(self, vsrc: int, vdst: int,
+                        size: int) -> List[Instruction]:
+        """Two capability-token stores, a size store, a status load.
+
+        The store address is ``window + offset`` (the byte offset into
+        the capability's buffer); the data word is the packed token
+        built from the kernel-issued descriptor.
+        """
+        binding = self.proc.dma_binding
+        if binding.capio_window_vaddr is None or binding.ctx_id is None:
+            raise KernelError(
+                f"{self.proc.name} has no capio window/context")
+        ctx_page = Addr(None, binding.ctx_page_vaddr)
+        # The two token stores can target the SAME window address (equal
+        # buffer offsets), and the write buffer collapses same-address
+        # posted stores (footnote 6) — a barrier keeps both visible.
+        return [
+            self._capio_store(binding, vdst, ARG_DESTINATION),
+            Mb(),
+            self._capio_store(binding, vsrc, ARG_SOURCE),
+            Store(ctx_page, size),
+            Load("v0", ctx_page),
+        ]
+
+    def _capio_store(self, binding, vaddr: int, arg: int) -> Instruction:
+        """One argument-passing store: token word at window + offset."""
+        from ..hw.dma.protocols.capio import pack_cap_word
+
+        descriptor = binding.capability_for(vaddr)
+        if descriptor is None:
+            raise KernelError(
+                f"{self.proc.name} holds no capability covering "
+                f"{vaddr:#x}")
+        offset = vaddr - descriptor.vaddr
+        token = pack_cap_word(descriptor.cap_id, descriptor.epoch,
+                              descriptor.nonce, arg)
+        return Store(Addr(None, binding.capio_window_vaddr + offset),
+                     token)
 
     def _repeated_sequence(self, vsrc: int, vdst: int, size: int,
                            with_retry: bool,

@@ -11,11 +11,15 @@ Module              Method                                     Paper section
 ``keyed``           register contexts guarded by secret keys   §3.1 / Fig. 3
 ``extshadow``       CONTEXT_ID bits in the shadow address      §3.2 / Fig. 4
 ``repeated``        repeated argument passing (3/4/5 instr.)   §3.3 / Fig. 7
+``iommu``           IOVA arguments, engine-side translation    modern (ours)
+``capio``           capability tokens with epoch revocation    modern (ours)
 ==================  =========================================  ============
 """
 
+from .capio import CapioProtocol, pack_cap_word, unpack_cap_word
 from .extshadow import ExtendedShadowProtocol
 from .flash import FlashProtocol
+from .iommu import IommuProtocol
 from .kernel import KernelOnlyProtocol
 from .keyed import KeyedProtocol, pack_key_word, unpack_key_word
 from .pal import PalProtocol
@@ -24,14 +28,18 @@ from .shrimp1 import MappedOutProtocol
 from .shrimp2 import PendingPairProtocol
 
 __all__ = [
+    "CapioProtocol",
     "ExtendedShadowProtocol",
     "FlashProtocol",
+    "IommuProtocol",
     "KernelOnlyProtocol",
     "KeyedProtocol",
     "MappedOutProtocol",
     "PalProtocol",
     "PendingPairProtocol",
     "RepeatedPassingProtocol",
+    "pack_cap_word",
     "pack_key_word",
+    "unpack_cap_word",
     "unpack_key_word",
 ]

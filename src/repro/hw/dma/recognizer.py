@@ -26,8 +26,9 @@ from __future__ import annotations
 import copy
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Optional, Tuple
 
+from ...errors import ConfigError
 from ...sim.snapshot import freeze
 from ...units import Time
 from .status import STATUS_FAILURE
@@ -58,6 +59,29 @@ class ShadowAccess:
     issuer: Optional[int]
     kernel: bool
     when: Time
+
+
+@dataclass(frozen=True)
+class SetupOp:
+    """One privileged (kernel-side) protocol configuration operation.
+
+    Methods whose protection state lives device-side — IOMMU page-table
+    entries, capability-table entries — receive it through these ops
+    rather than through MMIO accesses: the kernel performs them on an
+    untimed setup path, exactly like :meth:`~repro.hw.dma.engine.
+    DmaEngine.install_key` for the keyed method.  The verification
+    harness replays a scenario's setup ops after every reset, so they
+    describe the world *before* the racing streams run.
+
+    Attributes:
+        kind: operation name; each protocol documents the kinds it
+            accepts (e.g. ``iommu-map``, ``cap-mint``).
+        args: kind-specific positional arguments (hashable values only,
+            so scenarios stay usable as fixture data).
+    """
+
+    kind: str
+    args: Tuple = ()
 
 
 class InitiationProtocol(ABC):
@@ -112,6 +136,18 @@ class InitiationProtocol(ABC):
                         access: ShadowAccess) -> int:
         """A load from a context page.  Default (§3.1): the status word."""
         return ctx.status_word(access.when)
+
+    # -- privileged setup (kernel-managed protocol configuration) ----------------------
+
+    def apply_setup(self, op: "SetupOp") -> None:
+        """Apply one kernel-side configuration operation.
+
+        Only protocols with device-side protection state (IOMMU tables,
+        capability tables) accept setup ops; everyone else rejects them
+        loudly so a scenario cannot silently misconfigure a method.
+        """
+        raise ConfigError(
+            f"protocol {self.name} accepts no setup op {op.kind!r}")
 
     # -- privileged hooks (the kernel modifications our methods avoid) -----------------
 

@@ -1,0 +1,184 @@
+"""A per-context I/O page table with a small IOTLB.
+
+The paper's methods pass *physical* addresses because the 1997 engine
+has no translation hardware; the MMU-mediated shadow mapping is what
+keeps processes honest.  An IOMMU moves the guard into the device: user
+processes name **virtual** buffer addresses (IOVAs), and the engine
+walks a kernel-managed per-context I/O page table at initiation time.
+A translation fault aborts the transfer with nothing moved — the same
+all-or-nothing contract as the engine's ``page_bounded`` hardening.
+
+Real IOMMUs cache translations in an IOTLB, and that cache is exactly
+where the protection can rot: an unmap **must** shoot the stale entry
+down, or a device can keep writing a page the kernel already revoked
+and reused.  The model makes the shoot-down explicit so the
+verification pipeline can check both the correct protocol (invalidate
+on unmap) and the deliberately-weakened one (stale entries survive;
+see :mod:`repro.hw.dma.protocols.iommu`).
+
+Mapping granularity is the system page (:data:`~repro.hw.pagetable.
+PAGE_SIZE`); translation of a byte range walks every page it touches,
+requires the needed permission on each, and requires the physical
+frames to be contiguous (the mover takes one base+size pair).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+from .pagetable import PAGE_SIZE, page_base, page_offset
+
+#: Default IOTLB capacity ("small" — a handful of hot translations).
+IOTLB_CAPACITY = 8
+
+
+@dataclass(frozen=True)
+class IommuEntry:
+    """One I/O page-table (or IOTLB) entry.
+
+    Attributes:
+        phys_page: physical frame base the IOVA page maps to.
+        writable: whether the device may write through this entry
+            (read permission is always implied, matching the MMU
+            model's write-implies-read).
+    """
+
+    phys_page: int
+    writable: bool
+
+
+class Iommu:
+    """Per-context I/O page tables plus one shared FIFO IOTLB.
+
+    The page tables are kernel-owned (map/unmap are privileged setup
+    operations, never on a timed user path); the IOTLB is engine-owned
+    and consulted first on every translation.  ``shootdown`` selects
+    whether :meth:`unmap` invalidates the matching IOTLB entry — the
+    correct behaviour — or leaves it to rot (the weakened variant the
+    synthesis hunt must rediscover as unsafe).
+    """
+
+    def __init__(self, shootdown: bool = True,
+                 tlb_capacity: int = IOTLB_CAPACITY) -> None:
+        if tlb_capacity < 1:
+            raise ConfigError("IOTLB capacity must be >= 1")
+        self.shootdown = shootdown
+        self.tlb_capacity = tlb_capacity
+        # (ctx_id, iova_page) -> entry; the authoritative kernel tables.
+        self._mappings: Dict[Tuple[int, int], IommuEntry] = {}
+        # FIFO IOTLB over the same key space (insertion order = age).
+        self._tlb: "OrderedDict[Tuple[int, int], IommuEntry]" = OrderedDict()
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+        self.faults = 0
+
+    # -- kernel-managed page-table updates --------------------------------
+
+    def map(self, ctx_id: int, iova_page: int, phys_page: int,
+            writable: bool = True) -> None:
+        """Install (or replace) one IOVA-page mapping for *ctx_id*."""
+        key = (ctx_id, page_base(iova_page))
+        self._mappings[key] = IommuEntry(page_base(phys_page), writable)
+        # A replaced translation must not serve stale rights either.
+        self._tlb.pop(key, None)
+
+    def unmap(self, ctx_id: int, iova_page: int) -> None:
+        """Remove one mapping; shoot down its IOTLB entry if configured."""
+        key = (ctx_id, page_base(iova_page))
+        self._mappings.pop(key, None)
+        if self.shootdown:
+            self._tlb.pop(key, None)
+
+    def warm(self, ctx_id: int, iova_page: int) -> None:
+        """Pre-fill the IOTLB from the page table (models prior DMA)."""
+        key = (ctx_id, page_base(iova_page))
+        entry = self._mappings.get(key)
+        if entry is not None:
+            self._fill(key, entry)
+
+    def invalidate(self, ctx_id: Optional[int] = None) -> None:
+        """Explicit IOTLB invalidation: everything, or one context's."""
+        if ctx_id is None:
+            self._tlb.clear()
+            return
+        for key in [k for k in self._tlb if k[0] == ctx_id]:
+            del self._tlb[key]
+
+    # -- translation ------------------------------------------------------
+
+    def lookup_page(self, ctx_id: int, iova_page: int) -> Optional[IommuEntry]:
+        """Translate one IOVA page, IOTLB first; None on fault."""
+        key = (ctx_id, page_base(iova_page))
+        cached = self._tlb.get(key)
+        if cached is not None:
+            self.tlb_hits += 1
+            return cached
+        self.tlb_misses += 1
+        entry = self._mappings.get(key)
+        if entry is None:
+            return None
+        self._fill(key, entry)
+        return entry
+
+    def translate(self, ctx_id: int, iova: int, size: int,
+                  write: bool) -> Optional[int]:
+        """Translate ``[iova, iova+size)``; None aborts the transfer.
+
+        Every page the range touches must be mapped with the needed
+        permission, and the physical frames must be contiguous so the
+        result is a single base address the mover can use.
+        """
+        if size <= 0:
+            self.faults += 1
+            return None
+        base_entry = self.lookup_page(ctx_id, iova)
+        if base_entry is None or (write and not base_entry.writable):
+            self.faults += 1
+            return None
+        phys = base_entry.phys_page + page_offset(iova)
+        expected = base_entry.phys_page
+        page = page_base(iova) + PAGE_SIZE
+        while page < iova + size:
+            entry = self.lookup_page(ctx_id, page)
+            expected += PAGE_SIZE
+            if (entry is None or (write and not entry.writable)
+                    or entry.phys_page != expected):
+                self.faults += 1
+                return None
+            page += PAGE_SIZE
+        return phys
+
+    def _fill(self, key: Tuple[int, int], entry: IommuEntry) -> None:
+        self._tlb.pop(key, None)
+        if len(self._tlb) >= self.tlb_capacity:
+            self._tlb.popitem(last=False)
+        self._tlb[key] = entry
+
+    # -- snapshot/restore (checker backtracking substrate) ----------------
+
+    def snapshot(self) -> tuple:
+        """Capture tables, IOTLB contents *and order*, and counters."""
+        return (dict(self._mappings), tuple(self._tlb.items()),
+                self.tlb_hits, self.tlb_misses, self.faults)
+
+    def restore(self, state: tuple) -> None:
+        """Return to a state captured by :meth:`snapshot`."""
+        mappings, tlb, hits, misses, faults = state
+        self._mappings = dict(mappings)
+        self._tlb = OrderedDict(tlb)
+        self.tlb_hits = hits
+        self.tlb_misses = misses
+        self.faults = faults
+
+    def fingerprint(self) -> tuple:
+        """Hashable capture of behaviour-determining state.
+
+        IOTLB order matters (FIFO eviction), so entries are captured in
+        cache order; hit/miss/fault counters are statistics no decision
+        reads and are excluded.
+        """
+        return (tuple(sorted(self._mappings.items())),
+                tuple(self._tlb.items()))

@@ -55,23 +55,41 @@ from ..sim.engine import Simulator
 from ..sim.rng import make_secret_stream
 from ..units import Time
 from .costs import OsCosts
+from ..hw.dma.recognizer import SetupOp
+from ..hw.dma.protocols.capio import NONCE_FIELD_BITS
 from .process import (
     ATOMIC_CTX_VADDR,
     AtomicBinding,
     Buffer,
+    CAPIO_WINDOW_VADDR,
+    CapabilityDescriptor,
     CTX_PAGE_VADDR,
     DmaBinding,
     Process,
 )
 from .vm import VirtualMemoryManager
 
-#: Methods that require shadow mappings on user buffers.
+#: Methods that require shadow mappings on user buffers.  The iommu
+#: family is included, but its shadow mappings encode the buffer's
+#: *virtual* address (the IOVA the engine translates), not the physical
+#: one — see :meth:`Kernel._shadow_buffer`.
 _SHADOW_METHODS = frozenset({
     "shrimp1", "shrimp2", "pal", "flash", "keyed", "extshadow",
-    "repeated3", "repeated4", "repeated5",
+    "repeated3", "repeated4", "repeated5", "iommu", "iommu_noshootdown",
 })
 #: Methods that consume a register context and a mapped context page.
-_CONTEXT_METHODS = frozenset({"keyed", "extshadow"})
+_CONTEXT_METHODS = frozenset({
+    "keyed", "extshadow", "iommu", "iommu_noshootdown",
+    "capio", "capio_noepoch",
+})
+#: Methods whose CONTEXT_ID rides in the shadow mappings.
+_EXT_BITS_METHODS = frozenset({"extshadow", "iommu", "iommu_noshootdown"})
+#: The iommu family (kernel-managed I/O page tables).
+_IOMMU_METHODS = frozenset({"iommu", "iommu_noshootdown"})
+#: The capability family (kernel-minted per-buffer capabilities).
+_CAPIO_METHODS = frozenset({"capio", "capio_noepoch"})
+#: Pages in the capio offset window (covers buffers up to this size).
+_CAPIO_WINDOW_PAGES = 8
 
 #: Scheduler hook signature: (old process or None, new process).
 SwitchHook = Callable[[Optional[Process], Process], None]
@@ -94,6 +112,7 @@ class Kernel:
         self.processes: dict[int, Process] = {}
         self._next_pid = 1
         self._secrets: Iterator[int] = make_secret_stream(seed)
+        self._next_cap_id = 1
         self._free_dma_contexts: List[int] = list(
             range(engine.layout.n_contexts))
         self._free_atomic_contexts: List[int] = (
@@ -129,6 +148,7 @@ class Kernel:
                       and proc.dma.method in _SHADOW_METHODS)
         if shadow:
             self._shadow_buffer(proc, buffer)
+        self._grant_dma_resources(proc, buffer)
         if proc.atomic is not None:
             self.map_atomic_shadow(proc, buffer)
         return buffer
@@ -138,10 +158,36 @@ class Kernel:
             raise KernelError(
                 f"{proc.name}: shadow mappings need a DMA binding first")
         ctx_bits = proc.dma.shadow_ctx_bits
+        if proc.dma.method in _IOMMU_METHODS:
+            # The argument the engine decodes must be the buffer's
+            # *virtual* address — the IOVA its I/O page table translates.
+            base_v, base_p = buffer.vaddr, buffer.paddr
+            self.vmm.map_shadow(
+                proc, buffer,
+                lambda paddr: self.engine.layout.shadow_paddr(
+                    base_v + (paddr - base_p), ctx_bits))
+            return
         self.vmm.map_shadow(
             proc, buffer,
             lambda paddr: self.engine.layout.shadow_paddr(
                 self._globalize(paddr), ctx_bits))
+
+    def _grant_dma_resources(self, proc: Process, buffer: Buffer) -> None:
+        """Per-buffer kernel grants the modern methods need.
+
+        The iommu family gets I/O page-table entries (IOVA = buffer
+        virtual address); the capio family gets a freshly minted
+        capability.  Both happen at allocation time, mirroring §2.3's
+        "at memory allocation time" for shadow mappings.
+        """
+        if proc.dma is None:
+            return
+        if proc.dma.method in _IOMMU_METHODS:
+            self.iommu_map(proc, buffer.vaddr, buffer.paddr, buffer.size,
+                           writable=bool(buffer.perm & Perm.WRITE))
+        elif proc.dma.method in _CAPIO_METHODS:
+            self.mint_capability(proc, buffer,
+                                 writable=bool(buffer.perm & Perm.WRITE))
 
     def share_buffer(self, owner: Process, buffer: Buffer, peer: Process,
                      perm: Optional[Perm] = None) -> int:
@@ -166,6 +212,7 @@ class Kernel:
         peer.record_buffer(shared)
         if peer.dma is not None and peer.dma.method in _SHADOW_METHODS:
             self._shadow_buffer(peer, shared)
+        self._grant_dma_resources(peer, shared)
         if peer.atomic is not None:
             self.map_atomic_shadow(peer, shared)
         return vaddr
@@ -256,8 +303,19 @@ class Kernel:
                 key = next(self._secrets)
                 self.engine.install_key(ctx_id, key)
                 binding.key = key
-            else:  # extshadow: the ctx id rides in the shadow mappings
+            elif method in _EXT_BITS_METHODS:
+                # extshadow and iommu: the ctx id rides in the mappings.
                 binding.shadow_ctx_bits = ctx_id
+            if method in _CAPIO_METHODS:
+                # Map the offset window: a store to window + offset
+                # presents *offset* to the engine; the capability token
+                # in the data word names the buffer.
+                binding.capio_window_vaddr = CAPIO_WINDOW_VADDR
+                for page in range(_CAPIO_WINDOW_PAGES):
+                    self.vmm.map_device_page(
+                        proc, CAPIO_WINDOW_VADDR + page * PAGE_SIZE,
+                        self.engine.layout.shadow_paddr(page * PAGE_SIZE),
+                        Perm.RW)
         proc.dma = binding
         return binding
 
@@ -293,6 +351,92 @@ class Kernel:
         psrc = src_proc.page_table.translate(vsrc, "read")
         self.engine.install_mapout(page_base(self._globalize(psrc)),
                                    page_base(global_pdst))
+
+    # ------------------------------------------------------------------
+    # modern-method kernel management (untimed setup paths)
+    # ------------------------------------------------------------------
+
+    def iommu_map(self, proc: Process, iova: int, paddr: int, nbytes: int,
+                  writable: bool = True) -> None:
+        """Install I/O page-table entries for *proc*'s register context.
+
+        Page-by-page: IOVA page ``iova + k*PAGE`` maps to physical frame
+        ``paddr + k*PAGE``.  Both must be page-aligned.
+
+        Raises:
+            KernelError: if the process is not bound to an iommu method.
+        """
+        binding = self._iommu_binding(proc)
+        if iova % PAGE_SIZE or paddr % PAGE_SIZE or nbytes <= 0:
+            raise KernelError("iommu mappings must be page-aligned")
+        for offset in range(0, nbytes, PAGE_SIZE):
+            self.engine.protocol.apply_setup(SetupOp(
+                "iommu-map", (binding.ctx_id, iova + offset,
+                              self._globalize(paddr + offset), writable)))
+
+    def iommu_unmap(self, proc: Process, iova: int,
+                    nbytes: int = PAGE_SIZE) -> None:
+        """Remove I/O page-table entries (IOTLB shoot-down included
+        when the engine runs the correct ``iommu`` protocol)."""
+        binding = self._iommu_binding(proc)
+        for offset in range(0, nbytes, PAGE_SIZE):
+            self.engine.protocol.apply_setup(SetupOp(
+                "iommu-unmap", (binding.ctx_id, iova + offset)))
+
+    def _iommu_binding(self, proc: Process) -> DmaBinding:
+        binding = proc.dma
+        if binding is None or binding.method not in _IOMMU_METHODS \
+                or binding.ctx_id is None:
+            raise KernelError(
+                f"{proc.name} has no iommu DMA binding")
+        return binding
+
+    def mint_capability(self, proc: Process, buffer: Buffer,
+                        readable: bool = True,
+                        writable: bool = True) -> CapabilityDescriptor:
+        """Mint a capability over *buffer* for *proc* (capio methods).
+
+        Installs the capability in the engine's table and returns the
+        descriptor user code builds tokens from.
+
+        Raises:
+            KernelError: if the process is not bound to a capio method.
+        """
+        binding = self._capio_binding(proc)
+        cap_id = self._next_cap_id
+        self._next_cap_id += 1
+        nonce = next(self._secrets) & ((1 << NONCE_FIELD_BITS) - 1)
+        self.engine.protocol.apply_setup(SetupOp(
+            "cap-mint", (cap_id, binding.ctx_id, proc.pid,
+                         self._globalize(buffer.paddr), buffer.size,
+                         readable, writable, nonce)))
+        descriptor = CapabilityDescriptor(
+            cap_id=cap_id, nonce=nonce, epoch=0,
+            vaddr=buffer.vaddr, size=buffer.size)
+        binding.capabilities[buffer.vaddr] = descriptor
+        return descriptor
+
+    def revoke_capability(self, proc: Process,
+                          descriptor: CapabilityDescriptor) -> None:
+        """Revoke a capability by bumping its epoch.
+
+        Tokens built from *descriptor* (and any copies of it) stop
+        validating at the engine — even ones already latched, because
+        the start re-validates both arguments.
+        """
+        self._capio_binding(proc)
+        self.engine.protocol.apply_setup(SetupOp(
+            "cap-revoke", (descriptor.cap_id,)))
+        if proc.dma is not None:
+            proc.dma.capabilities.pop(descriptor.vaddr, None)
+
+    def _capio_binding(self, proc: Process) -> DmaBinding:
+        binding = proc.dma
+        if binding is None or binding.method not in _CAPIO_METHODS \
+                or binding.ctx_id is None:
+            raise KernelError(
+                f"{proc.name} has no capio DMA binding")
+        return binding
 
     # ------------------------------------------------------------------
     # user-level atomic setup (§3.5)

@@ -23,7 +23,7 @@ register argument with a single displacement).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import KernelError
@@ -34,6 +34,9 @@ from ..hw.pagetable import PAGE_MASK, PAGE_SIZE, PageTable, Perm
 USER_BASE = 0x0000_0000_0001_0000
 CTX_PAGE_VADDR = 0x0000_0400_0000_0000
 ATOMIC_CTX_VADDR = CTX_PAGE_VADDR + PAGE_SIZE
+#: Base of the capio offset window: page k maps shadow offset k*PAGE,
+#: so a store to ``window + offset`` presents *offset* to the engine.
+CAPIO_WINDOW_VADDR = CTX_PAGE_VADDR + 2 * PAGE_SIZE
 SHADOW_VOFFSET = 0x0000_1000_0000_0000
 ATOMIC_VOFFSET = 0x0000_2000_0000_0000
 ATOMIC_OP_STRIDE = 0x0000_0100_0000_0000
@@ -68,6 +71,23 @@ class Buffer:
     shadowed: bool = False
 
 
+@dataclass(frozen=True)
+class CapabilityDescriptor:
+    """What the kernel hands user code about one minted capability.
+
+    The secret nonce makes tokens built from the descriptor validate;
+    ``epoch`` is the epoch the capability was minted under — after a
+    revocation the kernel's table moves on and tokens built from this
+    (now stale) descriptor stop validating.
+    """
+
+    cap_id: int
+    nonce: int
+    epoch: int
+    vaddr: int
+    size: int
+
+
 @dataclass
 class DmaBinding:
     """User-level DMA resources granted to a process.
@@ -77,8 +97,11 @@ class DmaBinding:
         ctx_id: assigned register context, if the method uses one.
         key: the secret key, if the method uses one.
         shadow_ctx_bits: CONTEXT_ID embedded in this process's shadow
-            mappings (0 unless the method is extended shadow addressing).
+            mappings (0 unless the method is extended shadow addressing
+            or the iommu method, whose shadow mappings carry it too).
         ctx_page_vaddr: where the context page is mapped, if mapped.
+        capabilities: buffer vaddr -> capability descriptor (capio).
+        capio_window_vaddr: base of the capio offset window, if mapped.
     """
 
     method: str
@@ -86,6 +109,16 @@ class DmaBinding:
     key: Optional[int] = None
     shadow_ctx_bits: int = 0
     ctx_page_vaddr: Optional[int] = None
+    capabilities: Dict[int, CapabilityDescriptor] = field(
+        default_factory=dict)
+    capio_window_vaddr: Optional[int] = None
+
+    def capability_for(self, vaddr: int) -> Optional[CapabilityDescriptor]:
+        """The descriptor whose buffer range contains *vaddr*, or None."""
+        for desc in self.capabilities.values():
+            if desc.vaddr <= vaddr < desc.vaddr + desc.size:
+                return desc
+        return None
 
 
 @dataclass

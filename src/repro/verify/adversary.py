@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..errors import VerificationError
+from ..hw.dma.recognizer import SetupOp
 from ..hw.pagetable import PAGE_SIZE
 from .interleave import AccessSpec, initiation_stream
 from .model_check import Scenario
@@ -33,7 +34,27 @@ ADDR_B = 1 * PAGE_SIZE   # victim's (private) destination
 ADDR_C = 2 * PAGE_SIZE   # adversary's own data
 ADDR_FOO = 3 * PAGE_SIZE  # adversary's scratch page
 
+#: IOVA page the stale-IOTLB scenario maps transiently (never a RAM page
+#: the adversary owns — the whole point is that the *translation* is the
+#: only thing granting access to the victim's page behind it).
+STALE_IOVA = 4 * PAGE_SIZE
+
 SIZE = 256  # transfer size used throughout the scenarios
+
+_IOMMU_FAMILY = ("iommu", "iommu_noshootdown")
+_CAPIO_FAMILY = ("capio", "capio_noepoch")
+
+#: Well-known capability nonces for the hand-written capio scenarios.
+_NONCE_1, _NONCE_2, _NONCE_3 = 0xAAA111, 0xBBB222, 0xCCC333
+
+
+def _cap_tokens(cap_id: int, epoch: int, nonce: int) -> Tuple[int, int]:
+    """(src_token, dst_token) for one capability at one epoch."""
+    from ..hw.dma.protocols.capio import pack_cap_word
+    from ..hw.dma.protocols.keyed import ARG_DESTINATION, ARG_SOURCE
+
+    return (pack_cap_word(cap_id, epoch, nonce, ARG_SOURCE),
+            pack_cap_word(cap_id, epoch, nonce, ARG_DESTINATION))
 
 
 def fig5_scenario() -> Tuple[Scenario, List[AccessSpec]]:
@@ -176,6 +197,7 @@ def pair_race_scenario(method: str,
     """
     src1, dst1 = 0 * PAGE_SIZE, 1 * PAGE_SIZE
     src2, dst2 = 2 * PAGE_SIZE, 3 * PAGE_SIZE
+    setup: Tuple[SetupOp, ...] = ()
     if method == "keyed":
         key1, key2 = keys if keys is not None else (0xAAA111, 0xBBB222)
         stream1 = initiation_stream("keyed", 1, src1, dst1, SIZE,
@@ -189,6 +211,37 @@ def pair_race_scenario(method: str,
         stream2 = initiation_stream("extshadow", 2, src2, dst2, SIZE,
                                     ctx_id=1)
         scenario_keys = {}
+    elif method in _IOMMU_FAMILY:
+        # Each process's pages identity-mapped into its own context, so
+        # the stream's IOVAs resolve to the same physical addresses the
+        # rights and intents are stated over.
+        stream1 = initiation_stream(method, 1, src1, dst1, SIZE, ctx_id=0)
+        stream2 = initiation_stream(method, 2, src2, dst2, SIZE, ctx_id=1)
+        scenario_keys = {}
+        setup = (
+            SetupOp("iommu-map", (0, src1, src1, True)),
+            SetupOp("iommu-map", (0, dst1, dst1, True)),
+            SetupOp("iommu-map", (1, src2, src2, True)),
+            SetupOp("iommu-map", (1, dst2, dst2, True)),
+        )
+    elif method in _CAPIO_FAMILY:
+        # One two-page capability per process; the streams' psrc/pdst
+        # become byte offsets against the capability's base.
+        tok1_src, tok1_dst = _cap_tokens(1, 0, _NONCE_1)
+        tok2_src, tok2_dst = _cap_tokens(2, 0, _NONCE_2)
+        stream1 = initiation_stream(method, 1, 0, PAGE_SIZE, SIZE,
+                                    ctx_id=0, src_token=tok1_src,
+                                    dst_token=tok1_dst)
+        stream2 = initiation_stream(method, 2, 0, PAGE_SIZE, SIZE,
+                                    ctx_id=1, src_token=tok2_src,
+                                    dst_token=tok2_dst)
+        scenario_keys = {}
+        setup = (
+            SetupOp("cap-mint",
+                    (1, 0, 1, src1, 2 * PAGE_SIZE, True, True, _NONCE_1)),
+            SetupOp("cap-mint",
+                    (2, 1, 2, src2, 2 * PAGE_SIZE, True, True, _NONCE_2)),
+        )
     else:
         stream1 = initiation_stream(method, 1, src1, dst1, SIZE)
         stream2 = initiation_stream(method, 2, src2, dst2, SIZE)
@@ -204,6 +257,97 @@ def pair_race_scenario(method: str,
         intents=[ProcessIntent(1, src1, dst1, SIZE),
                  ProcessIntent(2, src2, dst2, SIZE)],
         keys=scenario_keys,
+        setup=setup,
+    )
+
+
+def stale_iotlb_scenario(method: str = "iommu_noshootdown") -> Scenario:
+    """The IOTLB shoot-down attack (and the fix's safety proof).
+
+    The kernel once granted the adversary (pid 2, context 1) a
+    transient IOVA window onto the victim's private page B — mapped it,
+    saw DMA traffic warm the IOTLB, then unmapped it.  The adversary
+    kept the revoked IOVA and now initiates C -> stale-IOVA.
+
+    Under ``iommu`` the unmap shoots the cached translation down, the
+    start faults with nothing moved, and **no** interleaving violates
+    any property.  Under ``iommu_noshootdown`` the stale IOTLB entry
+    still resolves to B: the engine starts C -> B on behalf of a process
+    that cannot write B — an authorized-start violation whose minimal
+    core is just the adversary's own two accesses.
+    """
+    if method not in _IOMMU_FAMILY:
+        raise VerificationError(
+            f"stale-IOTLB scenario is IOMMU-specific, not {method!r}")
+    victim = initiation_stream(method, 1, ADDR_A, ADDR_B, SIZE, ctx_id=0)
+    adversary = initiation_stream(method, 2, ADDR_C, STALE_IOVA, SIZE,
+                                  ctx_id=1)
+    return Scenario(
+        name=f"stale-iotlb-{method}",
+        method=method,
+        streams=[victim, adversary],
+        rights={
+            1: Rights.over(write_pages=[ADDR_A, ADDR_B]),
+            2: Rights.over(write_pages=[ADDR_C, ADDR_FOO]),
+        },
+        intents=[ProcessIntent(1, ADDR_A, ADDR_B, SIZE)],
+        setup=(
+            SetupOp("iommu-map", (0, ADDR_A, ADDR_A, True)),
+            SetupOp("iommu-map", (0, ADDR_B, ADDR_B, True)),
+            SetupOp("iommu-map", (1, ADDR_C, ADDR_C, True)),
+            # The transient grant: mapped, used (IOTLB warmed), revoked.
+            SetupOp("iommu-map", (1, STALE_IOVA, ADDR_B, True)),
+            SetupOp("iommu-warm", (1, STALE_IOVA)),
+            SetupOp("iommu-unmap", (1, STALE_IOVA)),
+        ),
+    )
+
+
+def revoked_capability_scenario(method: str = "capio_noepoch") -> Scenario:
+    """The epoch-revocation attack (and the fix's safety proof).
+
+    The kernel once minted the adversary (pid 2, context 1) capability
+    3 over the victim's private page B, then revoked it by bumping the
+    epoch.  The adversary kept a token from the old epoch and replays
+    it as the destination of a C -> B initiation.
+
+    Under ``capio`` the stale epoch fails validation — at store time
+    and again at fire time — so the token is dropped and the context
+    reports DMA_FAILURE; no interleaving violates any property.  Under
+    ``capio_noepoch`` the revoked capability keeps working: the engine
+    starts C -> B for a process that cannot write B — an
+    authorized-start violation whose minimal core is the adversary's
+    own four accesses.
+    """
+    if method not in _CAPIO_FAMILY:
+        raise VerificationError(
+            f"revoked-capability scenario is capio-specific, not {method!r}")
+    tok1_src, tok1_dst = _cap_tokens(1, 0, _NONCE_1)
+    tok2_src, _ = _cap_tokens(2, 0, _NONCE_2)
+    _, tok3_dst = _cap_tokens(3, 0, _NONCE_3)
+    victim = initiation_stream(method, 1, 0, PAGE_SIZE, SIZE, ctx_id=0,
+                               src_token=tok1_src, dst_token=tok1_dst)
+    adversary = initiation_stream(method, 2, 0, 0, SIZE, ctx_id=1,
+                                  src_token=tok2_src, dst_token=tok3_dst)
+    return Scenario(
+        name=f"revoked-capability-{method}",
+        method=method,
+        streams=[victim, adversary],
+        rights={
+            1: Rights.over(write_pages=[ADDR_A, ADDR_B]),
+            2: Rights.over(write_pages=[ADDR_C, ADDR_FOO]),
+        },
+        intents=[ProcessIntent(1, ADDR_A, ADDR_B, SIZE)],
+        setup=(
+            SetupOp("cap-mint",
+                    (1, 0, 1, ADDR_A, 2 * PAGE_SIZE, True, True, _NONCE_1)),
+            SetupOp("cap-mint",
+                    (2, 1, 2, ADDR_C, PAGE_SIZE, True, True, _NONCE_2)),
+            # The revoked grant: minted over B, epoch bumped afterwards.
+            SetupOp("cap-mint",
+                    (3, 1, 2, ADDR_B, PAGE_SIZE, True, True, _NONCE_3)),
+            SetupOp("cap-revoke", (3,)),
+        ),
     )
 
 
@@ -262,5 +406,11 @@ def builtin_scenarios() -> List[Scenario]:
         pair_race_scenario("extshadow"),
         pair_race_scenario("repeated5"),
         pair_race_scenario("shrimp1"),
+        pair_race_scenario("iommu"),
+        pair_race_scenario("capio"),
+        stale_iotlb_scenario("iommu"),
+        stale_iotlb_scenario("iommu_noshootdown"),
+        revoked_capability_scenario("capio"),
+        revoked_capability_scenario("capio_noepoch"),
         key_guessing_scenario(0xDEADBEE, [0x1, 0x2, 0xDEADBEF]),
     ]

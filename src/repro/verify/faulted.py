@@ -25,7 +25,9 @@ Verdicts per method:
   single-fault variant;
 * ``UNSAFE-BASELINE`` — the method already violates protection without
   faults (repeated3 / repeated4: the paper's own Figs. 5-6 attacks;
-  shrimp2 / flash: the §2.5 pair race their kernel hooks exist to fix),
+  shrimp2 / flash: the §2.5 pair race their kernel hooks exist to fix;
+  iommu_noshootdown / capio_noepoch: the deliberately-weakened modern
+  variants, broken by a stale IOTLB entry or a revoked-epoch token),
   so fault-hardening is moot;
 * ``NEWLY-UNSAFE`` — safe without faults but a single fault breaks
   protection.  **No built-in method may ever earn this verdict** — that
@@ -40,7 +42,13 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..faults.plan import BITFLIP, DELAY, DROP, DUPLICATE, REORDER
-from .adversary import fig5_scenario, fig6_scenario, pair_race_scenario
+from .adversary import (
+    fig5_scenario,
+    fig6_scenario,
+    pair_race_scenario,
+    revoked_capability_scenario,
+    stale_iotlb_scenario,
+)
 from .incremental import check_scenario_incremental
 from .model_check import CheckResult, Scenario
 
@@ -56,13 +64,14 @@ DATA_OPS = ("store", "exchange", "ctx-store")
 #: (kernel is trivially immune — its path never crosses the faulted
 #: shadow region; pal rides the same two-access stream as shrimp2.)
 FAULT_HARDENED_METHODS: Tuple[str, ...] = (
-    "shrimp1", "keyed", "extshadow", "repeated5")
+    "shrimp1", "keyed", "extshadow", "repeated5", "iommu", "capio")
 
 #: Every method the fault verification covers (all user-level methods
 #: with a stream builder).
 VERIFIABLE_METHODS: Tuple[str, ...] = (
     "shrimp1", "shrimp2", "flash", "pal", "keyed", "extshadow",
-    "repeated3", "repeated4", "repeated5")
+    "repeated3", "repeated4", "repeated5",
+    "iommu", "iommu_noshootdown", "capio", "capio_noepoch")
 
 
 @dataclass(frozen=True)
@@ -218,25 +227,32 @@ def method_fault_scenarios(method: str) -> List[Scenario]:
 
     Always the honest §2.5 pair race (page-bounded engine, truthfulness
     off so baseline and variants measure the same properties), plus the
-    paper's own attack figure for the methods that have one — so the
-    baseline classification matches Figs. 5-6 even if the pair race
-    alone happens not to exhibit the flaw.
+    method's canonical attack scenario where one exists — the paper's
+    own figure for repeated3/4, the stale-IOTLB grant for the IOMMU
+    family, the revoked capability for the capio family — so the
+    baseline classification matches the known flaw even if the pair
+    race alone happens not to exhibit it (for the hardened iommu/capio
+    the same scenario doubles as the fault-free safety proof of the
+    shoot-down / epoch defence).
     """
     scenarios: List[Scenario] = []
     race = pair_race_scenario(method)
     race.page_bounded = True
     race.check_truthfulness = False
     scenarios.append(race)
+    extra: Optional[Scenario] = None
     if method == "repeated3":
-        fig5 = fig5_scenario()[0]
-        fig5.page_bounded = True
-        fig5.check_truthfulness = False
-        scenarios.append(fig5)
+        extra = fig5_scenario()[0]
     elif method == "repeated4":
-        fig6 = fig6_scenario()[0]
-        fig6.page_bounded = True
-        fig6.check_truthfulness = False
-        scenarios.append(fig6)
+        extra = fig6_scenario()[0]
+    elif method in ("iommu", "iommu_noshootdown"):
+        extra = stale_iotlb_scenario(method)
+    elif method in ("capio", "capio_noepoch"):
+        extra = revoked_capability_scenario(method)
+    if extra is not None:
+        extra.page_bounded = True
+        extra.check_truthfulness = False
+        scenarios.append(extra)
     return scenarios
 
 

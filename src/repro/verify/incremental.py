@@ -42,7 +42,6 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import VerificationError
 from ..obs.profile import PhaseProfiler
-from ..hw.dma.protocols.repeated import RepeatedPassingProtocol
 from .interleave import AccessSpec, interleaving_count, iter_interleavings_shared
 from .model_check import (
     REJECTION_WORDS,
@@ -244,10 +243,15 @@ def check_scenario_incremental(
         evidence = ReplayEvidence()
         evidence.records = list(harness.engine.initiations)
         evidence.final_status = dict(status_map)
-        if isinstance(harness.protocol, RepeatedPassingProtocol):
+        contributors = getattr(
+            harness.protocol, "completed_contributors", None)
+        if contributors is not None:
             evidence.contributors = [
-                tuple(p for p in pids)
-                for pids in harness.protocol.completed_contributors]
+                tuple(p for p in pids) for pids in contributors]
+        authority = getattr(
+            harness.protocol, "completed_authority", None)
+        if authority is not None:
+            evidence.authority = list(authority)
         violations = check_authorized_start(evidence, scenario.rights)
         violations += check_single_issuer(evidence, scenario.rights)
         if scenario.check_truthfulness:

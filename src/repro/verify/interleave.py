@@ -28,7 +28,7 @@ from ..hw.dma.protocols.keyed import (
     ARG_SOURCE,
     pack_key_word,
 )
-from ..hw.dma.protocols.repeated import RepeatedPassingProtocol
+from ..hw.dma.recognizer import SetupOp
 from ..hw.dma.shadow import ShadowLayout
 from ..hw.memory import PhysicalMemory
 from ..hw.pagetable import PAGE_SIZE
@@ -75,11 +75,13 @@ class ProtocolHarness:
         self.ram_size = ram_size
         self.page_bounded = page_bounded
         self._keys: Dict[int, int] = {}
+        self._setups: List[SetupOp] = []
         self.journal: Optional[UndoJournal] = None
         self.reset()
 
     def reset(self) -> None:
-        """Fresh simulator, RAM, engine, and protocol (keys re-applied)."""
+        """Fresh simulator, RAM, engine, and protocol (keys and setup
+        ops re-applied)."""
         self.sim = Simulator()
         self.ram = PhysicalMemory(self.ram_size)
         ctx_bits = max(1, (self.n_contexts - 1).bit_length())
@@ -91,6 +93,8 @@ class ProtocolHarness:
                                 page_bounded=self.page_bounded)
         for ctx_id, key in self._keys.items():
             self.engine.install_key(ctx_id, key)
+        for op in self._setups:
+            self.protocol.apply_setup(op)
         if self.journal is not None:
             # The old journal's undo entries reference the components we
             # just discarded — start a fresh one for the new stack.
@@ -143,16 +147,24 @@ class ProtocolHarness:
             if access.final and status is not None:
                 evidence.final_status[access.pid] = status
         evidence.records = list(self.engine.initiations)
-        if isinstance(self.protocol, RepeatedPassingProtocol):
-            evidence.contributors = [
-                tuple(p for p in pids)
-                for pids in self.protocol.completed_contributors]
+        contributors = getattr(self.protocol, "completed_contributors", None)
+        if contributors is not None:
+            evidence.contributors = [tuple(p for p in pids)
+                                     for pids in contributors]
+        authority = getattr(self.protocol, "completed_authority", None)
+        if authority is not None:
+            evidence.authority = list(authority)
         return evidence
 
     def install_key(self, ctx_id: int, key: int) -> None:
         """Install a key (survives replay resets via re-registration)."""
         self._keys[ctx_id] = key
         self.engine.install_key(ctx_id, key)
+
+    def install_setup(self, op: SetupOp) -> None:
+        """Apply a privileged setup op (re-applied on every reset)."""
+        self._setups.append(op)
+        self.protocol.apply_setup(op)
 
     # -- snapshot/restore --------------------------------------------------
 
@@ -285,23 +297,40 @@ def _factorial(n: int) -> int:
 
 def initiation_stream(method: str, pid: int, psrc: int, pdst: int,
                       size: int, key: Optional[int] = None,
-                      ctx_id: int = 0) -> List[AccessSpec]:
+                      ctx_id: int = 0,
+                      src_token: Optional[int] = None,
+                      dst_token: Optional[int] = None) -> List[AccessSpec]:
     """The shadow-access stream one initiation of *method* produces.
 
     Mirrors :meth:`repro.core.api.DmaChannel.sequence` at the level the
     engine sees (physical shadow arguments, no retry loop).  The last
     load is marked ``final`` so properties can read the process's
     verdict.
+
+    For the iommu methods *psrc*/*pdst* are IOVAs (the engine
+    translates); for the capio methods they are byte offsets into the
+    source/destination capabilities' buffers and the pre-packed
+    ``src_token``/``dst_token`` words (see :func:`~repro.hw.dma.
+    protocols.capio.pack_cap_word`) must be supplied.
     """
     if method in ("shrimp2", "flash", "pal"):
         return [
             AccessSpec(pid, "store", pdst, size),
             AccessSpec(pid, "load", psrc, final=True),
         ]
-    if method == "extshadow":
+    if method in ("extshadow", "iommu", "iommu_noshootdown"):
         return [
             AccessSpec(pid, "store", pdst, size, ctx_id=ctx_id),
             AccessSpec(pid, "load", psrc, ctx_id=ctx_id, final=True),
+        ]
+    if method in ("capio", "capio_noepoch"):
+        if src_token is None or dst_token is None:
+            raise VerificationError("capio streams need capability tokens")
+        return [
+            AccessSpec(pid, "store", pdst, dst_token),
+            AccessSpec(pid, "store", psrc, src_token),
+            AccessSpec(pid, "ctx-store", data=size, ctx_id=ctx_id),
+            AccessSpec(pid, "ctx-load", ctx_id=ctx_id, final=True),
         ]
     if method == "keyed":
         if key is None:

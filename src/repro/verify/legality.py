@@ -15,6 +15,13 @@ each process's register-context page privately, and the scenarios only
 ever direct a process at its own context (the keyed method's protection
 against a *shared* shadow page is the key word itself, which is exactly
 what the key-guessing scenario probes).
+
+The modern methods (:data:`UNRESTRICTED_SHADOW_METHODS`) are exempt for
+*all* shadow ops: their ``paddr`` field is not a mirrored physical page
+but a per-process IOVA (iommu) or a capability-buffer offset (capio),
+so the MMU's data-page rights say nothing about it — the engine-side
+translation/validation is the protection, and the replay properties
+judge the *physical* transfers it actually starts.
 """
 
 from __future__ import annotations
@@ -34,12 +41,28 @@ READ_OPS = ("load",)
 #: Ops on the process's own register-context page (no data-page rights).
 CTX_OPS = ("ctx-store", "ctx-load")
 
+#: Methods whose shadow ``paddr`` field is not a physical page address
+#: (see module docstring): all their shadow ops are MMU-exempt.
+UNRESTRICTED_SHADOW_METHODS = frozenset(
+    {"iommu", "iommu_noshootdown", "capio", "capio_noepoch"})
+
 
 def access_violation(access: AccessSpec,
-                     rights: Dict[int, Rights]) -> Optional[str]:
-    """Why *access* is MMU-illegal under *rights*, or None if legal."""
+                     rights: Dict[int, Rights],
+                     method: Optional[str] = None) -> Optional[str]:
+    """Why *access* is MMU-illegal under *rights*, or None if legal.
+
+    Args:
+        method: the scenario's initiation method, when known — members
+            of :data:`UNRESTRICTED_SHADOW_METHODS` exempt shadow ops
+            from data-page rights checks.
+    """
     if access.op in CTX_OPS:
         return None
+    if method in UNRESTRICTED_SHADOW_METHODS:
+        if access.op in WRITE_OPS or access.op in READ_OPS:
+            return None
+        return f"pid {access.pid} issues unknown access op {access.op!r}"
     holder = rights.get(access.pid)
     if holder is None:
         return (f"pid {access.pid} issues {access.op!r} but has no "
@@ -58,12 +81,13 @@ def access_violation(access: AccessSpec,
 
 
 def stream_violations(streams: Sequence[Sequence[AccessSpec]],
-                      rights: Dict[int, Rights]) -> List[str]:
+                      rights: Dict[int, Rights],
+                      method: Optional[str] = None) -> List[str]:
     """Every MMU-legality problem in *streams*, located by position."""
     problems: List[str] = []
     for s_index, stream in enumerate(streams):
         for a_index, access in enumerate(stream):
-            problem = access_violation(access, rights)
+            problem = access_violation(access, rights, method=method)
             if problem is not None:
                 problems.append(f"stream {s_index} access {a_index}: "
                                 f"{problem}")
@@ -72,13 +96,14 @@ def stream_violations(streams: Sequence[Sequence[AccessSpec]],
 
 def require_legal_streams(streams: Sequence[Sequence[AccessSpec]],
                           rights: Dict[int, Rights],
-                          name: str = "scenario") -> None:
+                          name: str = "scenario",
+                          method: Optional[str] = None) -> None:
     """Raise unless every access in *streams* is MMU-legal.
 
     Raises:
         VerificationError: naming every illegal access.
     """
-    problems = stream_violations(streams, rights)
+    problems = stream_violations(streams, rights, method=method)
     if problems:
         raise VerificationError(
             f"{name}: {len(problems)} MMU-illegal access(es): "

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..hw.dma.recognizer import SetupOp
 from ..hw.dma.status import STATUS_FAILURE, STATUS_PENDING
 from .interleave import (
     AccessSpec,
@@ -44,6 +45,9 @@ class Scenario:
         rights: pid -> Rights (the MMU's view).
         intents: declared intended DMAs (usually just the victim's).
         keys: ctx_id -> key installs for the keyed method.
+        setup: untimed kernel-side protocol configuration (IOMMU maps,
+            capability mints/revokes, ...) applied before the streams
+            run and re-applied on every harness reset, in order.
         n_contexts: engine register contexts.
         check_truthfulness: evaluate the truthful-status property (it
             only makes sense when the victim's stream runs to completion
@@ -66,12 +70,14 @@ class Scenario:
     rights: Dict[int, Rights]
     intents: List[ProcessIntent] = field(default_factory=list)
     keys: Dict[int, int] = field(default_factory=dict)
+    setup: Tuple[SetupOp, ...] = ()
     n_contexts: int = 4
     check_truthfulness: bool = True
     page_bounded: bool = False
 
     def __post_init__(self) -> None:
-        require_legal_streams(self.streams, self.rights, name=self.name)
+        require_legal_streams(self.streams, self.rights, name=self.name,
+                              method=self.method)
 
 
 @dataclass
@@ -145,6 +151,8 @@ def make_harness(scenario: Scenario) -> ProtocolHarness:
                               page_bounded=scenario.page_bounded)
     for ctx_id, key in scenario.keys.items():
         harness.install_key(ctx_id, key)
+    for op in scenario.setup:
+        harness.install_setup(op)
     return harness
 
 

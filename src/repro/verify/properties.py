@@ -118,11 +118,17 @@ class ReplayEvidence:
         contributors: per started-record index, the pids of the accesses
             that advanced the recognizer to completion (only available
             for sequence-recognizer protocols; empty otherwise).
+        authority: per started-record index, the pid whose *kernel-granted
+            credential* authorized the transfer — e.g. the minting owner
+            of the capio capabilities it used — or None when no single
+            credential holder exists.  Parallel to ``contributors``;
+            empty for protocols without kernel-granted credentials.
     """
 
     records: List[InitiationRecord] = field(default_factory=list)
     final_status: dict = field(default_factory=dict)
     contributors: List[Tuple[int, ...]] = field(default_factory=list)
+    authority: List[Optional[int]] = field(default_factory=list)
 
 
 def check_authorized_start(evidence: ReplayEvidence,
@@ -166,6 +172,13 @@ def check_single_issuer(evidence: ReplayEvidence,
     for the safe 5-access variant, so the strict reading is *false*
     for arbitrary MMU-legal access soups.
 
+    Credential-bearing completions (``evidence.authority``) get a
+    second excuse: when every capability a transfer used was minted for
+    one process and *that* process holds the needed rights, the
+    transfer carries that process's authority no matter which pids'
+    accesses delivered the tokens — the kernel-granted credential, not
+    the delivering access, is what authorizes a capio transfer.
+
     Args:
         rights: pid -> :class:`Rights`.  When omitted — or when no
             successful initiation record matches a completion — mixed
@@ -179,16 +192,27 @@ def check_single_issuer(evidence: ReplayEvidence,
         record = (evidence.records[index]
                   if index < len(evidence.records) else None)
         if rights is not None and record is not None and record.ok:
-            holder: Optional[Rights] = rights.get(record.issuer)
-            if (holder is not None
-                    and holder.can_read(record.psrc, record.size)
-                    and holder.can_write(record.pdst, record.size)):
+            if _authorized(record.issuer, rights, record):
                 continue  # benign composition: the issuer needed no help
+            if index < len(evidence.authority):
+                granter = evidence.authority[index]
+                if granter is not None and _authorized(
+                        granter, rights, record):
+                    continue  # credential holder's own authority
         violations.append(Violation(
             "single-issuer", None,
             f"started DMA #{index} assembled from accesses by "
             f"pids {sorted(set(pids))}"))
     return violations
+
+
+def _authorized(pid: Optional[int], rights: dict,
+                record: InitiationRecord) -> bool:
+    """Whether *pid*'s rights cover the transfer in *record*."""
+    holder: Optional[Rights] = rights.get(pid)
+    return (holder is not None
+            and holder.can_read(record.psrc, record.size)
+            and holder.can_write(record.pdst, record.size))
 
 
 def check_truthful_status(evidence: ReplayEvidence,

@@ -53,6 +53,14 @@ class AdversaryProfile:
         data_words: the words its stores/exchanges may carry.
         with_exchange: include atomic-exchange accesses (the SHRIMP-1
             initiation primitive) in the vocabulary.
+        vocabulary: explicit access alphabet, overriding derivation —
+            the modern methods (IOMMU, capio) speak in IOVAs and
+            capability tokens, shapes no rights-walk can derive.  Still
+            re-validated by the shared legality checker.
+        method: the initiation method the profile targets, forwarded to
+            the legality validator (the modern methods exempt shadow
+            addresses from the physical-rights rule: their protection
+            lives in translation/validation, not the MMU).
     """
 
     pid: int = ADVERSARY_PID
@@ -60,6 +68,8 @@ class AdversaryProfile:
     ctx_id: int = 0
     data_words: Tuple[int, ...] = (SIZE,)
     with_exchange: bool = True
+    vocabulary: Optional[Tuple[AccessSpec, ...]] = None
+    method: Optional[str] = None
 
 
 def standard_profile(reads_source: bool = True, ctx_id: int = 0,
@@ -84,29 +94,33 @@ def access_vocabulary(profile: AdversaryProfile) -> List[AccessSpec]:
 
     Stores first (one per writable page × data word), then loads (one
     per readable page), then exchanges — a deterministic order the
-    guided search's tie-breaking relies on.
+    guided search's tie-breaking relies on.  A profile carrying an
+    explicit ``vocabulary`` returns it verbatim (after re-validation).
 
     Raises:
         VerificationError: if a derived access fails the shared
             legality validator (a bug guard — cannot happen for rights
             built via :meth:`Rights.over`).
     """
-    vocab: List[AccessSpec] = []
-    for page in sorted(profile.rights.writable):
-        for word in profile.data_words:
-            vocab.append(AccessSpec(profile.pid, "store", page, word,
-                                    ctx_id=profile.ctx_id))
-    for page in sorted(profile.rights.readable):
-        vocab.append(AccessSpec(profile.pid, "load", page,
-                                ctx_id=profile.ctx_id))
-    if profile.with_exchange:
+    if profile.vocabulary is not None:
+        vocab = list(profile.vocabulary)
+    else:
+        vocab = []
         for page in sorted(profile.rights.writable):
-            vocab.append(AccessSpec(profile.pid, "exchange", page,
-                                    profile.data_words[0],
+            for word in profile.data_words:
+                vocab.append(AccessSpec(profile.pid, "store", page, word,
+                                        ctx_id=profile.ctx_id))
+        for page in sorted(profile.rights.readable):
+            vocab.append(AccessSpec(profile.pid, "load", page,
                                     ctx_id=profile.ctx_id))
+        if profile.with_exchange:
+            for page in sorted(profile.rights.writable):
+                vocab.append(AccessSpec(profile.pid, "exchange", page,
+                                        profile.data_words[0],
+                                        ctx_id=profile.ctx_id))
     rights = {profile.pid: profile.rights}
     for access in vocab:
-        problem = access_violation(access, rights)
+        problem = access_violation(access, rights, method=profile.method)
         if problem is not None:  # pragma: no cover - bug guard
             raise VerificationError(
                 f"vocabulary produced an illegal access: {problem}")

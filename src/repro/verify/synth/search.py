@@ -37,6 +37,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ...errors import VerificationError
+from ...hw.dma.recognizer import SetupOp
+from ...hw.pagetable import PAGE_SIZE
 from ...obs.profile import PhaseProfiler
 from ...obs.spans import SpanTracer
 from ...sim.rng import make_rng
@@ -47,6 +49,9 @@ from ..properties import ProcessIntent, Rights
 from .generator import (
     ADDR_A,
     ADDR_B,
+    ADDR_C,
+    ADDR_FOO,
+    ADVERSARY_PID,
     SIZE,
     VICTIM_PID,
     AdversaryProfile,
@@ -62,11 +67,24 @@ from .shrink import ShrunkCounterexample, describe_access, shrink_counterexample
 #: broken.
 SECRET_KEY = 0x0D15EA5E
 
-#: Methods the hunt covers by default: the paper's two broken variants
-#: (the rediscovery targets) and the four hardened methods (expected to
+#: IOVA page of the IOMMU hunts' transient grant: once mapped onto the
+#: victim's B for the adversary's context, IOTLB-warmed, then unmapped.
+STALE_IOVA = 4 * PAGE_SIZE
+
+#: Capability nonces for the capio hunts.  The victim's is a secret the
+#: adversary vocabulary never carries (the keyed-method discipline);
+#: the adversary legitimately holds its own and the since-revoked one.
+CAP_NONCE_VICTIM = 0x5EC2E7
+CAP_NONCE_ADVERSARY = 0x0AD0C5
+CAP_NONCE_STALE = 0x057A1E
+
+#: Methods the hunt covers by default: the paper's two broken variants,
+#: the two deliberately-weakened modern variants (all four are
+#: rediscovery targets), and the six hardened methods (expected to
 #: survive any budget).
 HUNT_METHODS: Tuple[str, ...] = (
-    "repeated3", "repeated4", "shrimp1", "keyed", "extshadow", "repeated5")
+    "repeated3", "repeated4", "shrimp1", "keyed", "extshadow", "repeated5",
+    "iommu", "iommu_noshootdown", "capio", "capio_noepoch")
 
 
 @dataclass(frozen=True)
@@ -185,18 +203,70 @@ class HuntReport:
 # ----------------------------------------------------------------------
 
 
+def _cap_word(cap_id: int, nonce: int, arg_is_dst: bool) -> int:
+    """A capability token at epoch 0 (all hunt mints are epoch 0)."""
+    from ...hw.dma.protocols.capio import pack_cap_word
+    from ...hw.dma.protocols.keyed import ARG_DESTINATION, ARG_SOURCE
+
+    return pack_cap_word(cap_id, 0, nonce,
+                         ARG_DESTINATION if arg_is_dst else ARG_SOURCE)
+
+
 def _victim_setup(method: str) -> Tuple[List[AccessSpec], Dict[int, int]]:
     """The victim's initiation stream and any installed keys."""
     if method == "keyed":
         stream = initiation_stream("keyed", VICTIM_PID, ADDR_A, ADDR_B,
                                    SIZE, key=SECRET_KEY, ctx_id=0)
         return stream, {0: SECRET_KEY}
-    if method == "extshadow":
-        stream = initiation_stream("extshadow", VICTIM_PID, ADDR_A,
+    if method in ("extshadow", "iommu", "iommu_noshootdown"):
+        # iommu: identity IOVA maps (hunt_setup_for) make the stream's
+        # virtual addresses coincide with A and B.
+        stream = initiation_stream(method, VICTIM_PID, ADDR_A,
                                    ADDR_B, SIZE, ctx_id=0)
+        return stream, {}
+    if method in ("capio", "capio_noepoch"):
+        # Capability 1 covers [A, B] for the victim; psrc/pdst are byte
+        # offsets against its base.
+        stream = initiation_stream(
+            method, VICTIM_PID, 0, PAGE_SIZE, SIZE, ctx_id=0,
+            src_token=_cap_word(1, CAP_NONCE_VICTIM, arg_is_dst=False),
+            dst_token=_cap_word(1, CAP_NONCE_VICTIM, arg_is_dst=True))
         return stream, {}
     return initiation_stream(method, VICTIM_PID, ADDR_A, ADDR_B,
                              SIZE), {}
+
+
+def hunt_setup_for(method: str) -> Tuple[SetupOp, ...]:
+    """Kernel-side setup history composed into every hunt candidate.
+
+    The modern methods only mean anything against configured state, and
+    the interesting state includes a *revoked* grant: the IOMMU hunts
+    get a transient IOVA window onto the victim's B (mapped, IOTLB-
+    warmed, unmapped), the capio hunts a capability over B minted for
+    the adversary and then epoch-revoked.  The hardened variants must
+    shrug both off; the weakened ones are expected to fall to them.
+    """
+    if method in ("iommu", "iommu_noshootdown"):
+        return (
+            SetupOp("iommu-map", (0, ADDR_A, ADDR_A, True)),
+            SetupOp("iommu-map", (0, ADDR_B, ADDR_B, True)),
+            SetupOp("iommu-map", (1, ADDR_C, ADDR_C, True)),
+            SetupOp("iommu-map", (1, ADDR_FOO, ADDR_FOO, True)),
+            SetupOp("iommu-map", (1, STALE_IOVA, ADDR_B, True)),
+            SetupOp("iommu-warm", (1, STALE_IOVA)),
+            SetupOp("iommu-unmap", (1, STALE_IOVA)),
+        )
+    if method in ("capio", "capio_noepoch"):
+        return (
+            SetupOp("cap-mint", (1, 0, VICTIM_PID, ADDR_A, 2 * PAGE_SIZE,
+                                 True, True, CAP_NONCE_VICTIM)),
+            SetupOp("cap-mint", (2, 1, ADVERSARY_PID, ADDR_C, PAGE_SIZE,
+                                 True, True, CAP_NONCE_ADVERSARY)),
+            SetupOp("cap-mint", (3, 1, ADVERSARY_PID, ADDR_B, PAGE_SIZE,
+                                 True, True, CAP_NONCE_STALE)),
+            SetupOp("cap-revoke", (3,)),
+        )
+    return ()
 
 
 def adversary_profile_for(method: str) -> AdversaryProfile:
@@ -206,6 +276,13 @@ def adversary_profile_for(method: str) -> AdversaryProfile:
       but only *wrong-key* words (the true key is a 60-bit secret);
     * extshadow: the adversary addresses its **own** context (the OS
       maps one context page per process — it cannot name the victim's);
+    * iommu family: explicit IOVA vocabulary — its own C (store and
+      load), the victim's "public" A, and the since-revoked stale IOVA
+      window (see :func:`hunt_setup_for`);
+    * capio family: explicit token vocabulary — its own capability 2
+      (src and dst tokens), the stale epoch-0 destination token of
+      revoked capability 3, and its context-page size/fire ops.  The
+      victim's nonce is a secret: no capability-1 token ever appears;
     * everything else: the standard profile (owns C and FOO, reads A).
     """
     if method == "keyed":
@@ -222,6 +299,33 @@ def adversary_profile_for(method: str) -> AdversaryProfile:
         return standard_profile(extra_words=words)
     if method == "extshadow":
         return standard_profile(ctx_id=1)
+    if method in ("iommu", "iommu_noshootdown"):
+        base = standard_profile(ctx_id=1)
+        vocab = (
+            AccessSpec(ADVERSARY_PID, "store", ADDR_C, SIZE, ctx_id=1),
+            AccessSpec(ADVERSARY_PID, "store", STALE_IOVA, SIZE, ctx_id=1),
+            AccessSpec(ADVERSARY_PID, "load", ADDR_C, ctx_id=1),
+            AccessSpec(ADVERSARY_PID, "load", ADDR_A, ctx_id=1),
+        )
+        return AdversaryProfile(pid=base.pid, rights=base.rights,
+                                ctx_id=1, vocabulary=vocab, method=method)
+    if method in ("capio", "capio_noepoch"):
+        base = standard_profile(ctx_id=1)
+        vocab = (
+            AccessSpec(ADVERSARY_PID, "store", 0,
+                       _cap_word(2, CAP_NONCE_ADVERSARY, arg_is_dst=False),
+                       ctx_id=1),
+            AccessSpec(ADVERSARY_PID, "store", 0,
+                       _cap_word(2, CAP_NONCE_ADVERSARY, arg_is_dst=True),
+                       ctx_id=1),
+            AccessSpec(ADVERSARY_PID, "store", 0,
+                       _cap_word(3, CAP_NONCE_STALE, arg_is_dst=True),
+                       ctx_id=1),
+            AccessSpec(ADVERSARY_PID, "ctx-store", 0, SIZE, ctx_id=1),
+            AccessSpec(ADVERSARY_PID, "ctx-load", 0, ctx_id=1),
+        )
+        return AdversaryProfile(pid=base.pid, rights=base.rights,
+                                ctx_id=1, vocabulary=vocab, method=method)
     return standard_profile()
 
 
@@ -240,6 +344,7 @@ def compose_scenario(method: str, victim: List[AccessSpec],
         },
         intents=[ProcessIntent(VICTIM_PID, ADDR_A, ADDR_B, SIZE)],
         keys=dict(keys),
+        setup=hunt_setup_for(method),
     )
 
 

@@ -6,6 +6,49 @@ import pytest
 
 from repro.core.api import DmaChannel
 from repro.core.machine import MachineConfig, Workstation
+from repro.hw.dma.protocols.capio import pack_cap_word
+from repro.hw.dma.protocols.keyed import ARG_DESTINATION, ARG_SOURCE
+from repro.hw.dma.recognizer import SetupOp
+
+#: Shared secrets for two-process modern-method harness tests.
+MODERN_NONCE_1, MODERN_NONCE_2 = 0x1111, 0x2222
+
+
+def modern_stream_kwargs(method: str):
+    """(kwargs_1, kwargs_2) for initiation_stream on the modern methods.
+
+    Process 1 runs on context 0, process 2 on context 1; for capio the
+    psrc/pdst positional arguments double as capability-buffer offsets
+    against base-0 capabilities (caps 1 and 2, see
+    :func:`install_modern_setup`).
+    """
+    if method in ("iommu", "iommu_noshootdown"):
+        return {"ctx_id": 0}, {"ctx_id": 1}
+    if method in ("capio", "capio_noepoch"):
+        return (
+            {"ctx_id": 0,
+             "src_token": pack_cap_word(1, 0, MODERN_NONCE_1, ARG_SOURCE),
+             "dst_token": pack_cap_word(1, 0, MODERN_NONCE_1,
+                                        ARG_DESTINATION)},
+            {"ctx_id": 1,
+             "src_token": pack_cap_word(2, 0, MODERN_NONCE_2, ARG_SOURCE),
+             "dst_token": pack_cap_word(2, 0, MODERN_NONCE_2,
+                                        ARG_DESTINATION)},
+        )
+    return {}, {}
+
+
+def install_modern_setup(harness, method: str) -> None:
+    """Kernel-side setup matching :func:`modern_stream_kwargs`."""
+    if method in ("iommu", "iommu_noshootdown"):
+        # Identity-map each process's pages so the stream IOVAs resolve.
+        harness.install_setup(SetupOp("iommu-map", (0, 0, 0, True)))
+        harness.install_setup(SetupOp("iommu-map", (1, 8192, 8192, True)))
+    elif method in ("capio", "capio_noepoch"):
+        harness.install_setup(SetupOp(
+            "cap-mint", (1, 0, 1, 0, 16384, True, True, MODERN_NONCE_1)))
+        harness.install_setup(SetupOp(
+            "cap-mint", (2, 1, 2, 0, 32768, True, True, MODERN_NONCE_2)))
 
 
 def build_workstation(method: str = "keyed", **overrides) -> Workstation:

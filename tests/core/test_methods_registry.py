@@ -5,6 +5,7 @@ import pytest
 from repro.core.methods import (
     BASELINE_METHODS,
     METHODS,
+    MODERN_METHODS,
     PAPER_METHODS,
     TABLE1_METHODS,
     get_method,
@@ -20,10 +21,23 @@ from repro.errors import ConfigError
 
 
 def test_all_ten_methods_registered():
-    assert len(METHODS) == 10
+    """The paper's ten methods plus the four modern entries."""
+    assert len(METHODS) == 14
     for name in ("kernel", "shrimp1", "shrimp2", "flash", "pal", "keyed",
-                 "extshadow", "repeated3", "repeated4", "repeated5"):
+                 "extshadow", "repeated3", "repeated4", "repeated5",
+                 "iommu", "iommu_noshootdown", "capio", "capio_noepoch"):
         assert name in METHODS
+
+
+def test_modern_methods_registered_and_kernel_free():
+    assert MODERN_METHODS == ["iommu", "capio"]
+    for name in MODERN_METHODS:
+        assert METHODS[name].kernel_free, name
+        assert METHODS[name].uses_context, name
+        # Their weakened counterparts ride along for the synthesis hunt.
+        weakened = {"iommu": "iommu_noshootdown",
+                    "capio": "capio_noepoch"}[name]
+        assert weakened in METHODS
 
 
 def test_unknown_method_raises():

@@ -32,6 +32,66 @@ def checker_report():
         {"name": "s1", "incremental": {"orders_per_s": 1000.0}}]}
 
 
+def table1_report(iommu=1.11, capio=2.32, keyed=2.30):
+    return {
+        "benchmark": "table1",
+        "rows": {
+            "iommu": {"simulated_us": iommu, "paper_us": None},
+            "capio": {"simulated_us": capio, "paper_us": None},
+            "keyed": {"simulated_us": keyed, "paper_us": 2.3},
+        },
+    }
+
+
+def test_matching_table1_reports_pass(tmp_path, capsys):
+    base = write(tmp_path / "base.json", table1_report())
+    cand = write(tmp_path / "cand.json", table1_report())
+    assert compare_main([base, cand]) == 0
+    assert "table1 latency gate passed" in capsys.readouterr().out
+
+
+def test_table1_latency_regression_fails(tmp_path, capsys):
+    base = write(tmp_path / "base.json", table1_report())
+    cand = write(tmp_path / "cand.json", table1_report(capio=3.20))
+    assert compare_main([base, cand]) == 1
+    assert "capio" in capsys.readouterr().out
+
+
+def test_table1_regression_margin_is_tunable(tmp_path):
+    base = write(tmp_path / "base.json", table1_report())
+    cand = write(tmp_path / "cand.json", table1_report(iommu=1.50))
+    assert compare_main([base, cand]) == 1
+    assert compare_main([base, cand, "--max-regression", "0.40"]) == 0
+
+
+def test_table1_paper_drift_fails(tmp_path, capsys):
+    base = write(tmp_path / "base.json", table1_report())
+    cand = write(tmp_path / "cand.json", table1_report(keyed=2.80))
+    assert compare_main([base, cand]) == 1
+    assert "paper" in capsys.readouterr().out
+
+
+def test_table1_against_checker_report_refused(tmp_path, capsys):
+    base = write(tmp_path / "base.json", table1_report())
+    cand = write(tmp_path / "cand.json", checker_report())
+    assert compare_main([base, cand]) == 1
+    assert "cannot compare" in capsys.readouterr().out
+
+
+def test_committed_table1_baseline_is_valid():
+    baseline = json.loads(
+        (ROOT / "benchmarks/results/BENCH_table1.json").read_text())
+    assert baseline["benchmark"] == "table1"
+    rows = baseline["rows"]
+    for method in ("kernel", "extshadow", "keyed", "repeated5",
+                   "iommu", "capio"):
+        assert rows[method]["simulated_us"] > 0
+    # The modern methods keep the paper's ~10x kernel/user gap.
+    for method in ("iommu", "capio"):
+        assert (rows["kernel"]["simulated_us"]
+                / rows[method]["simulated_us"]) > 6
+
+
 def test_matching_service_reports_pass(tmp_path, capsys):
     base = write(tmp_path / "base.json", service_report())
     cand = write(tmp_path / "cand.json", service_report())

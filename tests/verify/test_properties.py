@@ -130,6 +130,66 @@ class TestSingleIssuer:
         assert len(check_single_issuer(evidence, self.rights())) == 1
 
 
+class TestSingleIssuerAuthority:
+    """Regression: credential-bearing completions carry the *minting*
+    process's authority (``evidence.authority``), not the delivering
+    access's.  A capio transfer whose tokens were all minted for pid 1
+    is pid 1's transfer even when pid 2's accesses delivered them."""
+
+    def rights(self):
+        return {1: Rights.over(write_pages=[0, PAGE]),
+                2: Rights.over(read_pages=[0],
+                               write_pages=[2 * PAGE])}
+
+    def mixed(self, granter, issuer=2, pdst=PAGE):
+        """Issuer 2 cannot write PAGE: only the granter can excuse it."""
+        return ReplayEvidence(
+            records=[record(0, pdst, issuer=issuer)],
+            contributors=[(1, 2, 2, 2)],
+            authority=[granter])
+
+    def test_credential_holder_with_rights_excuses(self):
+        evidence = self.mixed(granter=1)
+        assert check_single_issuer(evidence, self.rights()) == []
+
+    def test_credential_holder_without_rights_flagged(self):
+        """The granter's own rights must cover the transfer — a pid-2
+        credential does not launder a write into the victim's page."""
+        evidence = self.mixed(granter=2)
+        violations = check_single_issuer(evidence, self.rights())
+        assert len(violations) == 1
+        assert violations[0].prop == "single-issuer"
+
+    def test_no_single_credential_holder_flagged(self):
+        """Authority None (src/dst caps minted for different owners)
+        offers no excuse."""
+        evidence = self.mixed(granter=None)
+        assert len(check_single_issuer(evidence, self.rights())) == 1
+
+    def test_missing_authority_entry_keeps_strict_reading(self):
+        """Completions past the authority list (non-credential
+        protocols) fall back to the issuer-only excuse."""
+        evidence = ReplayEvidence(
+            records=[record(0, PAGE, issuer=2)],
+            contributors=[(1, 2, 2, 2)],
+            authority=[])
+        assert len(check_single_issuer(evidence, self.rights())) == 1
+
+    def test_without_rights_authority_cannot_excuse(self):
+        """Bare-evidence callers keep the strict reading."""
+        evidence = self.mixed(granter=1)
+        assert len(check_single_issuer(evidence)) == 1
+
+    def test_issuer_excuse_still_wins_first(self):
+        """An issuer who needed no help is excused regardless of the
+        credential column."""
+        evidence = ReplayEvidence(
+            records=[record(0, 2 * PAGE, issuer=2)],
+            contributors=[(2, 1, 2, 2)],
+            authority=[None])
+        assert check_single_issuer(evidence, self.rights()) == []
+
+
 class TestTruthfulStatus:
     def intent(self):
         return ProcessIntent(1, 0, PAGE, 64)

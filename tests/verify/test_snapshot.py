@@ -17,6 +17,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from tests.conftest import install_modern_setup, modern_stream_kwargs
+
 from repro.core.methods import METHODS, make_protocol
 from repro.verify.interleave import (
     AccessSpec,
@@ -49,6 +51,8 @@ def method_streams(method: str) -> List[List[AccessSpec]]:
     elif method == "extshadow":
         kwargs_1 = {"ctx_id": 0}
         kwargs_2 = {"ctx_id": 1}
+    else:
+        kwargs_1, kwargs_2 = modern_stream_kwargs(method)
     return [
         initiation_stream(method, 1, SRC_1, DST_1, SIZE, **kwargs_1),
         initiation_stream(method, 2, SRC_2, DST_2, SIZE, **kwargs_2),
@@ -60,6 +64,7 @@ def make_method_harness(method: str) -> ProtocolHarness:
     if method == "keyed":
         harness.install_key(0, KEY_1)
         harness.install_key(1, KEY_2)
+    install_modern_setup(harness, method)
     return harness
 
 
